@@ -1,0 +1,307 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section V). Each benchmark regenerates its artefact through
+// the same drivers cmd/experiments uses, at a compact operating point
+// (small scale, City B, a two-hour dinner slice) so the full suite stays
+// laptop-friendly; run cmd/experiments for the full-size tables.
+//
+// Benchmarks report headline values via b.ReportMetric so the shape
+// comparison with the paper lands directly in the -bench output; run with
+// -v to see the full rendered tables.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig6c -v
+package foodmatch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchSetup is the compact operating point shared by the macro-benchmarks.
+func benchSetup() experiments.Setup {
+	st := experiments.DefaultSetup()
+	st.Scale = 0.02
+	st.StartHour = 19
+	st.EndHour = 22
+	st.Cities = []string{"CityB"}
+	return st
+}
+
+// runExperiment executes an experiment group once per bench iteration and
+// returns the final iteration's tables.
+func runExperiment(b *testing.B, id string, st experiments.Setup) []*experiments.Table {
+	b.Helper()
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = experiments.Generate(id, st)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+	if testing.Verbose() {
+		for _, t := range tables {
+			b.Log("\n" + t.Render())
+		}
+	}
+	return tables
+}
+
+// cell fetches a value from the named table, by row label and column index.
+func cell(b *testing.B, tables []*experiments.Table, tableID, rowLabel string, col int) float64 {
+	b.Helper()
+	for _, t := range tables {
+		if t.ID != tableID {
+			continue
+		}
+		for _, r := range t.Rows {
+			if r.Label == rowLabel && col < len(r.Values) {
+				return r.Values[col]
+			}
+		}
+	}
+	b.Fatalf("cell %s/%s[%d] not found", tableID, rowLabel, col)
+	return math.NaN()
+}
+
+func BenchmarkTable2_DatasetSummary(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "T2", st)
+	b.ReportMetric(cell(b, tables, "T2", "CityB", 2), "orders/day")
+	b.ReportMetric(cell(b, tables, "T2", "CityB", 3), "prep-min")
+}
+
+func BenchmarkFig4a_PercentileRank(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F4a", st)
+	// Paper shape: the mass concentrates in the lowest ranks (~95% within
+	// the closest 10%).
+	b.ReportMetric(cell(b, tables, "F4a", "rank <= 10%", 0), "%assign<=rank10")
+	b.ReportMetric(cell(b, tables, "F4a", "rank <= 30%", 0), "%assign<=rank30")
+}
+
+func BenchmarkFig6a_OrderVehicleRatio(b *testing.B) {
+	st := benchSetup()
+	st.Cities = nil // all three cities; generation only, cheap
+	tables := runExperiment(b, "F6a", st)
+	b.ReportMetric(cell(b, tables, "F6a", "CityB", 20), "cityB-20h-ratio")
+	b.ReportMetric(cell(b, tables, "F6a", "CityB", 3), "cityB-03h-ratio")
+}
+
+func BenchmarkFig6b_XDTvsReyes(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6b", st)
+	b.ReportMetric(cell(b, tables, "F6b", "CityB", 2), "reyes/foodmatch-xdt-ratio")
+}
+
+func BenchmarkFig6c_XDTvsGreedy(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6cde", st)
+	b.ReportMetric(cell(b, tables, "F6c", "CityB", 2), "improv%")
+}
+
+func BenchmarkFig6d_OrdersPerKm(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6cde", st)
+	b.ReportMetric(cell(b, tables, "F6d", "CityB", 2), "improv%")
+}
+
+func BenchmarkFig6e_WaitingTime(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6cde", st)
+	b.ReportMetric(cell(b, tables, "F6e", "CityB", 2), "improv%")
+}
+
+func BenchmarkFig6f_OverflowAll(b *testing.B) {
+	st := benchSetup()
+	st.ComputeBudget = 0.05
+	tables := runExperiment(b, "F6fgh", st)
+	b.ReportMetric(cell(b, tables, "F6f", "CityB", 0), "greedy-overflow%")
+	b.ReportMetric(cell(b, tables, "F6f", "CityB", 2), "foodmatch-overflow%")
+}
+
+func BenchmarkFig6g_OverflowPeak(b *testing.B) {
+	st := benchSetup()
+	st.ComputeBudget = 0.05
+	tables := runExperiment(b, "F6fgh", st)
+	b.ReportMetric(cell(b, tables, "F6g", "CityB", 1), "km-peak-overflow%")
+	b.ReportMetric(cell(b, tables, "F6g", "CityB", 2), "foodmatch-peak-overflow%")
+}
+
+func BenchmarkFig6h_RunningTime(b *testing.B) {
+	st := benchSetup()
+	st.ComputeBudget = 0.05
+	tables := runExperiment(b, "F6fgh", st)
+	b.ReportMetric(cell(b, tables, "F6h", "CityB", 0), "greedy-ms")
+	b.ReportMetric(cell(b, tables, "F6h", "CityB", 1), "km-ms")
+	b.ReportMetric(cell(b, tables, "F6h", "CityB", 2), "foodmatch-ms")
+}
+
+func BenchmarkFig6i_XDTImprovementBySlot(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6ijk", st)
+	b.ReportMetric(cell(b, tables, "F6i", "CityB", 1), "slot20-improv%")
+}
+
+func BenchmarkFig6j_OKmImprovementBySlot(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6ijk", st)
+	b.ReportMetric(cell(b, tables, "F6j", "CityB", 1), "slot20-improv%")
+}
+
+func BenchmarkFig6k_WTImprovementBySlot(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F6ijk", st)
+	b.ReportMetric(cell(b, tables, "F6k", "CityB", 1), "slot20-improv%")
+}
+
+func BenchmarkFig7a_OptimizationAblation(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F7a", st)
+	b.ReportMetric(cell(b, tables, "F7a", "CityB", 0), "B&R-improv%")
+	b.ReportMetric(cell(b, tables, "F7a", "CityB", 2), "full-improv%")
+}
+
+func BenchmarkFig7b_XDTvsFleet(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F7bcde", st)
+	b.ReportMetric(cell(b, tables, "F7b", "CityB", 0), "xdt-h@20%fleet")
+	b.ReportMetric(cell(b, tables, "F7b", "CityB", 4), "xdt-h@100%fleet")
+}
+
+func BenchmarkFig7c_OKmVsFleet(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F7bcde", st)
+	b.ReportMetric(cell(b, tables, "F7c", "CityB", 1), "okm@40%fleet")
+	b.ReportMetric(cell(b, tables, "F7c", "CityB", 4), "okm@100%fleet")
+}
+
+func BenchmarkFig7d_WTvsFleet(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F7bcde", st)
+	b.ReportMetric(cell(b, tables, "F7d", "CityB", 1), "wt-h@40%fleet")
+	b.ReportMetric(cell(b, tables, "F7d", "CityB", 4), "wt-h@100%fleet")
+}
+
+func BenchmarkFig7e_RejectionsVsFleet(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F7bcde", st)
+	b.ReportMetric(cell(b, tables, "F7e", "CityB", 0), "rej%@20%fleet")
+	b.ReportMetric(cell(b, tables, "F7e", "CityB", 4), "rej%@100%fleet")
+}
+
+func BenchmarkFig8ac_EtaSweep(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F8ac", st)
+	last := len(experiments.EtaValues) - 1
+	b.ReportMetric(cell(b, tables, "F8a", "CityB", 0), "xdt-h@eta30")
+	b.ReportMetric(cell(b, tables, "F8a", "CityB", last), "xdt-h@eta150")
+	b.ReportMetric(cell(b, tables, "F8c", "CityB", 0), "wt-h@eta30")
+	b.ReportMetric(cell(b, tables, "F8c", "CityB", last), "wt-h@eta150")
+}
+
+func BenchmarkFig8dg_DeltaSweep(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F8dg", st)
+	last := len(experiments.DeltaValues) - 1
+	b.ReportMetric(cell(b, tables, "F8d", "CityB", 0), "xdt-h@delta60")
+	b.ReportMetric(cell(b, tables, "F8d", "CityB", last), "xdt-h@delta240")
+	b.ReportMetric(cell(b, tables, "F8g", "CityB", last), "assign-ms@delta240")
+}
+
+func BenchmarkFig8hk_KSweep(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F8hk", st)
+	last := len(experiments.KFactorValues) - 1
+	b.ReportMetric(cell(b, tables, "F8h", "CityB", 0), "xdt-h@k50")
+	b.ReportMetric(cell(b, tables, "F8h", "CityB", last), "xdt-h@k300")
+	b.ReportMetric(cell(b, tables, "F8k", "CityB", 0), "assign-ms@k50")
+	b.ReportMetric(cell(b, tables, "F8k", "CityB", last), "assign-ms@k300")
+}
+
+func BenchmarkFig9ac_GammaSweep(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F9ac", st)
+	last := len(experiments.GammaValues) - 1
+	b.ReportMetric(cell(b, tables, "F9b", "CityB", 0), "okm@gamma0.1")
+	b.ReportMetric(cell(b, tables, "F9b", "CityB", last), "okm@gamma0.9")
+	b.ReportMetric(cell(b, tables, "F9c", "CityB", 0), "wt-h@gamma0.1")
+	b.ReportMetric(cell(b, tables, "F9c", "CityB", last), "wt-h@gamma0.9")
+}
+
+func BenchmarkFig9d_GammaRejections(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "F9d", st)
+	b.ReportMetric(cell(b, tables, "F9d", "gamma=0.1", 0), "rej%@g0.1-10%fleet")
+	b.ReportMetric(cell(b, tables, "F9d", "gamma=0.9", 0), "rej%@g0.9-10%fleet")
+}
+
+// Example of reading the harness programmatically (also exercises the
+// public facade's experiment API).
+func ExampleRunExperiment() {
+	st := DefaultExperimentSetup()
+	st.Scale = 0.005
+	st.StartHour, st.EndHour = 20, 21
+	st.Cities = []string{"CityA"}
+	tables, err := RunExperiment("T2", st)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(tables[0].ID)
+	// Output: T2
+}
+
+// --- Beyond-paper ablation benchmarks (X-series, DESIGN.md 2.10-2.11) ---
+
+func BenchmarkX1_SupplyCalibration(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "X1", st)
+	b.ReportMetric(cell(b, tables, "X1", "improv(%)", 0), "improv%@ratio2")
+	b.ReportMetric(cell(b, tables, "X1", "improv(%)", 2), "improv%@ratio5.5")
+}
+
+func BenchmarkX2_AgeNeutralAblation(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "X2", st)
+	b.ReportMetric(cell(b, tables, "X2", "age-neutral on", 0), "rejected-on")
+	b.ReportMetric(cell(b, tables, "X2", "age-neutral off", 0), "rejected-off")
+}
+
+func BenchmarkX3_BatchRadius(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "X3", st)
+	b.ReportMetric(cell(b, tables, "X3", "radius=300s", 2), "assign-ms@300s")
+	b.ReportMetric(cell(b, tables, "X3", "radius=inf", 2), "assign-ms@inf")
+}
+
+func BenchmarkX4_SPEngines(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "X4", st)
+	b.ReportMetric(cell(b, tables, "X4", "hub labels (PLL)", 0), "pll-us")
+	b.ReportMetric(cell(b, tables, "X4", "pairwise Dijkstra", 0), "dijkstra-us")
+}
+
+func BenchmarkX5_HeuristicPlanner(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "X5", st)
+	b.ReportMetric(cell(b, tables, "X5", "exact B&B", 1), "exact-ms")
+	b.ReportMetric(cell(b, tables, "X5", "cheapest insertion", 1), "heuristic-ms")
+}
+
+func BenchmarkX6_TimeDependence(b *testing.B) {
+	st := benchSetup()
+	tables := runExperiment(b, "X6", st)
+	b.ReportMetric(cell(b, tables, "X6", "congested (paper)", 0), "obj-h-congested")
+	b.ReportMetric(cell(b, tables, "X6", "free-flow", 0), "obj-h-freeflow")
+}
+
+func BenchmarkX7_LearnedWeights(b *testing.B) {
+	st := benchSetup()
+	st.StartHour, st.EndHour = 19, 21 // X7 trains a matcher too; keep it short
+	tables := runExperiment(b, "X7", st)
+	b.ReportMetric(cell(b, tables, "X7", "perfect weights", 0), "obj-h-perfect")
+}

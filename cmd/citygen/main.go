@@ -1,0 +1,137 @@
+// Command citygen generates a synthetic city and writes it (with one day of
+// orders and the fleet's shift plan) as JSON, for inspection or for feeding
+// external tooling.
+//
+// Examples:
+//
+//	citygen -city CityA -o cityA.json
+//	citygen -city CityB -scale 0.05 -pretty | jq '.Stats'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	foodmatch "repro"
+)
+
+// dump is the serialised city bundle.
+type dump struct {
+	Name  string
+	Stats stats
+	Nodes []node
+	Edges []edge
+	// Restaurants are node ids; Orders one full day; Fleet the shift plan.
+	Restaurants []int32
+	Orders      []order
+	Fleet       []vehicle
+}
+
+type stats struct {
+	Nodes, Edges, Restaurants, Vehicles, Orders int
+	AvgPrepMin                                  float64
+}
+
+type node struct {
+	ID       int32
+	Lat, Lon float64
+}
+
+type edge struct {
+	From, To int32
+	LenM     float32
+	BaseSec  float32
+}
+
+type order struct {
+	ID         int64
+	Restaurant int32
+	Customer   int32
+	PlacedAt   float64
+	Items      int
+	PrepSec    float64
+}
+
+type vehicle struct {
+	ID         int32
+	Node       int32
+	ActiveFrom float64
+	ActiveTo   float64
+}
+
+func main() {
+	var (
+		cityName = flag.String("city", "CityB", "city preset")
+		scale    = flag.Float64("scale", foodmatch.DefaultScale, "workload scale")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		pretty   = flag.Bool("pretty", false, "indent JSON")
+	)
+	flag.Parse()
+
+	city, err := foodmatch.LoadCity(*cityName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	orders := foodmatch.OrderStream(city, *seed)
+	fleet := city.Fleet(1.0, 3, *seed)
+
+	d := dump{Name: *cityName}
+	g := city.G
+	for i := 0; i < g.NumNodes(); i++ {
+		pt := g.Point(foodmatch.NodeID(i))
+		d.Nodes = append(d.Nodes, node{ID: int32(i), Lat: pt.Lat, Lon: pt.Lon})
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.OutEdges(foodmatch.NodeID(i)) {
+			d.Edges = append(d.Edges, edge{From: int32(i), To: int32(e.To), LenM: e.LenM, BaseSec: e.BaseSec})
+		}
+	}
+	for _, r := range city.Restaurants {
+		d.Restaurants = append(d.Restaurants, int32(r))
+	}
+	prepSum := 0.0
+	for _, o := range orders {
+		prepSum += o.Prep
+		d.Orders = append(d.Orders, order{
+			ID: int64(o.ID), Restaurant: int32(o.Restaurant), Customer: int32(o.Customer),
+			PlacedAt: o.PlacedAt, Items: o.Items, PrepSec: o.Prep,
+		})
+	}
+	for _, v := range fleet {
+		d.Fleet = append(d.Fleet, vehicle{
+			ID: int32(v.ID), Node: int32(v.Node), ActiveFrom: v.ActiveFrom, ActiveTo: v.ActiveTo,
+		})
+	}
+	d.Stats = stats{
+		Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		Restaurants: len(city.Restaurants), Vehicles: len(fleet), Orders: len(orders),
+	}
+	if len(orders) > 0 {
+		d.Stats.AvgPrepMin = prepSum / float64(len(orders)) / 60
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	if *pretty {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(d); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "citygen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section V). Each experiment id corresponds to a figure or
+// table; multi-panel figures regenerate together because they share
+// simulation runs.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -exp F6cde
+//	experiments -exp all -scale 0.02 -from 18 -to 22
+//	experiments -exp F7bcde -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	foodmatch "repro"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list available experiment ids")
+		scale  = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+		fromH  = flag.Float64("from", 18, "simulation start hour")
+		toH    = flag.Float64("to", 22, "simulation end hour")
+		budget = flag.Float64("budget", 0, "compute budget seconds for the overflow experiments")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments (paper artefact -> id):")
+		fmt.Println("  T2      Table II   dataset summary")
+		fmt.Println("  F4a     Fig 4(a)   percentile-rank CDF of assigned batches")
+		fmt.Println("  F6a     Fig 6(a)   order/vehicle ratio per timeslot")
+		fmt.Println("  F6b     Fig 6(b)   XDT: FoodMatch vs Reyes")
+		fmt.Println("  F6cde   Fig 6(c-e) XDT / O-per-km / WT: FoodMatch vs Greedy")
+		fmt.Println("  F6fgh   Fig 6(f-h) overflown windows + running time")
+		fmt.Println("  F6ijk   Fig 6(i-k) per-slot improvement over KM")
+		fmt.Println("  F7a     Fig 7(a)   optimisation ablation (B&R / +BFS / +A)")
+		fmt.Println("  F7bcde  Fig 7(b-e) fleet-size sweep")
+		fmt.Println("  F8ac    Fig 8(a-c) eta sweep")
+		fmt.Println("  F8dg    Fig 8(d-g) delta sweep")
+		fmt.Println("  F8hk    Fig 8(h-k) k sweep")
+		fmt.Println("  F9ac    Fig 9(a-c) gamma sweep")
+		fmt.Println("  F9d     Fig 9(d)   rejections by gamma and fleet size")
+		fmt.Println("  X1      (extra)    supply-scarcity calibration study")
+		fmt.Println("  X2      (extra)    age-neutral weight correction ablation")
+		fmt.Println("  X3      (extra)    batching candidate-radius ablation")
+		fmt.Println("  X4      (extra)    shortest-path engine comparison")
+		fmt.Println("  X5      (extra)    exact vs heuristic route planner (MAXO>3)")
+		fmt.Println("  X6      (extra)    time-dependent congestion ablation")
+		fmt.Println("  all     everything above")
+		return
+	}
+
+	st := foodmatch.DefaultExperimentSetup()
+	st.Scale = *scale
+	st.Seed = *seed
+	st.StartHour = *fromH
+	st.EndHour = *toH
+	st.ComputeBudget = *budget
+
+	emit := func(t *foodmatch.ExperimentTable) {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	ids := []string{*exp}
+	if strings.EqualFold(*exp, "all") {
+		ids = foodmatch.ExperimentIDs()
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		tables, err := foodmatch.RunExperiment(id, st)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+		fmt.Printf("-- %s regenerated in %v --\n\n", id, time.Since(t0).Round(time.Second))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

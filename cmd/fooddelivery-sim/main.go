@@ -1,0 +1,126 @@
+// Command fooddelivery-sim runs one food-delivery simulation: a Table II
+// city preset (or fully custom parameters), an assignment policy and a time
+// window, and prints the paper's evaluation metrics.
+//
+// Examples:
+//
+//	fooddelivery-sim -city CityB -policy foodmatch
+//	fooddelivery-sim -city CityC -policy greedy -from 11 -to 14 -scale 0.05
+//	fooddelivery-sim -city CityB -policy foodmatch -fleet 0.4 -eta 90 -gamma 0.75
+//	fooddelivery-sim -city CityB -policy km -slots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	foodmatch "repro"
+)
+
+func main() {
+	var (
+		cityName = flag.String("city", "CityB", "city preset: "+strings.Join(foodmatch.CityNames(), ", "))
+		policy   = flag.String("policy", "foodmatch", "assignment policy: foodmatch, km, greedy, reyes")
+		scale    = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
+		seed     = flag.Int64("seed", 1, "deterministic seed for city and order stream")
+		fromH    = flag.Float64("from", 18, "simulation start hour (0-24)")
+		toH      = flag.Float64("to", 22, "simulation end hour (0-24)")
+		fleet    = flag.Float64("fleet", 1.0, "fraction of the vehicle roster to deploy")
+		delta    = flag.Float64("delta", 0, "accumulation window seconds (0 = city default)")
+		eta      = flag.Float64("eta", 0, "batching cutoff eta seconds (0 = default 60)")
+		gamma    = flag.Float64("gamma", -1, "angular/travel-time blend gamma (default 0.5)")
+		kfactor  = flag.Float64("k", 0, "FoodGraph degree factor (0 = scaled default)")
+		budget   = flag.Float64("budget", 0, "per-window compute budget seconds for overflow accounting")
+		slots    = flag.Bool("slots", false, "print per-slot breakdown")
+		traceOut = flag.String("trace", "", "write the event stream as JSON Lines to this file")
+	)
+	flag.Parse()
+
+	city, err := foodmatch.LoadCity(*cityName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := foodmatch.PolicyByName(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := foodmatch.ExperimentConfig(*cityName, *scale)
+	if strings.EqualFold(*policy, "km") {
+		foodmatch.ConfigureVanillaKM(cfg)
+	}
+	if *delta > 0 {
+		cfg.Delta = *delta
+	}
+	if *eta > 0 {
+		cfg.Eta = *eta
+	}
+	if *gamma >= 0 {
+		cfg.Gamma = *gamma
+	}
+	if *kfactor > 0 {
+		cfg.KFactor = *kfactor
+	}
+	cfg.ComputeBudget = *budget
+
+	from, to := *fromH*3600, *toH*3600
+	orders := foodmatch.OrderStreamWindow(city, *seed, from, to)
+	vehicles := city.Fleet(*fleet, cfg.MaxO, *seed)
+
+	fmt.Printf("city=%s scale=%g seed=%d policy=%s window=%02.0f:00-%02.0f:00\n",
+		*cityName, *scale, *seed, pol.Name(), *fromH, *toH)
+	fmt.Printf("graph: %d nodes, %d edges | %d restaurants | %d vehicles | %d orders\n",
+		city.G.NumNodes(), city.G.NumEdges(), len(city.Restaurants), len(vehicles), len(orders))
+
+	var rec *foodmatch.TraceRecorder
+	opts := foodmatch.SimOptions{}
+	if *traceOut != "" {
+		rec = foodmatch.NewTraceRecorder()
+		opts.Trace = rec
+	}
+	s, err := foodmatch.NewSimulator(city.G, orders, vehicles, pol, cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	m := s.Run(from, to)
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		sum := rec.Summarise(cfg.MaxFirstMile)
+		fmt.Printf("trace: %d events -> %s (within-promise %.1f%%, %d reassigned)\n",
+			len(rec.Events), *traceOut, 100*sum.WithinPromise, sum.Reassigned)
+	}
+
+	fmt.Println()
+	fmt.Println(m.Summary())
+	fmt.Printf("objective (XDT + rejection penalty): %.2f hours\n", m.ObjectiveHours())
+	fmt.Printf("mean delivery time: %.1f min | mean XDT: %.1f min\n", m.MeanDeliveryMin(), m.MeanXDTMin())
+	fmt.Printf("distance driven: %.1f km | reassignments: %d\n", m.DistM/1000, m.Reassignments)
+	if *budget > 0 {
+		fmt.Printf("overflown windows: %.1f%% (peak %.1f%%), max assign %.0f ms\n",
+			100*m.OverflowRate(), 100*m.PeakOverflowRate(), 1000*m.AssignSecMax)
+	}
+
+	if *slots {
+		fmt.Println("\nslot  orders  delivered  xdt(h)  wait(h)  o/km")
+		for sh := int(*fromH); sh < int(*toH); sh++ {
+			fmt.Printf("%02d:00 %6d %10d %7.1f %8.1f %6.3f\n",
+				sh, m.SlotOrders[sh], m.SlotDelivered[sh],
+				m.SlotXDTSec[sh]/3600, m.SlotWaitSec[sh]/3600, m.SlotOrdersPerKm(sh))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fooddelivery-sim:", err)
+	os.Exit(1)
+}

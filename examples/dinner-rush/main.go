@@ -1,0 +1,72 @@
+// Dinner rush: the scenario the paper's introduction motivates. During the
+// 19:00–22:00 peak, City B receives several times more orders per hour than
+// there are free riders; this example runs all four assignment strategies
+// over the rush and shows how batching and matching keep the system
+// serviceable while the baselines shed or delay orders.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	foodmatch "repro"
+)
+
+func main() {
+	const (
+		cityName = "CityB"
+		seed     = 1
+		fromH    = 19.0
+		toH      = 22.0
+	)
+	city, err := foodmatch.LoadCity(cityName, foodmatch.DefaultScale, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Dinner rush in %s (%02.0f:00-%02.0f:00)\n", cityName, fromH, toH)
+	ordersPreview := foodmatch.OrderStreamWindow(city, seed, fromH*3600, toH*3600)
+	fleetPreview := city.Fleet(1.0, 3, seed)
+	active := 0
+	for _, v := range fleetPreview {
+		if v.Active(20.5 * 3600) {
+			active++
+		}
+	}
+	fmt.Printf("%d orders vs %d riders active at 20:30 — %.1f orders per active rider per hour\n\n",
+		len(ordersPreview), active, float64(len(ordersPreview))/3/float64(active))
+
+	fmt.Printf("%-10s %9s %9s %9s %8s %8s %7s\n",
+		"policy", "delivered", "rejected", "xdt(h)", "obj(h)", "wait(h)", "o/km")
+	fmt.Println(strings.Repeat("-", 66))
+
+	for _, name := range []string{"foodmatch", "greedy", "km", "reyes"} {
+		pol, err := foodmatch.PolicyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := foodmatch.ExperimentConfig(cityName, foodmatch.DefaultScale)
+		if name == "km" {
+			foodmatch.ConfigureVanillaKM(cfg)
+		}
+		// Fresh copies per policy: the simulator mutates orders and fleet.
+		orders := foodmatch.OrderStreamWindow(city, seed, fromH*3600, toH*3600)
+		fleet := city.Fleet(1.0, cfg.MaxO, seed)
+		sim, err := foodmatch.NewSimulator(city.G, orders, fleet, pol, cfg, foodmatch.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sim.Run(fromH*3600, toH*3600)
+		fmt.Printf("%-10s %9d %9d %9.1f %8.1f %8.1f %7.3f\n",
+			pol.Name(), m.Delivered, m.Rejected, m.XDTHours(), m.ObjectiveHours(),
+			m.WaitHours(), m.OrdersPerKm())
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  - FoodMatch serves the rush with (near-)zero rejections and the lowest objective;")
+	fmt.Println("    its batches carry more orders per km and waste far less driver time at restaurants.")
+	fmt.Println("  - Vanilla KM cannot batch (one order per rider trip) and sheds a large share of the peak.")
+	fmt.Println("  - Greedy stacks orders but its locally-optimal choices and lack of reshuffling cost it.")
+	fmt.Println("  - Reyes decides on straight-line distances and same-restaurant batches only.")
+}

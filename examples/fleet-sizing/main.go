@@ -1,0 +1,66 @@
+// Fleet sizing: the Fig. 7(b–e) question — how many riders does a city
+// actually need? This example sweeps the deployed fraction of City B's
+// roster under FOODMATCH and prints the delivery-quality / economics
+// trade-off, locating the knee where adding riders stops helping.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	foodmatch "repro"
+)
+
+func main() {
+	const (
+		cityName = "CityB"
+		seed     = 3
+		fromH    = 19.0
+		toH      = 22.0
+	)
+	city, err := foodmatch.LoadCity(cityName, foodmatch.DefaultScale, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Fleet sizing study — %s dinner peak, FOODMATCH\n\n", cityName)
+	fmt.Printf("%6s %7s %9s %9s %9s %8s %8s %7s\n",
+		"fleet", "riders", "delivered", "rejected", "xdt(h)", "obj(h)", "wait(h)", "o/km")
+	fmt.Println(strings.Repeat("-", 70))
+
+	type point struct {
+		frac float64
+		obj  float64
+	}
+	var curve []point
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		cfg := foodmatch.ExperimentConfig(cityName, foodmatch.DefaultScale)
+		orders := foodmatch.OrderStreamWindow(city, seed, fromH*3600, toH*3600)
+		fleet := city.Fleet(frac, cfg.MaxO, seed)
+		sim, err := foodmatch.NewSimulator(city.G, orders, fleet,
+			foodmatch.NewFoodMatch(), cfg, foodmatch.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := sim.Run(fromH*3600, toH*3600)
+		fmt.Printf("%5.0f%% %7d %9d %9d %9.1f %8.1f %8.1f %7.3f\n",
+			frac*100, len(fleet), m.Delivered, m.Rejected, m.XDTHours(),
+			m.ObjectiveHours(), m.WaitHours(), m.OrdersPerKm())
+		curve = append(curve, point{frac, m.ObjectiveHours()})
+	}
+
+	// Locate the knee: the first fleet size whose marginal improvement per
+	// added 20% of roster drops below 20% of the total span.
+	span := curve[0].obj - curve[len(curve)-1].obj
+	knee := curve[len(curve)-1].frac
+	for i := 1; i < len(curve); i++ {
+		if gain := curve[i-1].obj - curve[i].obj; span > 0 && gain < 0.2*span {
+			knee = curve[i-1].frac
+			break
+		}
+	}
+	fmt.Printf("\nknee of the curve: ~%.0f%% of the roster — beyond it extra riders buy little\n", knee*100)
+	fmt.Println("(the paper reads the same shape from Fig. 7(b): XDT flattens past ~40% fleet,")
+	fmt.Println(" while at 20% fleet the rejection rate explodes and distorts O/Km and WT)")
+}

@@ -1,0 +1,220 @@
+// Package foodmatch is a from-scratch Go reproduction of
+//
+//	Joshi, Singh, Ranu, Bagchi, Karia, Kala.
+//	"Batching and Matching for Food Delivery in Dynamic Road Networks."
+//	ICDE 2021 (arXiv:2008.12905).
+//
+// It provides the full FOODMATCH assignment pipeline — order batching by
+// iterative clustering, sparsified bipartite FoodGraph construction via
+// best-first search with angular distance, Kuhn–Munkres minimum-weight
+// matching, and reshuffling — together with every substrate the paper
+// depends on: time-dependent road networks with exact shortest-path
+// engines (Dijkstra, bounded SSSP, hub labels), quickest route planning
+// under pickup/dropoff precedence and food-preparation waits, a
+// discrete-event delivery simulator, the Greedy / vanilla-KM / Reyes et al.
+// baselines, and deterministic synthetic workloads modelled on the paper's
+// Table II cities.
+//
+// # Quickstart
+//
+//	city, _ := foodmatch.LoadCity("CityB", foodmatch.DefaultScale, 1)
+//	orders := foodmatch.OrderStream(city, 1)
+//	fleet := city.Fleet(1.0, 3, 1)
+//	cfg := foodmatch.DefaultConfig()
+//	sim, _ := foodmatch.NewSimulator(city.G, orders, fleet,
+//		foodmatch.NewFoodMatch(), cfg, foodmatch.SimOptions{})
+//	metrics := sim.Run(18*3600, 22*3600) // dinner peak
+//	fmt.Println(metrics.Summary())
+//
+// See the examples/ directory for complete programs and cmd/experiments for
+// the drivers that regenerate every table and figure of the paper.
+package foodmatch
+
+import (
+	"math/rand"
+
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/spindex"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Re-exported core types. The internal packages remain the implementation;
+// this facade is the supported public surface.
+type (
+	// Config carries every tunable of the system (Section V-B defaults).
+	Config = model.Config
+	// Order is a food order per Definition 2 plus lifecycle state.
+	Order = model.Order
+	// OrderID identifies an order.
+	OrderID = model.OrderID
+	// Vehicle is a delivery vehicle with runtime state.
+	Vehicle = model.Vehicle
+	// VehicleID identifies a vehicle.
+	VehicleID = model.VehicleID
+	// RoutePlan is a pickup/dropoff stop sequence (Definition 3).
+	RoutePlan = model.RoutePlan
+	// Batch is a set of orders grouped for one vehicle.
+	Batch = model.Batch
+	// Graph is a time-dependent road network (Definition 1).
+	Graph = roadnet.Graph
+	// GraphBuilder constructs road networks.
+	GraphBuilder = roadnet.Builder
+	// NodeID identifies a road-network node.
+	NodeID = roadnet.NodeID
+	// Point is a WGS-84 coordinate.
+	Point = geo.Point
+	// SPFunc is the shortest-path oracle signature.
+	SPFunc = roadnet.SPFunc
+	// City is a synthetic workload city.
+	City = workload.City
+	// CityParams parameterises city generation.
+	CityParams = workload.CityParams
+	// Policy is an order-assignment strategy.
+	Policy = policy.Policy
+	// Metrics aggregates the paper's evaluation metrics.
+	Metrics = sim.Metrics
+	// Simulator replays an order stream under a policy.
+	Simulator = sim.Simulator
+	// SimOptions tunes the simulator.
+	SimOptions = sim.Options
+	// HubLabels is the pruned-landmark-labeling distance index.
+	HubLabels = spindex.Index
+	// ExperimentTable is a rendered experiment artefact.
+	ExperimentTable = experiments.Table
+	// ExperimentSetup fixes scale/seed/window for experiment drivers.
+	ExperimentSetup = experiments.Setup
+	// TraceRecorder captures the simulation event stream for post-hoc
+	// analysis (timelines, queue depth, service levels).
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one simulation event.
+	TraceEvent = trace.Event
+)
+
+// DefaultScale is the laptop-scale workload operating point (1:50 of the
+// paper's Table II city sizes).
+const DefaultScale = workload.DefaultScale
+
+// DefaultConfig returns the paper's Section V-B operating point.
+func DefaultConfig() *Config { return model.DefaultConfig() }
+
+// NewTraceRecorder returns an in-memory event-stream recorder; pass it as
+// SimOptions.Trace.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NewFoodMatch returns the full FOODMATCH policy (Section IV).
+func NewFoodMatch() Policy { return policy.NewFoodMatch() }
+
+// NewGreedy returns the Greedy baseline (Section III).
+func NewGreedy() Policy { return policy.NewGreedy() }
+
+// NewReyes returns the Reyes et al. [5] baseline.
+func NewReyes() Policy { return policy.NewReyes() }
+
+// NewVanillaKM returns plain Kuhn–Munkres matching with every FOODMATCH
+// optimisation disabled. Pair it with ConfigureVanillaKM(cfg).
+func NewVanillaKM() Policy { return policy.NewVanillaKM() }
+
+// ConfigureVanillaKM flips every optimisation switch off, in place.
+func ConfigureVanillaKM(cfg *Config) *Config { return policy.ConfigureVanillaKM(cfg) }
+
+// PolicyByName resolves "foodmatch", "km", "greedy" or "reyes".
+func PolicyByName(name string) (Policy, error) { return experiments.PolicyByName(name) }
+
+// CityNames lists the Table II city presets.
+func CityNames() []string { return workload.CityNames() }
+
+// LoadCity builds a Table II city preset at the given scale (1.0 = paper
+// size) deterministically from seed.
+func LoadCity(name string, scale float64, seed int64) (*City, error) {
+	return workload.Preset(name, scale, seed)
+}
+
+// GenerateCity builds a fully custom city.
+func GenerateCity(p CityParams) (*City, error) { return workload.Generate(p) }
+
+// OrderStream generates one deterministic day of orders for a city.
+func OrderStream(c *City, seed int64) []*Order { return workload.OrderStream(c, seed) }
+
+// OrderStreamWindow restricts generation to placement times in [from, to)
+// seconds since midnight.
+func OrderStreamWindow(c *City, seed int64, from, to float64) []*Order {
+	return workload.OrderStreamWindow(c, seed, from, to)
+}
+
+// NewSimulator builds a simulator over a road network, an order stream, a
+// fleet and a policy.
+func NewSimulator(g *Graph, orders []*Order, fleet []*Vehicle, pol Policy, cfg *Config, opts SimOptions) (*Simulator, error) {
+	return sim.New(g, orders, fleet, pol, cfg, opts)
+}
+
+// NewHubLabels builds the pruned-landmark-labeling distance index over a
+// road network (the stand-in for the paper's hierarchical hub labels [18]).
+func NewHubLabels(g *Graph) *HubLabels { return spindex.New(g) }
+
+// ShortestPath returns the quickest travel time in seconds from -> to
+// departing at time t (seconds since midnight).
+func ShortestPath(g *Graph, from, to NodeID, t float64) float64 {
+	return roadnet.ShortestPath(g, from, to, t)
+}
+
+// DefaultExperimentSetup is the bench-harness experiment operating point
+// (DefaultScale, dinner peak, seed 1).
+func DefaultExperimentSetup() ExperimentSetup { return experiments.DefaultSetup() }
+
+// RunExperiment regenerates one of the paper's tables/figures by id (see
+// ExperimentIDs); returns one table per panel.
+func RunExperiment(id string, st ExperimentSetup) ([]*ExperimentTable, error) {
+	return experiments.Generate(id, st)
+}
+
+// ExperimentIDs lists the available experiment groups.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentConfig returns the per-city default config used by the
+// experiment drivers (∆ per city, KFactor scaled to the fleet).
+func ExperimentConfig(cityName string, scale float64) *Config {
+	return experiments.ConfigForScale(cityName, scale)
+}
+
+// GPS data pipeline re-exports (Section V-A: weights learned from pings).
+type (
+	// GPSPing is one GPS observation.
+	GPSPing = gps.Ping
+	// GPSDrive is a ground-truth timed traversal.
+	GPSDrive = gps.Drive
+	// GPSMatcher map-matches ping sequences onto a road network
+	// (Newson–Krumm HMM).
+	GPSMatcher = gps.Matcher
+	// GPSMatchOptions tunes the matcher.
+	GPSMatchOptions = gps.MatchOptions
+	// SpeedLearner aggregates matched trajectories into per-edge per-slot
+	// travel-time estimates.
+	SpeedLearner = gps.SpeedLearner
+)
+
+// SynthesizePings emits noisy GPS observations along a drive.
+func SynthesizePings(g *Graph, d GPSDrive, intervalSec, sigmaM float64, rng *rand.Rand) []GPSPing {
+	return gps.Synthesize(g, d, intervalSec, sigmaM, rng)
+}
+
+// NewGPSMatcher builds an HMM map-matcher for g.
+func NewGPSMatcher(g *Graph, opt GPSMatchOptions) *GPSMatcher { return gps.NewMatcher(g, opt) }
+
+// DefaultGPSMatchOptions mirrors the Newson–Krumm parameterisation.
+func DefaultGPSMatchOptions() GPSMatchOptions { return gps.DefaultMatchOptions() }
+
+// NewSpeedLearner returns an empty per-edge per-slot travel-time learner.
+func NewSpeedLearner(g *Graph) *SpeedLearner { return gps.NewSpeedLearner(g) }
+
+// RoadPath computes the quickest executable path departing at time t, with
+// per-node arrival times (the input shape SpeedLearner and GPSDrive use).
+func RoadPath(g *Graph, from, to NodeID, t float64) *roadnet.PathResult {
+	return roadnet.Path(g, from, to, t)
+}

@@ -1,0 +1,19 @@
+package batching
+
+import (
+	"repro/internal/model"
+	"repro/internal/roadnet"
+	"repro/internal/routing"
+)
+
+// evalPlan evaluates a fixed plan from a fixed start (thin wrapper around
+// routing.Evaluate, kept local so the algorithm reads top-down).
+func evalPlan(sp roadnet.SPFunc, start roadnet.NodeID, now float64, plan *model.RoutePlan) (float64, bool) {
+	return routing.Evaluate(sp, start, now, plan)
+}
+
+// optimizeFixedStart finds the quickest route plan for the order set with
+// the simulated vehicle parked at `start`.
+func optimizeFixedStart(sp roadnet.SPFunc, start roadnet.NodeID, now float64, orders []*model.Order) (*model.RoutePlan, float64, bool) {
+	return routing.Optimize(sp, start, now, nil, orders)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "r1", Values: []float64{1.5, 1234}},
+			{Label: "r2", Values: []float64{math.NaN(), 42}},
+		},
+		Notes: []string{"a note"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"T0", "demo", "r1", "1234", "a note", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "label,a,b\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "r1,1.5,1234") {
+		t.Fatalf("csv row wrong: %q", csv)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	got := percentiles([]float64{5, 1, 3, 2, 4}, []float64{0, 50, 100})
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("percentiles = %v", got)
+	}
+	empty := percentiles(nil, []float64{50})
+	if !math.IsNaN(empty[0]) {
+		t.Fatalf("empty sample percentile = %v, want NaN", empty[0])
+	}
+}
+
+func TestPolicyByNameAliases(t *testing.T) {
+	for _, name := range []string{"foodmatch", "FM", "km", "Kuhn-Munkres", "GREEDY", "Reyes"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("dijkstra"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestConfigForScaleKFactor(t *testing.T) {
+	full := ConfigForScale("CityB", 1.0)
+	if full.KFactor != 200 {
+		t.Fatalf("paper-scale KFactor = %v, want 200", full.KFactor)
+	}
+	small := ConfigForScale("CityB", 0.01)
+	if small.KFactor >= 200 || small.KFactor < 20 {
+		t.Fatalf("scaled KFactor = %v, want in [20, 200)", small.KFactor)
+	}
+	a := ConfigForScale("CityA", 0.02)
+	if a.Delta != 60 {
+		t.Fatalf("CityA delta = %v, want 60 (1 min, Section V-B)", a.Delta)
+	}
+}
+
+func TestSetupCitiesSelector(t *testing.T) {
+	st := DefaultSetup()
+	if got := st.cities(); len(got) != 3 || got[0] != "CityB" {
+		t.Fatalf("default cities = %v", got)
+	}
+	st.Cities = []string{"CityA"}
+	if got := st.cities(); len(got) != 1 || got[0] != "CityA" {
+		t.Fatalf("restricted cities = %v", got)
+	}
+}
+
+func TestGenerateUnknownID(t *testing.T) {
+	if _, err := Generate("F99", DefaultSetup()); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRegistryIDsStable(t *testing.T) {
+	a, b := IDs(), IDs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("IDs() not stable")
+		}
+	}
+	if len(a) < 14 {
+		t.Fatalf("registry too small: %v", a)
+	}
+}
+
+// TestTinyExperimentsEndToEnd runs the cheap experiment drivers at a very
+// small scale to keep the full registry exercised under `go test`.
+func TestTinyExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	st := Setup{Scale: 0.005, Seed: 1, StartHour: 20, EndHour: 21, FleetFrac: 1, Cities: []string{"CityA"}}
+	for _, id := range []string{"T2", "F6a", "F4a", "F6cde", "X2", "X4"} {
+		tables, err := Generate(id, st)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", id)
+		}
+		for _, tab := range tables {
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s/%s: empty table", id, tab.ID)
+			}
+			if out := tab.Render(); len(out) == 0 {
+				t.Fatalf("%s/%s: empty render", id, tab.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig4a reproduces Fig. 4(a): the cumulative distribution of the percentile
+// rank, by network distance, of the batch each vehicle is actually assigned.
+// The paper's reading — ~95 % of assignments land inside the closest 10 % —
+// justifies the best-first sparsification. The instrumentation hooks the
+// matching step of FOODMATCH on City B; the full (non-sparsified) graph is
+// used so ranks are unbiased.
+func Fig4a(st Setup) (*Table, error) {
+	city, err := workload.Preset("CityB", st.Scale, st.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var ranks []float64
+	pol := &policy.FoodMatch{
+		Label:        "FoodMatch-rank",
+		RankObserver: func(r float64) { ranks = append(ranks, r) },
+	}
+	cfg := ConfigFor("CityB")
+	// Unbiased ranks need the full bipartite graph.
+	cfg.BestFirst = false
+	cfg.Angular = false
+	if _, err := Run(city, pol, cfg, st); err != nil {
+		return nil, err
+	}
+	sort.Float64s(ranks)
+	t := &Table{
+		ID:      "F4a",
+		Title:   "CDF of percentile rank of assigned batch (City B)",
+		Columns: []string{"assignments<=rank(%)"},
+		Notes: []string{
+			fmt.Sprintf("%d assignments observed", len(ranks)),
+			"paper shape: ~95%% of assignments fall within the closest 10%% of batches",
+		},
+	}
+	for _, cut := range []float64{5, 10, 20, 30, 50, 75, 100} {
+		frac := 0.0
+		if len(ranks) > 0 {
+			i := sort.SearchFloat64s(ranks, cut+1e-9)
+			frac = 100 * float64(i) / float64(len(ranks))
+		}
+		t.Rows = append(t.Rows, Row{Label: fmt.Sprintf("rank <= %.0f%%", cut), Values: []float64{frac}})
+	}
+	return t, nil
+}
+
+// Fig6a reproduces Fig. 6(a): the order-to-vehicle ratio per hourly slot for
+// the three Swiggy cities. Ratios above 1 signal vehicle scarcity; the
+// lunch/dinner peaks and City B's dominance are the shapes to match.
+func Fig6a(st Setup) (*Table, error) {
+	t := &Table{
+		ID:      "F6a",
+		Title:   "Order/vehicle ratio per timeslot",
+		Columns: make([]string, 24),
+		Notes: []string{
+			"paper shape: peaks at lunch (12-15) and dinner (19-22); City B highest",
+		},
+	}
+	for s := 0; s < 24; s++ {
+		t.Columns[s] = fmt.Sprintf("%02dh", s)
+	}
+	for _, name := range []string{"CityB", "CityC", "CityA"} {
+		city, err := workload.Preset(name, st.Scale, st.Seed)
+		if err != nil {
+			return nil, err
+		}
+		orders := workload.OrderStream(city, st.Seed)
+		ratio := workload.OrderVehicleRatio(city, orders)
+		t.Rows = append(t.Rows, Row{Label: name, Values: ratio[:]})
+	}
+	return t, nil
+}
+
+// cellMetrics runs one (city, policy) cell with that policy's canonical
+// config and returns the metrics.
+func cellMetrics(cityName, policyName string, st Setup) (*sim.Metrics, error) {
+	pol, cfg, err := PolicyConfig(policyName, cityName)
+	if err != nil {
+		return nil, err
+	}
+	return RunPreset(cityName, pol, cfg, st)
+}

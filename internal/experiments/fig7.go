@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// ablationVariant describes one layer of the Fig. 7(a) stack.
+type ablationVariant struct {
+	label string
+	conf  func(*model.Config)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"B&R", func(c *model.Config) { // batching + reshuffling on KM
+			c.Batching, c.Reshuffle, c.BestFirst, c.Angular = true, true, false, false
+		}},
+		{"B&R+BFS", func(c *model.Config) {
+			c.Batching, c.Reshuffle, c.BestFirst, c.Angular = true, true, true, false
+		}},
+		{"B&R+BFS+A", func(c *model.Config) { // full FOODMATCH
+			c.Batching, c.Reshuffle, c.BestFirst, c.Angular = true, true, true, true
+		}},
+	}
+}
+
+// Fig7a reproduces Fig. 7(a): the XDT improvement over vanilla KM as the
+// optimisations are layered on — Batching & Reshuffling, then best-first
+// sparsification, then angular distance. The paper's shape: every layer
+// helps, batching most.
+func Fig7a(st Setup) (*Table, error) {
+	t := &Table{
+		ID:      "F7a",
+		Title:   "XDT improvement over KM by optimisation layer (%)",
+		Columns: []string{"B&R", "B&R+BFS", "B&R+BFS+A"},
+		Notes: []string{
+			"paper shape: all positive; batching contributes the most; BFS helps despite sparsifying",
+		},
+	}
+	for _, name := range st.cities() {
+		km, err := cellMetrics(name, "km", st)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, v := range ablationVariants() {
+			cfg := ConfigFor(name)
+			v.conf(cfg)
+			pol := &policy.FoodMatch{Label: v.label}
+			m, err := RunPreset(name, pol, cfg, st)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, sim.Improvement(km.ObjectiveHours(), m.ObjectiveHours()))
+		}
+		t.Rows = append(t.Rows, Row{Label: name, Values: vals})
+	}
+	return t, nil
+}
+
+// FleetFractions is the Fig. 7(b–e) sweep grid.
+var FleetFractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig7bcde reproduces Fig. 7(b–e): the impact of fleet size on XDT, O/Km,
+// WT and the rejection rate under FOODMATCH. The paper's shape: XDT falls
+// steeply up to ~40 % fleet then flattens; at 20 % fleet rejections explode
+// (~30 %), producing the anomalous O/Km and WT readings.
+func Fig7bcde(st Setup) ([]*Table, error) {
+	cols := make([]string, len(FleetFractions))
+	for i, f := range FleetFractions {
+		cols[i] = fmt.Sprintf("%.0f%%", f*100)
+	}
+	xdt := &Table{ID: "F7b", Title: "XDT (hours) vs fleet size", Columns: cols,
+		Notes: []string{"paper shape: falls with fleet, flat beyond ~40%"}}
+	okm := &Table{ID: "F7c", Title: "O/Km vs fleet size", Columns: cols,
+		Notes: []string{"paper shape: decreases with fleet in [40%,100%]; anomalous at 20% due to rejections"}}
+	wt := &Table{ID: "F7d", Title: "WT (hours) vs fleet size", Columns: cols,
+		Notes: []string{"paper shape: rises with fleet in [40%,100%]"}}
+	rej := &Table{ID: "F7e", Title: "Order rejections (%) vs fleet size", Columns: cols,
+		Notes: []string{"paper shape: ~30% rejected at 20% fleet, near zero from 60%"}}
+	for _, name := range st.cities() {
+		var vx, vo, vw, vr []float64
+		for _, frac := range FleetFractions {
+			s2 := st
+			s2.FleetFrac = frac
+			m, err := cellMetrics(name, "foodmatch", s2)
+			if err != nil {
+				return nil, err
+			}
+			vx = append(vx, m.ObjectiveHours())
+			vo = append(vo, m.OrdersPerKm())
+			vw = append(vw, m.WaitHours())
+			vr = append(vr, 100*m.RejectionRate())
+		}
+		xdt.Rows = append(xdt.Rows, Row{Label: name, Values: vx})
+		okm.Rows = append(okm.Rows, Row{Label: name, Values: vo})
+		wt.Rows = append(wt.Rows, Row{Label: name, Values: vw})
+		rej.Rows = append(rej.Rows, Row{Label: name, Values: vr})
+	}
+	return []*Table{xdt, okm, wt, rej}, nil
+}

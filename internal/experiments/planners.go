@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/model"
+	"repro/internal/roadnet"
+	"repro/internal/routing"
+)
+
+// optimizeExact plans a batch with the exhaustive branch-and-bound planner.
+func optimizeExact(sp roadnet.SPFunc, start roadnet.NodeID, now float64, orders []*model.Order) (*model.RoutePlan, float64, bool) {
+	return routing.Optimize(sp, start, now, nil, orders)
+}
+
+// optimizeHeuristic plans a batch with the cheapest-insertion heuristic.
+func optimizeHeuristic(sp roadnet.SPFunc, start roadnet.NodeID, now float64, orders []*model.Order) (*model.RoutePlan, float64, bool) {
+	return routing.OptimizeHeuristic(sp, start, now, nil, orders)
+}

@@ -1,0 +1,51 @@
+package foodgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/roadnet"
+)
+
+// The paper's scalability argument (Section IV-C): constructing the full
+// bipartite FOODGRAPH costs Θ(n·m) marginal-cost evaluations, while the
+// best-first construction pays k·m plus search overhead. These benchmarks
+// measure exactly that crossover as the instance grows.
+
+func benchInstance(nBatches, nVehicles int) (*roadnet.Graph, roadnet.SPFunc, []*model.Batch, []*VehicleState) {
+	g, sp := gridGraph(20, 30) // 400 nodes
+	rng := rand.New(rand.NewSource(13))
+	var batches []*model.Batch
+	for i := 0; i < nBatches; i++ {
+		batches = append(batches, mkBatch(sp, mkOrder(sp, model.OrderID(i+1),
+			roadnet.NodeID(rng.Intn(400)), roadnet.NodeID(rng.Intn(400)))))
+	}
+	var vehicles []*VehicleState
+	for j := 0; j < nVehicles; j++ {
+		vehicles = append(vehicles, idleVehicle(model.VehicleID(j+1), roadnet.NodeID(rng.Intn(400))))
+	}
+	return g, sp, batches, vehicles
+}
+
+func benchmarkBuild(b *testing.B, nBatches, nVehicles, k int, bestFirst bool) {
+	g, sp, batches, vehicles := benchInstance(nBatches, nVehicles)
+	opt := defaultOpts(k, bestFirst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g, sp, batches, vehicles, opt)
+	}
+}
+
+func BenchmarkAlg2Construction(b *testing.B) {
+	for _, size := range []struct{ nb, nv int }{{40, 50}, {80, 100}, {160, 200}} {
+		k := size.nb / 10 // the paper's ~top-10% degree
+		b.Run(fmt.Sprintf("full/%dx%d", size.nb, size.nv), func(b *testing.B) {
+			benchmarkBuild(b, size.nb, size.nv, size.nb, false)
+		})
+		b.Run(fmt.Sprintf("bestfirst/%dx%d/k=%d", size.nb, size.nv, k), func(b *testing.B) {
+			benchmarkBuild(b, size.nb, size.nv, k, true)
+		})
+	}
+}

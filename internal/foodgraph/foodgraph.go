@@ -1,0 +1,311 @@
+// Package foodgraph builds the bipartite assignment graph of Section IV —
+// order batches on one side, available vehicles on the other, edge weights
+// the marginal cost mCost(π, v) of Eq. 7 — and its sparsified variant
+// constructed by best-first search (Algorithm 2).
+//
+// The sparsified construction explores the road network outward from each
+// vehicle in ascending order of the vehicle-sensitive edge weight α(v,e,t)
+// (Eq. 8), which blends normalised travel time with the angular distance
+// between a candidate node and the vehicle's current heading. Exploration
+// stops as soon as the vehicle has acquired k true-weight edges; all other
+// batches receive the rejection penalty Ω, pruning the quadratic edge-weight
+// computation the paper identifies as the scalability bottleneck.
+package foodgraph
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/roadnet"
+	"repro/internal/routing"
+)
+
+// VehicleState is the assignment-relevant view of one available vehicle.
+type VehicleState struct {
+	Vehicle *model.Vehicle
+	// Node is loc(v,t) approximated to the road network.
+	Node roadnet.NodeID
+	// Dest is the next node the vehicle is heading to (roadnet.Invalid when
+	// idle); it provides the bearing for angular distance.
+	Dest roadnet.NodeID
+	// Onboard are picked-up orders (immutable dropoff obligations).
+	Onboard []*model.Order
+	// Keep are assigned-but-unpicked orders the vehicle retains (empty when
+	// reshuffling returned them to the order pool).
+	Keep []*model.Order
+}
+
+// BaseOrders returns the orders already tied to the vehicle for capacity
+// accounting (Definition 4).
+func (vs *VehicleState) BaseOrders() int { return len(vs.Onboard) + len(vs.Keep) }
+
+// BaseItems returns the items already tied to the vehicle.
+func (vs *VehicleState) BaseItems() int {
+	n := 0
+	for _, o := range vs.Onboard {
+		n += o.Items
+	}
+	for _, o := range vs.Keep {
+		n += o.Items
+	}
+	return n
+}
+
+// Options configures graph construction.
+type Options struct {
+	// K is the per-vehicle degree bound of Algorithm 2.
+	K int
+	// Gamma is the Eq. 8 blend: 1 = pure travel time, 0 = pure direction.
+	Gamma float64
+	// Angular enables the angular-distance term; disabled it degrades α to
+	// γ-scaled normalised travel time (ordering identical to plain β).
+	Angular bool
+	// BestFirst selects the sparsified construction; false computes the full
+	// quadratic FoodGraph (vanilla KM and the B&R-only ablation).
+	BestFirst bool
+	// Omega is the rejection penalty Ω used for absent edges.
+	Omega float64
+	// MaxFirstMile caps SP(loc(v,t), π[1]ʳ, t); beyond it the edge is Ω
+	// (the 45-minute guarantee, Section V-B).
+	MaxFirstMile float64
+	// MaxO / MaxI are the capacity limits of Definition 4.
+	MaxO, MaxI int
+	// Now is the window-end clock.
+	Now float64
+	// AgeNeutral subtracts each order's sunk waiting age (Now − PlacedAt)
+	// from the edge weight. The raw mCost of Eq. 7 embeds that constant, so
+	// under overload (more batches than vehicles) a minimum-weight matching
+	// systematically defers the *oldest* batches — deferral does not avoid
+	// sunk cost, the per-window objective just mis-prices it — starving them
+	// into rejection. Age-neutral weights change nothing when every batch is
+	// matched (row constants cancel) and make the deferral choice
+	// cost-to-serve-driven when not.
+	AgeNeutral bool
+}
+
+// Bipartite is the constructed FOODGRAPH: rows are batches, columns are
+// vehicles. Cost[i][j] = mCost(π_i, v_j) or Ω; Plan[i][j] is the vehicle's
+// optimal route plan with the batch added (nil on Ω edges), so the
+// simulator can apply a matching without recomputing routes.
+type Bipartite struct {
+	Cost [][]float64
+	Plan [][]*model.RoutePlan
+	// TrueEdges counts non-Ω edges (the construction-work measure that
+	// best-first search reduces).
+	TrueEdges int
+}
+
+// Build constructs the FOODGRAPH for one accumulation window.
+func Build(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch, vehicles []*VehicleState, opt Options) *Bipartite {
+	nb, nv := len(batches), len(vehicles)
+	bp := &Bipartite{
+		Cost: make([][]float64, nb),
+		Plan: make([][]*model.RoutePlan, nb),
+	}
+	for i := range bp.Cost {
+		bp.Cost[i] = make([]float64, nv)
+		bp.Plan[i] = make([]*model.RoutePlan, nv)
+		for j := range bp.Cost[i] {
+			bp.Cost[i][j] = opt.Omega
+		}
+	}
+	if nb == 0 || nv == 0 {
+		return bp
+	}
+
+	// Index batches by their first pickup node (I(u) of Algorithm 2).
+	startIdx := make(map[roadnet.NodeID][]int, nb)
+	for i, b := range batches {
+		u := b.FirstPickupNode()
+		startIdx[u] = append(startIdx[u], i)
+	}
+
+	// When the degree bound already admits every batch, best-first search
+	// would explore the graph only to add every edge anyway; the full
+	// construction is then strictly cheaper and produces the same graph.
+	bestFirst := opt.BestFirst && opt.K < nb
+
+	for j, vs := range vehicles {
+		if bestFirst {
+			bestFirstEdges(g, sp, batches, startIdx, vs, j, bp, opt)
+		} else {
+			fullEdges(sp, batches, vs, j, bp, opt)
+		}
+	}
+	return bp
+}
+
+// fullEdges computes the true marginal cost against every batch — the
+// quadratic construction of the unoptimised FOODGRAPH.
+func fullEdges(sp roadnet.SPFunc, batches []*model.Batch, vs *VehicleState, j int, bp *Bipartite, opt Options) {
+	for i, b := range batches {
+		setEdge(sp, b, vs, i, j, bp, opt)
+	}
+}
+
+// bestFirstEdges is Algorithm 2 for a single vehicle: explore the road
+// network in ascending α-distance, attaching true-weight edges to batches
+// whose first pickup is at each settled node, until the vehicle has degree k.
+func bestFirstEdges(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch, startIdx map[roadnet.NodeID][]int, vs *VehicleState, j int, bp *Bipartite, opt Options) {
+	source := vs.Node
+	locPt := g.Point(source)
+	var destPt geo.Point
+	hasDest := vs.Dest != roadnet.Invalid && vs.Dest != source
+	if hasDest {
+		destPt = g.Point(vs.Dest)
+	}
+	maxBeta := g.MaxBeta(opt.Now)
+
+	// alphaWeight implements Eq. 8 for the edge (u, u') entered during the
+	// search. Angular distance is measured from the vehicle's *current*
+	// location towards the candidate node u', per Section IV-D1.
+	alphaWeight := func(e roadnet.Edge) float64 {
+		beta := g.EdgeTime(e, opt.Now) / maxBeta
+		if !opt.Angular || !hasDest {
+			// With no heading (idle vehicle) the directional term is 0; the
+			// paper defines adist only for moving vehicles.
+			return opt.Gamma * beta
+		}
+		ad := geo.AngularDistance(locPt, destPt, g.Point(e.To))
+		return (1-opt.Gamma)*ad + opt.Gamma*beta
+	}
+
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	var pq nodeHeap
+	pq.push(source, 0)
+	degree := 0
+	// Early exit once every batch-start node has been settled: nothing
+	// further out can add an edge, so draining the frontier is wasted work.
+	startsLeft := len(startIdx)
+	for !pq.empty() && degree < opt.K && startsLeft > 0 {
+		u, du := pq.pop()
+		if visited[u] {
+			continue
+		}
+		visited[u] = true
+		if bis := startIdx[u]; len(bis) > 0 {
+			startsLeft--
+			for _, bi := range bis {
+				if setEdge(sp, batches[bi], vs, bi, j, bp, opt) {
+					degree++
+				}
+			}
+		}
+		for _, e := range g.OutEdges(u) {
+			if !visited[e.To] {
+				pq.push(e.To, du+alphaWeight(e))
+			}
+		}
+	}
+}
+
+// setEdge computes mCost(π, v) and installs the edge when feasible; returns
+// whether a true (non-Ω) edge was added.
+func setEdge(sp roadnet.SPFunc, b *model.Batch, vs *VehicleState, i, j int, bp *Bipartite, opt Options) bool {
+	// Capacity feasibility (Definition 4).
+	if vs.BaseOrders()+len(b.Orders) > opt.MaxO {
+		return false
+	}
+	if vs.BaseItems()+b.Items() > opt.MaxI {
+		return false
+	}
+	// The 45-minute first-mile guarantee.
+	if fm := sp(vs.Node, b.FirstPickupNode(), opt.Now); fm > opt.MaxFirstMile {
+		return false
+	}
+	plan, mc, ok := routing.MarginalCost(sp, vs.Node, opt.Now, vs.Onboard, vs.Keep, b.Orders)
+	if !ok {
+		return false
+	}
+	// w(o,v) = min(mCost, Ω) per the FOODGRAPH weight definition.
+	if mc >= opt.Omega {
+		bp.Cost[i][j] = opt.Omega
+		return false
+	}
+	if opt.AgeNeutral {
+		// Subtract the *full* waiting age. Beyond removing the sunk
+		// constant (which fixes the starvation mis-pricing), the full-age
+		// variant doubles as aging priority: when batches must be left
+		// out, those carrying older orders are preferred for coverage —
+		// FIFO-under-scarcity, which measurably beats the prep-slack-only
+		// variant on peak workloads (see EXPERIMENTS.md X2). The batching
+		// layer's detour budget uses the prep-slack definition instead;
+		// the two roles differ.
+		for _, o := range b.Orders {
+			if d := opt.Now - o.PlacedAt; d > 0 {
+				mc -= d
+			}
+		}
+	}
+	bp.Cost[i][j] = mc
+	bp.Plan[i][j] = plan
+	bp.TrueEdges++
+	return true
+}
+
+// nodeHeap is a binary min-heap over (node, α-distance).
+type nodeHeap struct {
+	node []roadnet.NodeID
+	dist []float64
+}
+
+func (h *nodeHeap) push(u roadnet.NodeID, d float64) {
+	h.node = append(h.node, u)
+	h.dist = append(h.dist, d)
+	i := len(h.node) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dist[p] <= h.dist[i] {
+			break
+		}
+		h.node[p], h.node[i] = h.node[i], h.node[p]
+		h.dist[p], h.dist[i] = h.dist[i], h.dist[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() (roadnet.NodeID, float64) {
+	u, d := h.node[0], h.dist[0]
+	last := len(h.node) - 1
+	h.node[0], h.dist[0] = h.node[last], h.dist[last]
+	h.node = h.node[:last]
+	h.dist = h.dist[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && h.dist[l] < h.dist[s] {
+			s = l
+		}
+		if r < last && h.dist[r] < h.dist[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h.node[i], h.node[s] = h.node[s], h.node[i]
+		h.dist[i], h.dist[s] = h.dist[s], h.dist[i]
+		i = s
+	}
+	return u, d
+}
+
+func (h *nodeHeap) empty() bool { return len(h.node) == 0 }
+
+// KFor computes the degree bound k = max(kmin, KFactor·|O|/|V|) of
+// Section V-B, clamped to the number of batches.
+func KFor(kFactor float64, kMin, numBatches, numVehicles int) int {
+	if numVehicles == 0 || numBatches == 0 {
+		return 0
+	}
+	k := int(math.Ceil(kFactor * float64(numBatches) / float64(numVehicles)))
+	if k < kMin {
+		k = kMin
+	}
+	if k > numBatches {
+		k = numBatches
+	}
+	return k
+}

@@ -1,0 +1,97 @@
+// Package geo provides the geodesic primitives used by the food-delivery
+// pipeline: haversine great-circle distance, forward bearing between two
+// points (Definition 10 of the paper) and the angular distance used to make
+// road-network edge weights sensitive to the direction a vehicle is already
+// travelling (Section IV-D1).
+//
+// All angles are radians internally; latitudes and longitudes are degrees at
+// the public boundary because that is how map data is normally expressed.
+package geo
+
+import "math"
+
+// EarthRadiusM is the mean Earth radius in metres used by Haversine.
+const EarthRadiusM = 6_371_000.0
+
+// Point is a WGS-84 coordinate in degrees.
+type Point struct {
+	Lat float64 // latitude, degrees
+	Lon float64 // longitude, degrees
+}
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Haversine returns the great-circle distance between a and b in metres.
+func Haversine(a, b Point) float64 {
+	la1, lo1 := Rad(a.Lat), Rad(a.Lon)
+	la2, lo2 := Rad(b.Lat), Rad(b.Lon)
+	dLat := la2 - la1
+	dLon := lo2 - lo1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	// Clamp against floating-point drift before the square roots.
+	if s < 0 {
+		s = 0
+	} else if s > 1 {
+		s = 1
+	}
+	return 2 * EarthRadiusM * math.Asin(math.Sqrt(s))
+}
+
+// Bearing returns the initial great-circle bearing Θ(s,t) from s towards t,
+// per Definition 10, rendered in the range [0, 2π). A bearing of 0 points
+// north, π/2 east.
+func Bearing(s, t Point) float64 {
+	phiS, lamS := Rad(s.Lat), Rad(s.Lon)
+	phiT, lamT := Rad(t.Lat), Rad(t.Lon)
+	x := math.Cos(phiT) * math.Sin(lamT-lamS)
+	y := math.Cos(phiS)*math.Sin(phiT) - math.Sin(phiS)*math.Cos(phiT)*math.Cos(lamT-lamS)
+	theta := math.Atan2(x, y)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	if theta >= 2*math.Pi { // tiny negatives round up to exactly 2π
+		theta = 0
+	}
+	return theta
+}
+
+// AngularDistance computes adist(v,u,t) of Section IV-D1:
+//
+//	adist = (1 - cos(Θ(loc,dest) - Θ(loc,u))) / 2
+//
+// where loc is the vehicle's current position, dest the next destination in
+// its route plan and u the candidate node. The result lies in [0,1]: 0 means
+// u is in exactly the direction the vehicle is already heading, 1 means
+// diametrically opposite.
+//
+// When the vehicle is idle (no destination, dest == loc) or the candidate
+// coincides with loc the direction is undefined; the paper only defines
+// adist for moving vehicles, so we return 0 (no directional penalty).
+func AngularDistance(loc, dest, u Point) float64 {
+	if loc == dest || loc == u {
+		return 0
+	}
+	d := Bearing(loc, dest) - Bearing(loc, u)
+	return (1 - math.Cos(d)) / 2
+}
+
+// Midpoint returns the coordinate midway between a and b. Good enough at
+// city scale where curvature is negligible; used by the synthetic city
+// generator.
+func Midpoint(a, b Point) Point {
+	return Point{Lat: (a.Lat + b.Lat) / 2, Lon: (a.Lon + b.Lon) / 2}
+}
+
+// Offset displaces p by the given metres north and east using the local
+// equirectangular approximation. Used by the synthetic city generator to lay
+// out grids in metric units.
+func Offset(p Point, northM, eastM float64) Point {
+	dLat := northM / EarthRadiusM
+	dLon := eastM / (EarthRadiusM * math.Cos(Rad(p.Lat)))
+	return Point{Lat: p.Lat + Deg(dLat), Lon: p.Lon + Deg(dLon)}
+}

@@ -1,0 +1,197 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func TestHaversineZero(t *testing.T) {
+	p := Point{Lat: 12.97, Lon: 77.59}
+	if d := Haversine(p, p); d != 0 {
+		t.Fatalf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Bangalore city centre to Bangalore airport, roughly 31.7 km
+	// great-circle.
+	blr := Point{Lat: 12.9716, Lon: 77.5946}
+	airport := Point{Lat: 13.1986, Lon: 77.7066}
+	d := Haversine(blr, airport)
+	if d < 27_000 || d > 30_000 {
+		t.Fatalf("Haversine = %.0f m, want ~28.3 km", d)
+	}
+}
+
+func TestHaversineOneDegreeLatitude(t *testing.T) {
+	// One degree of latitude is ~111.19 km anywhere on the sphere.
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 1, Lon: 0}
+	d := Haversine(a, b)
+	want := 2 * math.Pi * EarthRadiusM / 360
+	if math.Abs(d-want) > 1 {
+		t.Fatalf("one degree latitude = %.1f m, want %.1f m", d, want)
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		return math.Abs(Haversine(a, b)-Haversine(b, a)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaversineNonNegative(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		return Haversine(a, b) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2, lat3, lon3 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		c := Point{Lat: clampLat(lat3), Lon: clampLon(lon3)}
+		return Haversine(a, c) <= Haversine(a, b)+Haversine(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBearingCardinalDirections(t *testing.T) {
+	origin := Point{Lat: 0, Lon: 0}
+	cases := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"north", Point{Lat: 1, Lon: 0}, 0},
+		{"east", Point{Lat: 0, Lon: 1}, math.Pi / 2},
+		{"south", Point{Lat: -1, Lon: 0}, math.Pi},
+		{"west", Point{Lat: 0, Lon: -1}, 3 * math.Pi / 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Bearing(origin, tc.to)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("Bearing = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBearingRange(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		th := Bearing(a, b)
+		return th >= 0 && th < 2*math.Pi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngularDistanceSameDirection(t *testing.T) {
+	loc := Point{Lat: 0, Lon: 0}
+	dest := Point{Lat: 1, Lon: 0}
+	// A node further along the same heading has angular distance ~0.
+	u := Point{Lat: 2, Lon: 0}
+	if d := AngularDistance(loc, dest, u); d > eps {
+		t.Fatalf("adist same direction = %v, want ~0", d)
+	}
+}
+
+func TestAngularDistanceOppositeDirection(t *testing.T) {
+	loc := Point{Lat: 0, Lon: 0}
+	dest := Point{Lat: 1, Lon: 0}
+	u := Point{Lat: -1, Lon: 0}
+	if d := AngularDistance(loc, dest, u); math.Abs(d-1) > eps {
+		t.Fatalf("adist opposite direction = %v, want 1", d)
+	}
+}
+
+func TestAngularDistancePerpendicular(t *testing.T) {
+	loc := Point{Lat: 0, Lon: 0}
+	dest := Point{Lat: 1, Lon: 0}
+	u := Point{Lat: 0, Lon: 1}
+	if d := AngularDistance(loc, dest, u); math.Abs(d-0.5) > 1e-6 {
+		t.Fatalf("adist perpendicular = %v, want 0.5", d)
+	}
+}
+
+func TestAngularDistanceIdleVehicle(t *testing.T) {
+	loc := Point{Lat: 10, Lon: 20}
+	if d := AngularDistance(loc, loc, Point{Lat: 11, Lon: 21}); d != 0 {
+		t.Fatalf("idle vehicle adist = %v, want 0", d)
+	}
+}
+
+func TestAngularDistanceCandidateAtLocation(t *testing.T) {
+	loc := Point{Lat: 10, Lon: 20}
+	dest := Point{Lat: 11, Lon: 20}
+	if d := AngularDistance(loc, dest, loc); d != 0 {
+		t.Fatalf("candidate at vehicle location adist = %v, want 0", d)
+	}
+}
+
+func TestAngularDistanceRange(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		loc := Point{Lat: clampLat(a), Lon: clampLon(b)}
+		dest := Point{Lat: clampLat(c), Lon: clampLon(d)}
+		u := Point{Lat: clampLat(e), Lon: clampLon(g)}
+		v := AngularDistance(loc, dest, u)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	p := Point{Lat: 12.9716, Lon: 77.5946}
+	q := Offset(p, 1000, 0)
+	if d := Haversine(p, q); math.Abs(d-1000) > 1 {
+		t.Fatalf("1 km north offset measured %.2f m", d)
+	}
+	r := Offset(p, 0, 1000)
+	if d := Haversine(p, r); math.Abs(d-1000) > 1 {
+		t.Fatalf("1 km east offset measured %.2f m", d)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 2, Lon: 4}
+	m := Midpoint(a, b)
+	if m.Lat != 1 || m.Lon != 2 {
+		t.Fatalf("midpoint = %+v", m)
+	}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 80)
+}
+
+func clampLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 170)
+}

@@ -1,0 +1,259 @@
+package gps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// testGrid builds an n×n grid, hop time w seconds, blocks 200 m.
+func testGrid(n int, w float64) *roadnet.Graph {
+	b := roadnet.NewBuilder()
+	origin := geo.Point{Lat: 12.9, Lon: 77.5}
+	id := func(r, c int) roadnet.NodeID { return roadnet.NodeID(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Offset(origin, float64(r)*200, float64(c)*200))
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				b.AddEdge(id(r, c), id(r, c+1), 200, w, 0)
+				b.AddEdge(id(r, c+1), id(r, c), 200, w, 0)
+			}
+			if r+1 < n {
+				b.AddEdge(id(r, c), id(r+1, c), 200, w, 0)
+				b.AddEdge(id(r+1, c), id(r, c), 200, w, 0)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// groundTruthDrive picks a shortest path and returns the timed drive.
+func groundTruthDrive(g *roadnet.Graph, from, to roadnet.NodeID, t0 float64) Drive {
+	p := roadnet.Path(g, from, to, t0)
+	if p == nil {
+		panic("disconnected test graph")
+	}
+	return Drive{Nodes: p.Nodes, Times: p.Times}
+}
+
+func TestSynthesizePingCountAndSpread(t *testing.T) {
+	g := testGrid(10, 40)
+	d := groundTruthDrive(g, 0, 99, 0)
+	rng := rand.New(rand.NewSource(1))
+	pings := Synthesize(g, d, 10, 20, rng)
+	if len(pings) < 10 {
+		t.Fatalf("too few pings: %d", len(pings))
+	}
+	// Pings must be near the path corridor.
+	for _, p := range pings {
+		nearest := math.Inf(1)
+		for _, u := range d.Nodes {
+			if dd := geo.Haversine(p.Pos, g.Point(u)); dd < nearest {
+				nearest = dd
+			}
+		}
+		if nearest > 400 {
+			t.Fatalf("ping %v strayed %f m from the path", p, nearest)
+		}
+	}
+	// Timestamps strictly increasing.
+	for i := 1; i < len(pings); i++ {
+		if pings[i].T <= pings[i-1].T {
+			t.Fatal("ping timestamps not increasing")
+		}
+	}
+}
+
+func TestMatchRecoverStraightDrive(t *testing.T) {
+	g := testGrid(12, 40)
+	d := groundTruthDrive(g, 0, 143, 0)
+	rng := rand.New(rand.NewSource(3))
+	pings := Synthesize(g, d, 15, 25, rng)
+	m := NewMatcher(g, DefaultMatchOptions())
+	matched, ok := m.Match(pings)
+	if !ok {
+		t.Fatal("match failed")
+	}
+	acc := Accuracy(g, d, pings, matched, 150)
+	if acc < 0.85 {
+		t.Fatalf("matching accuracy %.2f below 0.85", acc)
+	}
+}
+
+func TestMatchRobustToHeavyNoise(t *testing.T) {
+	g := testGrid(12, 40)
+	d := groundTruthDrive(g, 5, 138, 0)
+	rng := rand.New(rand.NewSource(7))
+	pings := Synthesize(g, d, 15, 60, rng) // heavy noise
+	opt := DefaultMatchOptions()
+	opt.SigmaM = 60
+	m := NewMatcher(g, opt)
+	matched, ok := m.Match(pings)
+	if !ok {
+		t.Fatal("match failed under noise")
+	}
+	acc := Accuracy(g, d, pings, matched, 220)
+	if acc < 0.7 {
+		t.Fatalf("noisy matching accuracy %.2f below 0.7", acc)
+	}
+}
+
+func TestMatchEmptyAndIsolated(t *testing.T) {
+	g := testGrid(5, 40)
+	m := NewMatcher(g, DefaultMatchOptions())
+	if _, ok := m.Match(nil); ok {
+		t.Fatal("empty ping list matched")
+	}
+	// A ping far outside the city has no candidates.
+	far := geo.Offset(g.Point(0), 50_000, 50_000)
+	if _, ok := m.Match([]Ping{{T: 0, Pos: far}}); ok {
+		t.Fatal("off-map ping matched")
+	}
+}
+
+func TestSpeedLearnerRecoversEdgeTimes(t *testing.T) {
+	// Congested grid: slot multipliers vary; drives at two different hours
+	// must recover the slot-specific times.
+	b := roadnet.NewBuilder()
+	var mult [roadnet.SlotsPerDay]float64
+	for i := range mult {
+		mult[i] = 1
+	}
+	mult[12] = 2.0 // lunch doubles times
+	zone := b.AddZone(mult)
+	origin := geo.Point{Lat: 12.9, Lon: 77.5}
+	const n = 6
+	id := func(r, c int) roadnet.NodeID { return roadnet.NodeID(r*n + c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			b.AddNode(geo.Offset(origin, float64(r)*200, float64(c)*200))
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				b.AddEdge(id(r, c), id(r, c+1), 200, 40, zone)
+				b.AddEdge(id(r, c+1), id(r, c), 200, 40, zone)
+			}
+			if r+1 < n {
+				b.AddEdge(id(r, c), id(r+1, c), 200, 40, zone)
+				b.AddEdge(id(r+1, c), id(r, c), 200, 40, zone)
+			}
+		}
+	}
+	g := b.MustBuild()
+
+	l := NewSpeedLearner(g)
+	// Observe drives at 3 AM (free flow) and noon (doubled).
+	for trial := 0; trial < 10; trial++ {
+		from := roadnet.NodeID(trial % 36)
+		to := roadnet.NodeID((trial*17 + 5) % 36)
+		if from == to {
+			continue
+		}
+		for _, hour := range []float64{3, 12} {
+			p := roadnet.Path(g, from, to, hour*3600)
+			if p == nil {
+				t.Fatal("disconnected")
+			}
+			l.ObserveDrive(p.Nodes, p.Times)
+		}
+	}
+	mae, cells := l.MeanAbsErrorSec(1)
+	if cells == 0 {
+		t.Fatal("no cells observed")
+	}
+	if mae > 1 {
+		t.Fatalf("MAE %.2f s on noiseless drives, want ~0", mae)
+	}
+	// Spot-check a specific edge in both slots.
+	u, v := id(0, 0), id(0, 1)
+	if l.Samples(u, v, 3) > 0 {
+		if got := l.Estimate(u, v, 3, 0); math.Abs(got-40) > 1e-6 {
+			t.Fatalf("free-flow estimate = %v, want 40", got)
+		}
+	}
+	if l.Samples(u, v, 12) > 0 {
+		if got := l.Estimate(u, v, 12, 0); math.Abs(got-80) > 1e-6 {
+			t.Fatalf("lunch estimate = %v, want 80", got)
+		}
+	}
+}
+
+func TestLearnedGraphReproducesObservedTravelTimes(t *testing.T) {
+	g := testGrid(8, 40)
+	l := NewSpeedLearner(g)
+	// Cover the graph densely with noiseless drives at hour 9.
+	for from := 0; from < 64; from += 3 {
+		p := roadnet.Path(g, roadnet.NodeID(from), roadnet.NodeID((from+37)%64), 9*3600)
+		if p != nil {
+			l.ObserveDrive(p.Nodes, p.Times)
+		}
+	}
+	lg, err := l.LearnedGraph(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.NumNodes() != g.NumNodes() || lg.NumEdges() != g.NumEdges() {
+		t.Fatal("learned graph changed topology")
+	}
+	// Learned SP times at hour 9 should match the source for covered pairs.
+	for trial := 0; trial < 10; trial++ {
+		from := roadnet.NodeID(trial * 5 % 64)
+		to := roadnet.NodeID((trial*11 + 3) % 64)
+		want := roadnet.ShortestPath(g, from, to, 9*3600)
+		got := roadnet.ShortestPath(lg, from, to, 9*3600)
+		if math.Abs(got-want) > 0.1*want+1 {
+			t.Fatalf("learned SP(%d,%d) = %v, true %v", from, to, got, want)
+		}
+	}
+}
+
+func TestEndToEndPingPipeline(t *testing.T) {
+	// Full loop: drive -> noisy pings -> map-match -> learn -> compare.
+	g := testGrid(10, 40)
+	rng := rand.New(rand.NewSource(11))
+	m := NewMatcher(g, DefaultMatchOptions())
+	l := NewSpeedLearner(g)
+	drives := 0
+	for trial := 0; trial < 15; trial++ {
+		from := roadnet.NodeID(rng.Intn(100))
+		to := roadnet.NodeID(rng.Intn(100))
+		if from == to {
+			continue
+		}
+		d := groundTruthDrive(g, from, to, 9*3600)
+		pings := Synthesize(g, d, 20, 20, rng)
+		if len(pings) < 3 {
+			continue
+		}
+		matched, ok := m.Match(pings)
+		if !ok {
+			continue
+		}
+		times := make([]float64, len(pings))
+		for i := range pings {
+			times[i] = pings[i].T
+		}
+		l.ObserveDrive(matched, times)
+		drives++
+	}
+	if drives < 8 {
+		t.Fatalf("only %d drives matched", drives)
+	}
+	mae, cells := l.MeanAbsErrorSec(2)
+	if cells == 0 {
+		t.Fatal("no multi-sample cells")
+	}
+	// Matched-and-noisy estimates should still land near the 40 s truth.
+	if mae > 25 {
+		t.Fatalf("end-to-end MAE %.1f s too high", mae)
+	}
+}

@@ -1,0 +1,169 @@
+package gps
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// SpeedLearner aggregates matched trajectories into per-edge per-slot
+// travel-time estimates — the Section V-A procedure that produces β(e,t)
+// from "the average travel time across all of Swiggy's vehicles in the
+// corresponding road", per hourly slot.
+type SpeedLearner struct {
+	g *roadnet.Graph
+	// sum[slot][edgeKey] / cnt[slot][edgeKey] accumulate observations.
+	sum []map[int64]float64
+	cnt []map[int64]int
+}
+
+// NewSpeedLearner returns an empty learner over g.
+func NewSpeedLearner(g *roadnet.Graph) *SpeedLearner {
+	l := &SpeedLearner{
+		g:   g,
+		sum: make([]map[int64]float64, roadnet.SlotsPerDay),
+		cnt: make([]map[int64]int, roadnet.SlotsPerDay),
+	}
+	for s := range l.sum {
+		l.sum[s] = make(map[int64]float64)
+		l.cnt[s] = make(map[int64]int)
+	}
+	return l
+}
+
+func edgeKey(u, v roadnet.NodeID) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// ObserveDrive records a ground-truth-timed traversal (typically the
+// matched trajectory re-timed by ping timestamps): consecutive node pairs
+// that are actual edges contribute a travel-time sample to the slot in
+// which the edge was entered.
+func (l *SpeedLearner) ObserveDrive(nodes []roadnet.NodeID, times []float64) {
+	for i := 0; i+1 < len(nodes); i++ {
+		u, v := nodes[i], nodes[i+1]
+		if u == v {
+			continue
+		}
+		if !l.hasEdge(u, v) {
+			continue
+		}
+		dt := times[i+1] - times[i]
+		if dt <= 0 || dt > 3600 {
+			continue // implausible sample
+		}
+		slot := roadnet.Slot(times[i])
+		k := edgeKey(u, v)
+		l.sum[slot][k] += dt
+		l.cnt[slot][k]++
+	}
+}
+
+func (l *SpeedLearner) hasEdge(u, v roadnet.NodeID) bool {
+	for _, e := range l.g.OutEdges(u) {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Samples returns the observation count for an edge and slot.
+func (l *SpeedLearner) Samples(u, v roadnet.NodeID, slot int) int {
+	return l.cnt[slot][edgeKey(u, v)]
+}
+
+// Estimate returns the learned mean traversal time for an edge in a slot,
+// or fallback when unobserved.
+func (l *SpeedLearner) Estimate(u, v roadnet.NodeID, slot int, fallback float64) float64 {
+	k := edgeKey(u, v)
+	if c := l.cnt[slot][k]; c > 0 {
+		return l.sum[slot][k] / float64(c)
+	}
+	return fallback
+}
+
+// LearnedGraph materialises a new road network whose edge weights are the
+// learned per-slot estimates: each (edge, slot) cell gets its own learned
+// time (realised through one zone per edge with per-slot multipliers over
+// the edge's observed mean), unobserved cells falling back to the source
+// graph's β. The geometry is copied unchanged.
+//
+// MinSamples guards against overfitting single noisy observations.
+func (l *SpeedLearner) LearnedGraph(minSamples int) (*roadnet.Graph, error) {
+	g := l.g
+	b := roadnet.NewBuilder()
+	for i := 0; i < g.NumNodes(); i++ {
+		b.AddNode(g.Point(roadnet.NodeID(i)))
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range g.OutEdges(roadnet.NodeID(u)) {
+			base := math.Inf(1)
+			var mult [roadnet.SlotsPerDay]float64
+			// Learned base = mean over observed slots; multipliers express
+			// slot variation around it.
+			observed := 0
+			sum := 0.0
+			for s := 0; s < roadnet.SlotsPerDay; s++ {
+				if l.cnt[s][edgeKey(roadnet.NodeID(u), e.To)] >= minSamples {
+					sum += l.Estimate(roadnet.NodeID(u), e.To, s, 0)
+					observed++
+				}
+			}
+			if observed > 0 {
+				base = sum / float64(observed)
+			}
+			for s := 0; s < roadnet.SlotsPerDay; s++ {
+				trueBeta := g.EdgeTimeSlot(e, s)
+				if l.cnt[s][edgeKey(roadnet.NodeID(u), e.To)] >= minSamples && !math.IsInf(base, 1) && base > 0 {
+					mult[s] = l.Estimate(roadnet.NodeID(u), e.To, s, trueBeta) / base
+				} else if !math.IsInf(base, 1) && base > 0 {
+					// Unobserved slot on an observed edge: keep the source
+					// graph's relative profile.
+					mult[s] = trueBeta / float64(e.BaseSec) * float64(e.BaseSec) / base
+				} else {
+					mult[s] = 1
+				}
+				if mult[s] <= 0 {
+					mult[s] = 1
+				}
+			}
+			zone := b.AddZone(mult)
+			if math.IsInf(base, 1) {
+				// Fully unobserved edge: copy the source free-flow time and
+				// its own profile via a dedicated zone.
+				var srcMult [roadnet.SlotsPerDay]float64
+				for s := range srcMult {
+					srcMult[s] = g.EdgeTimeSlot(e, s) / float64(e.BaseSec)
+				}
+				zone = b.AddZone(srcMult)
+				base = float64(e.BaseSec)
+			}
+			b.AddEdge(roadnet.NodeID(u), e.To, float64(e.LenM), base, zone)
+		}
+	}
+	return b.Build()
+}
+
+// MeanAbsErrorSec compares learned estimates to the source graph's true
+// β(e, slot) over all (edge, slot) cells with at least minSamples
+// observations; returns the mean absolute error in seconds and the number
+// of cells compared.
+func (l *SpeedLearner) MeanAbsErrorSec(minSamples int) (mae float64, cells int) {
+	g := l.g
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range g.OutEdges(roadnet.NodeID(u)) {
+			for s := 0; s < roadnet.SlotsPerDay; s++ {
+				k := edgeKey(roadnet.NodeID(u), e.To)
+				if l.cnt[s][k] < minSamples {
+					continue
+				}
+				est := l.sum[s][k] / float64(l.cnt[s][k])
+				mae += math.Abs(est - g.EdgeTimeSlot(e, s))
+				cells++
+			}
+		}
+	}
+	if cells > 0 {
+		mae /= float64(cells)
+	}
+	return mae, cells
+}

@@ -1,0 +1,191 @@
+// Package matching implements minimum-weight perfect matching on a bipartite
+// graph — the Kuhn–Munkres assignment step at the heart of FOODMATCH — using
+// the shortest-augmenting-path formulation with dual potentials
+// (Jonker–Volgenant), O(n²·m) for an n×m cost matrix.
+//
+// Rectangular matrices are handled per the Bourgeois–Lassalle extension [19]
+// the paper cites: when rows outnumber columns the matrix is transposed, so
+// exactly min(n, m) pairs are produced, which is the constraint
+// Σ x_{o,v} = min(|U1|, |U2|) of the paper's minimisation problem.
+package matching
+
+import "math"
+
+// Solve computes a minimum-total-weight assignment for the given cost
+// matrix. cost[i][j] is the weight of pairing row i with column j; +Inf
+// forbids the pairing outright. It returns rowMate, where rowMate[i] is the
+// column assigned to row i or -1, with exactly min(rows, cols) rows matched
+// (fewer if forbidden entries make a full matching impossible).
+//
+// All rows must have equal length. Weights may be negative as long as they
+// are finite; the implementation shifts internally.
+func Solve(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	if m == 0 {
+		return make([]int, n)
+	}
+	if n <= m {
+		return solveRect(cost, n, m)
+	}
+	// More rows than columns: transpose, solve, invert.
+	tr := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		tr[j] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			tr[j][i] = cost[i][j]
+		}
+	}
+	colMate := solveRect(tr, m, n)
+	rowMate := make([]int, n)
+	for i := range rowMate {
+		rowMate[i] = -1
+	}
+	for j, i := range colMate {
+		if i >= 0 {
+			rowMate[i] = j
+		}
+	}
+	return rowMate
+}
+
+// solveRect solves for n ≤ m using successive shortest augmenting paths.
+// Infinite entries are replaced by a large finite sentinel so the dual
+// machinery stays finite; augmenting paths that can only reach a row via a
+// sentinel edge are rejected afterwards.
+func solveRect(cost [][]float64, n, m int) []int {
+	// big: strictly larger than any achievable finite path cost.
+	maxFinite := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if c := cost[i][j]; !math.IsInf(c, 1) && math.Abs(c) > maxFinite {
+				maxFinite = math.Abs(c)
+			}
+		}
+	}
+	big := (maxFinite + 1) * float64(n+1) * 4
+
+	get := func(i, j int) float64 {
+		if c := cost[i][j]; !math.IsInf(c, 1) {
+			return c
+		}
+		return big
+	}
+
+	// Potentials: u over rows, v over columns. matchCol[j] = row matched to
+	// column j (or -1).
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	matchCol := make([]int, m+1)
+	for j := range matchCol {
+		matchCol[j] = -1
+	}
+
+	// way[j] = previous column on the alternating path to column j.
+	way := make([]int, m+1)
+	minv := make([]float64, m+1)
+	used := make([]bool, m+1)
+
+	for i := 0; i < n; i++ {
+		// Dummy column m anchors the augmenting path for row i.
+		matchCol[m] = i
+		j0 := m
+		for j := 0; j <= m; j++ {
+			minv[j] = math.Inf(1)
+			used[j] = false
+			way[j] = -1
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 0; j < m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := get(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 {
+				// No reachable free column; leave row unmatched (possible
+				// only if every edge is forbidden — callers see -1).
+				break
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == -1 {
+				break
+			}
+		}
+		if j0 == m || matchCol[j0] != -1 {
+			// Augmentation failed; undo the dummy anchor.
+			matchCol[m] = -1
+			continue
+		}
+		// Unwind the alternating path.
+		for j0 != m {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+		matchCol[m] = -1
+	}
+
+	rowMate := make([]int, n)
+	for i := range rowMate {
+		rowMate[i] = -1
+	}
+	for j := 0; j < m; j++ {
+		if i := matchCol[j]; i >= 0 {
+			rowMate[i] = j
+		}
+	}
+	// Reject pairings that exist only through sentinel (forbidden) edges.
+	for i := 0; i < n; i++ {
+		if j := rowMate[i]; j >= 0 && math.IsInf(cost[i][j], 1) {
+			rowMate[i] = -1
+		}
+	}
+	return rowMate
+}
+
+// TotalCost sums the cost of an assignment produced by Solve, skipping
+// unmatched rows.
+func TotalCost(cost [][]float64, rowMate []int) float64 {
+	total := 0.0
+	for i, j := range rowMate {
+		if j >= 0 {
+			total += cost[i][j]
+		}
+	}
+	return total
+}
+
+// Matched counts assigned rows.
+func Matched(rowMate []int) int {
+	n := 0
+	for _, j := range rowMate {
+		if j >= 0 {
+			n++
+		}
+	}
+	return n
+}

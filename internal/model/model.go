@@ -1,0 +1,390 @@
+// Package model defines the food-delivery domain objects shared by every
+// layer of the pipeline: orders (Definition 2), delivery vehicles, order
+// batches, and the operational configuration (MAXO, MAXI, Ω, the 45-minute
+// delivery guarantee and the 30-minute rejection rule of Section V-B).
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// OrderID identifies an order.
+type OrderID int64
+
+// VehicleID identifies a delivery vehicle.
+type VehicleID int32
+
+// OrderState tracks an order through its lifecycle.
+type OrderState int8
+
+// Order lifecycle states.
+const (
+	OrderPlaced    OrderState = iota // placed, not yet assigned
+	OrderAssigned                    // assigned to a vehicle, not picked up (reshufflable)
+	OrderPickedUp                    // on a vehicle
+	OrderDelivered                   // dropped off
+	OrderRejected                    // unassigned past the rejection deadline
+)
+
+// String implements fmt.Stringer.
+func (s OrderState) String() string {
+	switch s {
+	case OrderPlaced:
+		return "placed"
+	case OrderAssigned:
+		return "assigned"
+	case OrderPickedUp:
+		return "picked-up"
+	case OrderDelivered:
+		return "delivered"
+	case OrderRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("OrderState(%d)", int8(s))
+	}
+}
+
+// Order is a food order o = ⟨oʳ, oᶜ, oᵗ, oⁱ, oᵖ⟩ per Definition 2, plus
+// lifecycle bookkeeping maintained by the simulator.
+type Order struct {
+	ID         OrderID
+	Restaurant roadnet.NodeID // oʳ: pick-up node
+	Customer   roadnet.NodeID // oᶜ: drop-off node
+	PlacedAt   float64        // oᵗ: request time, seconds since midnight
+	Items      int            // oⁱ: number of items
+	Prep       float64        // oᵖ: expected preparation time, seconds
+
+	// SDT caches the shortest delivery time oᵖ + SP(oʳ,oᶜ,oᵗ) (Definition 6),
+	// the lower bound that XDT is measured against. Set once at admission.
+	SDT float64
+
+	// Lifecycle, maintained by the simulator.
+	State       OrderState
+	AssignedTo  VehicleID // valid when State ≥ OrderAssigned
+	AssignedAt  float64
+	PickedUpAt  float64
+	DeliveredAt float64
+}
+
+// ReadyAt returns the time the food is ready for pickup.
+func (o *Order) ReadyAt() float64 { return o.PlacedAt + o.Prep }
+
+// DeliveryTime returns the realised delivery duration, valid once delivered.
+func (o *Order) DeliveryTime() float64 { return o.DeliveredAt - o.PlacedAt }
+
+// XDT returns the realised extra delivery time (Definition 7), valid once
+// delivered.
+func (o *Order) XDT() float64 { return o.DeliveryTime() - o.SDT }
+
+// StopKind distinguishes route-plan stop types.
+type StopKind int8
+
+// Stop kinds.
+const (
+	Pickup StopKind = iota
+	Dropoff
+)
+
+// Stop is one element of a route plan: visit Node and either pick up or drop
+// off Order there.
+type Stop struct {
+	Node  roadnet.NodeID
+	Order *Order
+	Kind  StopKind
+}
+
+// RoutePlan is a sequence of pickup/dropoff stops (Definition 3). Invariant:
+// each order's pickup appears before its dropoff; orders already picked up
+// contribute a dropoff-only stop.
+type RoutePlan struct {
+	Stops []Stop
+}
+
+// Empty reports whether the plan has no stops.
+func (rp *RoutePlan) Empty() bool { return rp == nil || len(rp.Stops) == 0 }
+
+// Clone returns a deep copy of the stop sequence (Order pointers shared).
+func (rp *RoutePlan) Clone() *RoutePlan {
+	if rp == nil {
+		return nil
+	}
+	c := &RoutePlan{Stops: make([]Stop, len(rp.Stops))}
+	copy(c.Stops, rp.Stops)
+	return c
+}
+
+// Orders returns the distinct orders touched by the plan, in first-touch
+// order.
+func (rp *RoutePlan) Orders() []*Order {
+	if rp == nil {
+		return nil
+	}
+	seen := make(map[OrderID]bool, len(rp.Stops))
+	var out []*Order
+	for _, s := range rp.Stops {
+		if !seen[s.Order.ID] {
+			seen[s.Order.ID] = true
+			out = append(out, s.Order)
+		}
+	}
+	return out
+}
+
+// Validate checks the pickup-before-dropoff invariant and that every dropoff
+// has a pickup unless the order is already on board.
+func (rp *RoutePlan) Validate() error {
+	picked := make(map[OrderID]bool)
+	dropped := make(map[OrderID]bool)
+	for i, s := range rp.Stops {
+		switch s.Kind {
+		case Pickup:
+			if s.Order.State == OrderPickedUp {
+				return fmt.Errorf("stop %d: pickup of already picked-up order %d", i, s.Order.ID)
+			}
+			if picked[s.Order.ID] {
+				return fmt.Errorf("stop %d: duplicate pickup of order %d", i, s.Order.ID)
+			}
+			if s.Node != s.Order.Restaurant {
+				return fmt.Errorf("stop %d: pickup node %d != restaurant %d", i, s.Node, s.Order.Restaurant)
+			}
+			picked[s.Order.ID] = true
+		case Dropoff:
+			if dropped[s.Order.ID] {
+				return fmt.Errorf("stop %d: duplicate dropoff of order %d", i, s.Order.ID)
+			}
+			if !picked[s.Order.ID] && s.Order.State != OrderPickedUp {
+				return fmt.Errorf("stop %d: dropoff of order %d before pickup", i, s.Order.ID)
+			}
+			if s.Node != s.Order.Customer {
+				return fmt.Errorf("stop %d: dropoff node %d != customer %d", i, s.Node, s.Order.Customer)
+			}
+			dropped[s.Order.ID] = true
+		default:
+			return fmt.Errorf("stop %d: unknown kind %d", i, s.Kind)
+		}
+	}
+	for id := range picked {
+		if !dropped[id] {
+			return fmt.Errorf("order %d picked up but never dropped off", id)
+		}
+	}
+	return nil
+}
+
+// Vehicle is a delivery vehicle with its runtime state.
+type Vehicle struct {
+	ID VehicleID
+
+	// Node is the vehicle's current (approximated) road-network node; the
+	// paper snaps off-network positions to the nearest node.
+	Node roadnet.NodeID
+
+	// EdgeTo / EdgeProgress describe mid-edge positions while moving:
+	// the vehicle is EdgeProgress seconds of travel into the edge
+	// Node -> EdgeTo. EdgeTo == roadnet.Invalid when exactly on Node.
+	EdgeTo       roadnet.NodeID
+	EdgeProgress float64
+
+	// Plan is the active route plan; Leg is the precomputed node path for
+	// the current leg (to Plan.Stops[0].Node), consumed by the simulator.
+	Plan *RoutePlan
+
+	// Onboard are picked-up, undelivered orders; Pending are assigned,
+	// not-yet-picked-up orders (available for reshuffling).
+	Onboard []*Order
+	Pending []*Order
+
+	// ActiveFrom/ActiveTo delimit the driver's shift in seconds since
+	// midnight; outside it the vehicle accepts no work.
+	ActiveFrom, ActiveTo float64
+
+	// Statistics maintained by the simulator.
+	DistM      float64   // total distance driven, metres
+	DistByLoad []float64 // DistByLoad[k] = metres driven while carrying k orders
+	WaitSec    float64   // total time waiting at restaurants
+}
+
+// NewVehicle creates an idle vehicle parked at node.
+func NewVehicle(id VehicleID, node roadnet.NodeID, maxOrders int) *Vehicle {
+	return &Vehicle{
+		ID:         id,
+		Node:       node,
+		EdgeTo:     roadnet.Invalid,
+		ActiveFrom: 0,
+		ActiveTo:   math.Inf(1),
+		DistByLoad: make([]float64, maxOrders+1),
+	}
+}
+
+// Active reports whether the vehicle is on shift at time t.
+func (v *Vehicle) Active(t float64) bool { return t >= v.ActiveFrom && t < v.ActiveTo }
+
+// OrderCount returns |Oᵗᵥ|: orders currently tied to the vehicle (on board
+// plus assigned-pending).
+func (v *Vehicle) OrderCount() int { return len(v.Onboard) + len(v.Pending) }
+
+// ItemCount returns the total items tied to the vehicle.
+func (v *Vehicle) ItemCount() int {
+	n := 0
+	for _, o := range v.Onboard {
+		n += o.Items
+	}
+	for _, o := range v.Pending {
+		n += o.Items
+	}
+	return n
+}
+
+// CanCarry reports whether adding a set of orders respects MAXO and MAXI
+// (the feasibility constraints of Definition 4). The base counts exclude
+// pending orders when they are being reshuffled — callers pass the counts to
+// measure against explicitly.
+func CanCarry(baseOrders, baseItems int, add []*Order, cfg *Config) bool {
+	items := baseItems
+	for _, o := range add {
+		items += o.Items
+	}
+	return baseOrders+len(add) <= cfg.MaxO && items <= cfg.MaxI
+}
+
+// Batch is a set of orders grouped for delivery by a single vehicle, with
+// the quickest route plan for the set (starting at the plan's first pickup)
+// and that plan's cost (Eq. 4 over the batch).
+type Batch struct {
+	Orders []*Order
+	Plan   *RoutePlan
+	Cost   float64
+}
+
+// First returns π[1]: the order picked up first in the batch's quickest
+// route plan (Section IV-C1).
+func (b *Batch) First() *Order {
+	for _, s := range b.Plan.Stops {
+		if s.Kind == Pickup {
+			return s.Order
+		}
+	}
+	// A batch of already-picked-up orders cannot occur (batches are built
+	// from unpicked orders only), but fall back defensively.
+	return b.Orders[0]
+}
+
+// FirstPickupNode returns π[1]ʳ, the node where the batch's route begins.
+func (b *Batch) FirstPickupNode() roadnet.NodeID { return b.First().Restaurant }
+
+// Items returns the batch's total item count.
+func (b *Batch) Items() int {
+	n := 0
+	for _, o := range b.Orders {
+		n += o.Items
+	}
+	return n
+}
+
+// Config carries every tunable of the system with the paper's defaults.
+type Config struct {
+	// Delta is the accumulation-window length ∆ in seconds (paper: 180 s for
+	// Cities B/C, 60 s for City A).
+	Delta float64
+	// Eta is the batching quality cutoff η in seconds (paper: 60 s).
+	Eta float64
+	// Gamma weighs travel time against angular distance in Eq. 8 (paper: 0.5).
+	Gamma float64
+	// KFactor scales the FoodGraph degree bound: k = KFactor·|O(ℓ)|/|V(ℓ)|
+	// (paper: 200).
+	KFactor float64
+	// KMin floors k so tiny windows still get a usable degree.
+	KMin int
+	// MaxO is MAXO, the max orders per vehicle (paper: 3).
+	MaxO int
+	// MaxI is MAXI, the max items per vehicle (paper: 10).
+	MaxI int
+	// Omega is the rejection penalty Ω in seconds (paper: 7200 s).
+	Omega float64
+	// RejectAfter is how long an order may stay unallocated before rejection
+	// (paper: 30 min).
+	RejectAfter float64
+	// MaxFirstMile caps SP(loc(v,t), π[1]ʳ, t); beyond it the pairing cost is
+	// Ω (paper: the 45-minute delivery guarantee).
+	MaxFirstMile float64
+	// BatchRadius prunes order-graph edges to pairs whose first pickups are
+	// within this many seconds of travel; +Inf reproduces the paper's full
+	// O(n²) order graph.
+	BatchRadius float64
+
+	// Optimization switches (Fig. 7(a) ablation): the full FOODMATCH enables
+	// all four; vanilla KM disables all.
+	Batching  bool
+	Reshuffle bool
+	BestFirst bool
+	Angular   bool
+
+	// AgeNeutralEdges subtracts sunk waiting age from FOODGRAPH edge
+	// weights so overloaded windows defer by cost-to-serve instead of
+	// starving the oldest orders (see foodgraph.Options.AgeNeutral).
+	AgeNeutralEdges bool
+
+	// ComputeBudget is the wall-clock budget per window used by the
+	// overflown-window metric (Fig. 6(f-g)). The paper compares against
+	// ∆ on a production-size city; scaled-down cities pair with a scaled
+	// budget. Zero disables overflow accounting.
+	ComputeBudget float64
+}
+
+// DefaultConfig returns the paper's operating point (Section V-B) for a
+// metropolitan city.
+func DefaultConfig() *Config {
+	return &Config{
+		Delta:           180,
+		Eta:             60,
+		Gamma:           0.5,
+		KFactor:         200,
+		KMin:            5,
+		MaxO:            3,
+		MaxI:            10,
+		Omega:           7200,
+		RejectAfter:     1800,
+		MaxFirstMile:    2700,
+		BatchRadius:     math.Inf(1),
+		Batching:        true,
+		Reshuffle:       true,
+		BestFirst:       true,
+		Angular:         true,
+		AgeNeutralEdges: true,
+		ComputeBudget:   0,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Delta <= 0:
+		return fmt.Errorf("config: Delta must be positive, got %v", c.Delta)
+	case c.Eta < 0:
+		return fmt.Errorf("config: Eta must be non-negative, got %v", c.Eta)
+	case c.Gamma < 0 || c.Gamma > 1:
+		return fmt.Errorf("config: Gamma must lie in [0,1], got %v", c.Gamma)
+	case c.MaxO < 1:
+		return fmt.Errorf("config: MaxO must be at least 1, got %d", c.MaxO)
+	case c.MaxI < 1:
+		return fmt.Errorf("config: MaxI must be at least 1, got %d", c.MaxI)
+	case c.Omega <= 0:
+		return fmt.Errorf("config: Omega must be positive, got %v", c.Omega)
+	case c.RejectAfter <= 0:
+		return fmt.Errorf("config: RejectAfter must be positive, got %v", c.RejectAfter)
+	case c.MaxFirstMile <= 0:
+		return fmt.Errorf("config: MaxFirstMile must be positive, got %v", c.MaxFirstMile)
+	case c.KFactor <= 0:
+		return fmt.Errorf("config: KFactor must be positive, got %v", c.KFactor)
+	}
+	return nil
+}
+
+// Clone returns a copy of the config.
+func (c *Config) Clone() *Config {
+	d := *c
+	return &d
+}

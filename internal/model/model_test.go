@@ -1,0 +1,294 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/roadnet"
+)
+
+func mkOrder(id OrderID, r, c roadnet.NodeID) *Order {
+	return &Order{ID: id, Restaurant: r, Customer: c, Items: 1, Prep: 300, PlacedAt: 100, SDT: 400}
+}
+
+func TestOrderStateString(t *testing.T) {
+	states := map[OrderState]string{
+		OrderPlaced:    "placed",
+		OrderAssigned:  "assigned",
+		OrderPickedUp:  "picked-up",
+		OrderDelivered: "delivered",
+		OrderRejected:  "rejected",
+	}
+	for s, want := range states {
+		if s.String() != want {
+			t.Errorf("state %d String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if OrderState(99).String() == "" {
+		t.Error("unknown state must still stringify")
+	}
+}
+
+func TestOrderTimings(t *testing.T) {
+	o := mkOrder(1, 2, 3)
+	if got := o.ReadyAt(); got != 400 {
+		t.Fatalf("ReadyAt = %v, want 400", got)
+	}
+	o.DeliveredAt = 1000
+	if got := o.DeliveryTime(); got != 900 {
+		t.Fatalf("DeliveryTime = %v, want 900", got)
+	}
+	if got := o.XDT(); got != 500 {
+		t.Fatalf("XDT = %v, want 500", got)
+	}
+}
+
+func TestRoutePlanValidateGood(t *testing.T) {
+	o1 := mkOrder(1, 10, 20)
+	o2 := mkOrder(2, 11, 21)
+	rp := &RoutePlan{Stops: []Stop{
+		{Node: 10, Order: o1, Kind: Pickup},
+		{Node: 11, Order: o2, Kind: Pickup},
+		{Node: 20, Order: o1, Kind: Dropoff},
+		{Node: 21, Order: o2, Kind: Dropoff},
+	}}
+	if err := rp.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestRoutePlanValidateDropoffBeforePickup(t *testing.T) {
+	o := mkOrder(1, 10, 20)
+	rp := &RoutePlan{Stops: []Stop{
+		{Node: 20, Order: o, Kind: Dropoff},
+		{Node: 10, Order: o, Kind: Pickup},
+	}}
+	if err := rp.Validate(); err == nil {
+		t.Fatal("dropoff-before-pickup plan accepted")
+	}
+}
+
+func TestRoutePlanValidateOnboardDropoffOnly(t *testing.T) {
+	o := mkOrder(1, 10, 20)
+	o.State = OrderPickedUp
+	rp := &RoutePlan{Stops: []Stop{{Node: 20, Order: o, Kind: Dropoff}}}
+	if err := rp.Validate(); err != nil {
+		t.Fatalf("dropoff-only plan for onboard order rejected: %v", err)
+	}
+}
+
+func TestRoutePlanValidateMissingDropoff(t *testing.T) {
+	o := mkOrder(1, 10, 20)
+	rp := &RoutePlan{Stops: []Stop{{Node: 10, Order: o, Kind: Pickup}}}
+	if err := rp.Validate(); err == nil {
+		t.Fatal("pickup-without-dropoff plan accepted")
+	}
+}
+
+func TestRoutePlanValidateWrongNodes(t *testing.T) {
+	o := mkOrder(1, 10, 20)
+	rp := &RoutePlan{Stops: []Stop{
+		{Node: 99, Order: o, Kind: Pickup},
+		{Node: 20, Order: o, Kind: Dropoff},
+	}}
+	if err := rp.Validate(); err == nil {
+		t.Fatal("pickup at wrong node accepted")
+	}
+}
+
+func TestRoutePlanOrdersAndClone(t *testing.T) {
+	o1 := mkOrder(1, 10, 20)
+	o2 := mkOrder(2, 11, 21)
+	rp := &RoutePlan{Stops: []Stop{
+		{Node: 10, Order: o1, Kind: Pickup},
+		{Node: 11, Order: o2, Kind: Pickup},
+		{Node: 20, Order: o1, Kind: Dropoff},
+		{Node: 21, Order: o2, Kind: Dropoff},
+	}}
+	orders := rp.Orders()
+	if len(orders) != 2 || orders[0].ID != 1 || orders[1].ID != 2 {
+		t.Fatalf("Orders() = %v", orders)
+	}
+	c := rp.Clone()
+	c.Stops[0].Node = 999
+	if rp.Stops[0].Node == 999 {
+		t.Fatal("Clone shares stop storage")
+	}
+	var nilPlan *RoutePlan
+	if !nilPlan.Empty() || nilPlan.Clone() != nil || nilPlan.Orders() != nil {
+		t.Fatal("nil plan helpers misbehave")
+	}
+}
+
+func TestVehicleCapacity(t *testing.T) {
+	cfg := DefaultConfig()
+	v := NewVehicle(1, 5, cfg.MaxO)
+	if v.OrderCount() != 0 || v.ItemCount() != 0 {
+		t.Fatal("fresh vehicle not empty")
+	}
+	o1 := mkOrder(1, 10, 20)
+	o1.Items = 4
+	o2 := mkOrder(2, 11, 21)
+	o2.Items = 4
+	v.Onboard = append(v.Onboard, o1)
+	v.Pending = append(v.Pending, o2)
+	if v.OrderCount() != 2 || v.ItemCount() != 8 {
+		t.Fatalf("count=%d items=%d", v.OrderCount(), v.ItemCount())
+	}
+	o3 := mkOrder(3, 12, 22)
+	o3.Items = 4
+	if CanCarry(v.OrderCount(), v.ItemCount(), []*Order{o3}, cfg) {
+		t.Fatal("MAXI=10 violated but CanCarry accepted")
+	}
+	o3.Items = 2
+	if !CanCarry(v.OrderCount(), v.ItemCount(), []*Order{o3}, cfg) {
+		t.Fatal("feasible add rejected")
+	}
+	o4 := mkOrder(4, 13, 23)
+	o4.Items = 1
+	if CanCarry(v.OrderCount(), v.ItemCount(), []*Order{o3, o4}, cfg) {
+		t.Fatal("MAXO=3 violated but CanCarry accepted")
+	}
+}
+
+func TestVehicleActiveWindow(t *testing.T) {
+	v := NewVehicle(1, 0, 3)
+	if !v.Active(0) || !v.Active(1e9) {
+		t.Fatal("default shift should be always-on")
+	}
+	v.ActiveFrom, v.ActiveTo = 100, 200
+	if v.Active(99) || !v.Active(100) || !v.Active(199) || v.Active(200) {
+		t.Fatal("shift boundaries wrong")
+	}
+}
+
+func TestBatchFirstPickup(t *testing.T) {
+	o1 := mkOrder(1, 10, 20)
+	o2 := mkOrder(2, 11, 21)
+	b := &Batch{
+		Orders: []*Order{o1, o2},
+		Plan: &RoutePlan{Stops: []Stop{
+			{Node: 11, Order: o2, Kind: Pickup},
+			{Node: 10, Order: o1, Kind: Pickup},
+			{Node: 20, Order: o1, Kind: Dropoff},
+			{Node: 21, Order: o2, Kind: Dropoff},
+		}},
+	}
+	if b.First().ID != 2 {
+		t.Fatalf("First = %d, want 2", b.First().ID)
+	}
+	if b.FirstPickupNode() != 11 {
+		t.Fatalf("FirstPickupNode = %d, want 11", b.FirstPickupNode())
+	}
+	if b.Items() != 2 {
+		t.Fatalf("Items = %d, want 2", b.Items())
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.Delta != 180 {
+		t.Errorf("Delta = %v, want 180 (3 min)", c.Delta)
+	}
+	if c.Eta != 60 {
+		t.Errorf("Eta = %v, want 60 s", c.Eta)
+	}
+	if c.Gamma != 0.5 {
+		t.Errorf("Gamma = %v, want 0.5", c.Gamma)
+	}
+	if c.KFactor != 200 {
+		t.Errorf("KFactor = %v, want 200", c.KFactor)
+	}
+	if c.MaxO != 3 {
+		t.Errorf("MaxO = %d, want 3", c.MaxO)
+	}
+	if c.MaxI != 10 {
+		t.Errorf("MaxI = %d, want 10", c.MaxI)
+	}
+	if c.Omega != 7200 {
+		t.Errorf("Omega = %v, want 7200 s (2 h)", c.Omega)
+	}
+	if c.RejectAfter != 1800 {
+		t.Errorf("RejectAfter = %v, want 1800 s (30 min)", c.RejectAfter)
+	}
+	if c.MaxFirstMile != 2700 {
+		t.Errorf("MaxFirstMile = %v, want 2700 s (45 min)", c.MaxFirstMile)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Delta = 0 },
+		func(c *Config) { c.Eta = -1 },
+		func(c *Config) { c.Gamma = 1.5 },
+		func(c *Config) { c.MaxO = 0 },
+		func(c *Config) { c.MaxI = 0 },
+		func(c *Config) { c.Omega = 0 },
+		func(c *Config) { c.RejectAfter = 0 },
+		func(c *Config) { c.MaxFirstMile = 0 },
+		func(c *Config) { c.KFactor = 0 },
+	}
+	for i, m := range mut {
+		c := DefaultConfig()
+		m(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted by Validate", i)
+		}
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	c := DefaultConfig()
+	d := c.Clone()
+	d.Gamma = 0.9
+	if c.Gamma == 0.9 {
+		t.Fatal("Clone shares storage")
+	}
+	if !math.IsInf(c.BatchRadius, 1) {
+		t.Fatal("default BatchRadius should be +Inf (full order graph)")
+	}
+}
+
+func TestCanCarryProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(base uint8, items uint8, addN uint8, addItems uint8) bool {
+		baseOrders := int(base % 4)
+		baseItems := int(items % 11)
+		n := int(addN%3) + 1
+		var add []*Order
+		total := 0
+		for i := 0; i < n; i++ {
+			it := int(addItems%4) + 1
+			total += it
+			add = append(add, &Order{ID: OrderID(i), Items: it})
+		}
+		got := CanCarry(baseOrders, baseItems, add, cfg)
+		want := baseOrders+n <= cfg.MaxO && baseItems+total <= cfg.MaxI
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutePlanOrdersPreservesFirstTouchOrder(t *testing.T) {
+	o1 := mkOrder(1, 10, 20)
+	o2 := mkOrder(2, 11, 21)
+	o3 := mkOrder(3, 12, 22)
+	rp := &RoutePlan{Stops: []Stop{
+		{Node: 11, Order: o2, Kind: Pickup},
+		{Node: 10, Order: o1, Kind: Pickup},
+		{Node: 12, Order: o3, Kind: Pickup},
+		{Node: 21, Order: o2, Kind: Dropoff},
+		{Node: 20, Order: o1, Kind: Dropoff},
+		{Node: 22, Order: o3, Kind: Dropoff},
+	}}
+	got := rp.Orders()
+	if len(got) != 3 || got[0].ID != 2 || got[1].ID != 1 || got[2].ID != 3 {
+		t.Fatalf("first-touch order broken: %v", got)
+	}
+}

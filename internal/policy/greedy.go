@@ -1,0 +1,142 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/routing"
+)
+
+// Greedy is the baseline of Section III: at each window it repeatedly picks
+// the unassigned order–vehicle pair with the minimum marginal cost (Eq. 3)
+// and assigns it, until no feasible pair remains. A vehicle may accumulate
+// several orders across iterations (implicit batching, Example 5), but no
+// dedicated batching, sparsification or reshuffling is performed.
+type Greedy struct{}
+
+// NewGreedy returns the Greedy baseline.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Policy.
+func (Greedy) Name() string { return "Greedy" }
+
+// Reshuffles implements Policy; Greedy never reshuffles.
+func (Greedy) Reshuffles() bool { return false }
+
+// SingleOrderMode implements Policy: Greedy stacks orders onto partially
+// loaded vehicles (Example 5), so availability is capacity-based.
+func (Greedy) SingleOrderMode(*model.Config) bool { return false }
+
+// vehicleWork tracks a vehicle's evolving workload during the greedy rounds.
+type vehicleWork struct {
+	idx     int // index into in.Vehicles
+	onboard []*model.Order
+	pending []*model.Order
+	items   int
+	plan    *model.RoutePlan
+	touched bool
+}
+
+// Assign implements Policy.
+func (Greedy) Assign(in *WindowInput) []Assignment {
+	cfg := in.Cfg
+	n := len(in.Orders)
+	m := len(in.Vehicles)
+	if n == 0 || m == 0 {
+		return nil
+	}
+
+	works := make([]*vehicleWork, m)
+	for j, vs := range in.Vehicles {
+		w := &vehicleWork{idx: j, onboard: vs.Onboard, items: vs.BaseItems()}
+		w.pending = append(w.pending, vs.Keep...)
+		works[j] = w
+	}
+
+	// cost[i][j] is the cached mCost of order i on vehicle j under the
+	// vehicle's *current* workload; plans[i][j] the corresponding plan.
+	// A column is recomputed after its vehicle wins an assignment.
+	cost := make([][]float64, n)
+	plans := make([][]*model.RoutePlan, n)
+	assigned := make([]bool, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		plans[i] = make([]*model.RoutePlan, m)
+	}
+
+	compute := func(i, j int) {
+		o := in.Orders[i]
+		vs := in.Vehicles[j]
+		w := works[j]
+		cost[i][j] = math.Inf(1)
+		plans[i][j] = nil
+		if len(w.onboard)+len(w.pending)+1 > cfg.MaxO {
+			return
+		}
+		if w.items+o.Items > cfg.MaxI {
+			return
+		}
+		if fm := in.SP(vs.Node, o.Restaurant, in.Now); fm > cfg.MaxFirstMile {
+			return
+		}
+		plan, mc, ok := routing.MarginalCost(in.SP, vs.Node, in.Now, w.onboard, w.pending, []*model.Order{o})
+		if !ok || mc >= cfg.Omega {
+			return
+		}
+		cost[i][j] = mc
+		plans[i][j] = plan
+	}
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			compute(i, j)
+		}
+	}
+
+	for {
+		// Find the global minimum pair.
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if cost[i][j] < best {
+					best = cost[i][j]
+					bi, bj = i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		o := in.Orders[bi]
+		w := works[bj]
+		assigned[bi] = true
+		w.pending = append(w.pending, o)
+		w.items += o.Items
+		w.plan = plans[bi][bj]
+		w.touched = true
+		// The winning vehicle's workload changed: refresh its column.
+		for i := 0; i < n; i++ {
+			if !assigned[i] {
+				compute(i, bj)
+			}
+		}
+	}
+
+	var out []Assignment
+	for j, w := range works {
+		if !w.touched {
+			continue
+		}
+		newOrders := w.pending[len(in.Vehicles[j].Keep):]
+		out = append(out, Assignment{
+			Vehicle: in.Vehicles[j].Vehicle,
+			Orders:  newOrders,
+			Plan:    w.plan,
+		})
+	}
+	return out
+}

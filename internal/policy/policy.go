@@ -1,0 +1,79 @@
+// Package policy implements the order-assignment strategies benchmarked in
+// the paper: FOODMATCH (Section IV) with its ablation switches, vanilla
+// Kuhn–Munkres matching, the Greedy baseline (Section III) and a
+// re-implementation of the Reyes et al. [5] strategy.
+//
+// A policy receives one accumulation window — the unassigned orders O(ℓ)
+// and the available vehicles V(ℓ) — and returns the set of (vehicle, batch,
+// route plan) assignments. The simulator owns order/vehicle lifecycle; the
+// policy is pure decision logic.
+package policy
+
+import (
+	"repro/internal/foodgraph"
+	"repro/internal/model"
+	"repro/internal/roadnet"
+)
+
+// WindowInput is everything a policy may look at for one window.
+type WindowInput struct {
+	G  *roadnet.Graph
+	SP roadnet.SPFunc
+	// Now is the window-end clock (assignment time).
+	Now float64
+	// Orders is O(ℓ): unassigned orders plus — when the policy reshuffles —
+	// assigned-but-unpicked orders returned to the pool.
+	Orders []*model.Order
+	// Vehicles is V(ℓ): available vehicles with spare capacity. VehicleState
+	// reflects reshuffling: pooled pending orders do not appear in Keep.
+	Vehicles []*foodgraph.VehicleState
+	// Incumbent maps reshuffled orders to the vehicle they were assigned to
+	// before being pooled. While food is still cooking, many vehicles tie at
+	// near-zero marginal cost; policies use this to break such ties toward
+	// the incumbent instead of churning assignments every window.
+	Incumbent map[model.OrderID]model.VehicleID
+	Cfg       *model.Config
+}
+
+// Assignment is one policy decision: attach Orders to Vehicle and replace
+// its route plan with Plan (which also covers the vehicle's onboard and
+// kept orders).
+type Assignment struct {
+	Vehicle *model.Vehicle
+	Orders  []*model.Order
+	Plan    *model.RoutePlan
+}
+
+// Policy is an assignment strategy.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Reshuffles reports whether assigned-but-unpicked orders should be
+	// returned to the pool each window (Section IV-D2).
+	Reshuffles() bool
+	// SingleOrderMode reports whether vehicles serve one order at a time
+	// under this policy and config. The paper's vanilla KM baseline cannot
+	// batch ("no two edges will be incident on the same node... hence,
+	// batching is not feasible", Section IV-A): a vehicle re-enters V(ℓ)
+	// only once empty. Greedy stacks orders explicitly (Example 5) and
+	// FOODMATCH serves multi-order batches, so both use capacity-based
+	// availability.
+	SingleOrderMode(cfg *model.Config) bool
+	// Assign decides the window's assignments.
+	Assign(in *WindowInput) []Assignment
+}
+
+// singletonBatches wraps each order in its own batch (used when batching is
+// disabled). Orders whose own delivery leg is unreachable get an infeasible
+// batch which no vehicle will accept.
+func singletonBatches(sp roadnet.SPFunc, now float64, orders []*model.Order) []*model.Batch {
+	batches := make([]*model.Batch, 0, len(orders))
+	for _, o := range orders {
+		plan := &model.RoutePlan{Stops: []model.Stop{
+			{Node: o.Restaurant, Order: o, Kind: model.Pickup},
+			{Node: o.Customer, Order: o, Kind: model.Dropoff},
+		}}
+		batches = append(batches, &model.Batch{Orders: []*model.Order{o}, Plan: plan})
+	}
+	return batches
+}

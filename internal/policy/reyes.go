@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/matching"
+	"repro/internal/model"
+	"repro/internal/roadnet"
+	"repro/internal/routing"
+)
+
+// Reyes re-implements the strategy of Reyes et al. [5] with the two
+// simplifications the paper criticises (Section I-A):
+//
+//  1. distances are straight-line Haversine at an assumed constant speed,
+//     ignoring the road network, and
+//  2. orders may be batched only when they come from the same restaurant.
+//
+// Same-restaurant orders in the window are greedily grouped up to the
+// capacity limits, then batches are assigned to vehicles by minimum-weight
+// matching under the Haversine cost model (standing in for the original
+// linear-programming assignment, which optimises the same objective). The
+// *returned plans* are genuine road-network route plans — the simulator
+// executes reality; only the decision procedure is distance-naive, which is
+// exactly the deficiency Fig. 6(b) exposes.
+type Reyes struct {
+	// SpeedMS is the assumed straight-line travel speed (m/s) used to turn
+	// Haversine metres into seconds. Zero defaults to 8.33 m/s (30 km/h).
+	SpeedMS float64
+}
+
+// NewReyes returns the baseline with the default speed assumption.
+func NewReyes() *Reyes { return &Reyes{} }
+
+// Name implements Policy.
+func (*Reyes) Name() string { return "Reyes" }
+
+// Reshuffles implements Policy; Reyes never reshuffles.
+func (*Reyes) Reshuffles() bool { return false }
+
+// SingleOrderMode implements Policy: Reyes batches same-restaurant orders,
+// so vehicles may carry several; availability stays capacity-based.
+func (*Reyes) SingleOrderMode(*model.Config) bool { return false }
+
+// Assign implements Policy.
+func (p *Reyes) Assign(in *WindowInput) []Assignment {
+	cfg := in.Cfg
+	if len(in.Orders) == 0 || len(in.Vehicles) == 0 {
+		return nil
+	}
+	speed := p.SpeedMS
+	if speed <= 0 {
+		speed = 8.33
+	}
+	// Haversine pseudo-shortest-path: straight-line seconds between nodes.
+	hsp := func(from, to roadnet.NodeID, _ float64) float64 {
+		return geo.Haversine(in.G.Point(from), in.G.Point(to)) / speed
+	}
+
+	// Step 1: same-restaurant batching, in arrival order, respecting MAXO
+	// and MAXI.
+	byRest := make(map[roadnet.NodeID][]*model.Order)
+	var restaurants []roadnet.NodeID
+	for _, o := range in.Orders {
+		if len(byRest[o.Restaurant]) == 0 {
+			restaurants = append(restaurants, o.Restaurant)
+		}
+		byRest[o.Restaurant] = append(byRest[o.Restaurant], o)
+	}
+	sort.Slice(restaurants, func(a, b int) bool { return restaurants[a] < restaurants[b] })
+	var groups [][]*model.Order
+	for _, r := range restaurants {
+		orders := byRest[r]
+		sort.Slice(orders, func(a, b int) bool { return orders[a].PlacedAt < orders[b].PlacedAt })
+		var cur []*model.Order
+		items := 0
+		for _, o := range orders {
+			if len(cur) >= cfg.MaxO || (len(cur) > 0 && items+o.Items > cfg.MaxI) {
+				groups = append(groups, cur)
+				cur, items = nil, 0
+			}
+			cur = append(cur, o)
+			items += o.Items
+		}
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+		}
+	}
+
+	// Step 2: assignment by minimum-weight matching under the Haversine
+	// cost model.
+	nb, nv := len(groups), len(in.Vehicles)
+	cost := make([][]float64, nb)
+	for i, grp := range groups {
+		cost[i] = make([]float64, nv)
+		for j, vs := range in.Vehicles {
+			cost[i][j] = math.Inf(1)
+			if vs.BaseOrders()+len(grp) > cfg.MaxO {
+				continue
+			}
+			items := 0
+			for _, o := range grp {
+				items += o.Items
+			}
+			if vs.BaseItems()+items > cfg.MaxI {
+				continue
+			}
+			if hsp(vs.Node, grp[0].Restaurant, in.Now) > cfg.MaxFirstMile {
+				continue
+			}
+			// Marginal cost in the Haversine world. SDTs cached on orders
+			// are network-based; the decision rule only needs relative
+			// costs, and constant offsets cancel inside the matching.
+			_, mc, ok := routing.MarginalCost(hsp, vs.Node, in.Now, vs.Onboard, vs.Keep, grp)
+			if !ok || mc >= cfg.Omega {
+				continue
+			}
+			cost[i][j] = mc
+		}
+	}
+	mate := matching.Solve(cost)
+
+	var out []Assignment
+	for bi, vj := range mate {
+		if vj < 0 {
+			continue
+		}
+		vs := in.Vehicles[vj]
+		// Execute on the real network: recompute the optimal plan with the
+		// true shortest-path oracle.
+		plan, _, ok := routing.MarginalCost(in.SP, vs.Node, in.Now, vs.Onboard, vs.Keep, groups[bi])
+		if !ok {
+			continue
+		}
+		out = append(out, Assignment{
+			Vehicle: vs.Vehicle,
+			Orders:  groups[bi],
+			Plan:    plan,
+		})
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package roadnet
+
+import (
+	"math"
+)
+
+// nodeHeap is a binary min-heap of (node, dist) pairs specialised for
+// Dijkstra. We avoid container/heap's interface indirection on the hot path.
+type nodeHeap struct {
+	node []NodeID
+	dist []float64
+}
+
+func (h *nodeHeap) push(u NodeID, d float64) {
+	h.node = append(h.node, u)
+	h.dist = append(h.dist, d)
+	i := len(h.node) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.dist[parent] <= h.dist[i] {
+			break
+		}
+		h.node[parent], h.node[i] = h.node[i], h.node[parent]
+		h.dist[parent], h.dist[i] = h.dist[i], h.dist[parent]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() (NodeID, float64) {
+	u, d := h.node[0], h.dist[0]
+	last := len(h.node) - 1
+	h.node[0], h.dist[0] = h.node[last], h.dist[last]
+	h.node = h.node[:last]
+	h.dist = h.dist[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.dist[l] < h.dist[small] {
+			small = l
+		}
+		if r < last && h.dist[r] < h.dist[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.node[i], h.node[small] = h.node[small], h.node[i]
+		h.dist[i], h.dist[small] = h.dist[small], h.dist[i]
+		i = small
+	}
+	return u, d
+}
+
+func (h *nodeHeap) empty() bool { return len(h.node) == 0 }
+
+func (h *nodeHeap) reset() {
+	h.node = h.node[:0]
+	h.dist = h.dist[:0]
+}
+
+// ShortestPath returns SP(from, to, t): the quickest travel time in seconds
+// departing `from` at time t, using the single slot containing t (weights are
+// static within a slot, matching the paper's per-slot averaging). Returns
+// +Inf if `to` is unreachable.
+func ShortestPath(g *Graph, from, to NodeID, t float64) float64 {
+	e := NewSSSP(g)
+	return e.Distance(from, to, t)
+}
+
+// PathResult is a shortest path with its per-node arrival times.
+type PathResult struct {
+	Nodes []NodeID  // node sequence, Nodes[0] == from
+	Times []float64 // arrival time at each node; Times[0] == departure time
+	DistM float64   // total length in metres
+}
+
+// TravelTime returns the total traversal time of the path in seconds.
+func (p *PathResult) TravelTime() float64 {
+	if len(p.Times) == 0 {
+		return 0
+	}
+	return p.Times[len(p.Times)-1] - p.Times[0]
+}
+
+// Path computes the quickest path from->to departing at time t, advancing the
+// clock edge by edge so that each edge's weight is taken from the slot in
+// which it is entered (true time-dependent traversal — used when vehicles
+// physically move through the network). Returns nil if unreachable.
+func Path(g *Graph, from, to NodeID, t float64) *PathResult {
+	n := g.NumNodes()
+	if int(from) >= n || int(to) >= n || from < 0 || to < 0 {
+		return nil
+	}
+	dist := make([]float64, n)
+	prev := make([]NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = Invalid
+	}
+	dist[from] = t
+	var h nodeHeap
+	h.push(from, t)
+	for !h.empty() {
+		u, du := h.pop()
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == to {
+			break
+		}
+		for _, e := range g.OutEdges(u) {
+			if done[e.To] {
+				continue
+			}
+			// du is the arrival (absolute) time at u; the edge is entered at du.
+			nd := du + g.EdgeTime(e, du)
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = u
+				h.push(e.To, nd)
+			}
+		}
+	}
+	if !done[to] {
+		return nil
+	}
+	// Reconstruct.
+	var rev []NodeID
+	for u := to; u != Invalid; u = prev[u] {
+		rev = append(rev, u)
+	}
+	res := &PathResult{
+		Nodes: make([]NodeID, len(rev)),
+		Times: make([]float64, len(rev)),
+	}
+	for i := range rev {
+		u := rev[len(rev)-1-i]
+		res.Nodes[i] = u
+		res.Times[i] = dist[u]
+	}
+	for i := 0; i+1 < len(res.Nodes); i++ {
+		u, v := res.Nodes[i], res.Nodes[i+1]
+		for _, e := range g.OutEdges(u) {
+			if e.To == v {
+				res.DistM += float64(e.LenM)
+				break
+			}
+		}
+	}
+	return res
+}
+
+// SSSP is a reusable bounded single-source Dijkstra engine. Scratch arrays
+// are epoch-stamped so consecutive searches cost O(visited), not O(n).
+// An SSSP instance is not safe for concurrent use; create one per goroutine.
+type SSSP struct {
+	g     *Graph
+	dist  []float64
+	stamp []uint32
+	done  []uint32
+	epoch uint32
+	heap  nodeHeap
+}
+
+// NewSSSP returns an engine bound to g.
+func NewSSSP(g *Graph) *SSSP {
+	n := g.NumNodes()
+	return &SSSP{
+		g:     g,
+		dist:  make([]float64, n),
+		stamp: make([]uint32, n),
+		done:  make([]uint32, n),
+	}
+}
+
+// Distance returns SP(from,to,t) using the slot containing t.
+func (s *SSSP) Distance(from, to NodeID, t float64) float64 {
+	res := s.run(from, Slot(t), math.Inf(1), to)
+	return res.get(to)
+}
+
+// FromSource runs a bounded single-source search from `from` in the slot of
+// t, exploring only nodes whose travel time is ≤ bound (seconds). The
+// returned view is valid until the next call on this engine.
+func (s *SSSP) FromSource(from NodeID, t, bound float64) DistView {
+	return s.run(from, Slot(t), bound, Invalid)
+}
+
+// DistView is a read-only view of the distances computed by one SSSP run.
+type DistView struct {
+	s     *SSSP
+	epoch uint32
+}
+
+// Get returns the travel time from the run's source to u, or +Inf if u was
+// not settled within the bound.
+func (v DistView) Get(u NodeID) float64 { return v.get(u) }
+
+func (v DistView) get(u NodeID) float64 {
+	if v.s.done[u] != v.epoch {
+		return math.Inf(1)
+	}
+	return v.s.dist[u]
+}
+
+func (s *SSSP) run(from NodeID, slot int, bound float64, target NodeID) DistView {
+	s.epoch++
+	ep := s.epoch
+	s.heap.reset()
+	s.dist[from] = 0
+	s.stamp[from] = ep
+	s.heap.push(from, 0)
+	g := s.g
+	for !s.heap.empty() {
+		u, du := s.heap.pop()
+		if s.done[u] == ep {
+			continue
+		}
+		if du > bound {
+			break
+		}
+		s.done[u] = ep
+		if u == target {
+			break
+		}
+		for _, e := range g.OutEdges(u) {
+			if s.done[e.To] == ep {
+				continue
+			}
+			nd := du + g.EdgeTimeSlot(e, slot)
+			if nd > bound {
+				continue
+			}
+			if s.stamp[e.To] != ep || nd < s.dist[e.To] {
+				s.dist[e.To] = nd
+				s.stamp[e.To] = ep
+				s.heap.push(e.To, nd)
+			}
+		}
+	}
+	return DistView{s: s, epoch: ep}
+}
+
+// StronglyConnected reports whether the graph is strongly connected — a
+// sanity invariant for synthetic cities (every restaurant must be able to
+// reach every customer).
+func StronglyConnected(g *Graph) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	reach := func(adj func(NodeID) []Edge) int {
+		seen := make([]bool, n)
+		stack := []NodeID{0}
+		seen[0] = true
+		count := 0
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			count++
+			for _, e := range adj(u) {
+				if !seen[e.To] {
+					seen[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		return count
+	}
+	return reach(g.OutEdges) == n && reach(g.InEdges) == n
+}

@@ -1,0 +1,250 @@
+// Package routing computes quickest route plans (Definition 3) and the cost
+// semantics built on them: expected delivery time (Definition 5), shortest
+// delivery time (Definition 6), extra delivery time (Definition 7), the
+// aggregate Cost(v, O) of Eq. 4 and the marginal cost of Eq. 3 / Eq. 7.
+//
+// Because MAXO is small (3 for Swiggy), the number of feasible stop
+// sequences is tiny and the paper's "try all permutations" strategy is
+// exact and cheap; we add branch-and-bound pruning on the partial cost for
+// good measure.
+package routing
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/roadnet"
+)
+
+// SDT computes the shortest delivery time oᵖ + SP(oʳ,oᶜ,oᵗ) (Definition 6).
+func SDT(sp roadnet.SPFunc, o *model.Order) float64 {
+	return o.Prep + sp(o.Restaurant, o.Customer, o.PlacedAt)
+}
+
+// Evaluate simulates a route plan stop by stop, starting at `start` at time
+// `startTime`, and returns the total extra delivery time of every order
+// dropped off by the plan (Eq. 4 over the plan's orders).
+//
+// Semantics, matching Definitions 5–7: travel between consecutive stops
+// takes SP(·,·,departure time); arriving at a restaurant before the food is
+// ready (o.ReadyAt) blocks the vehicle until it is — that idle span is
+// exactly the driver waiting time of the WT metric; the delivery time of an
+// order is its dropoff clock time minus its placement time, and XDT
+// subtracts the precomputed SDT.
+//
+// The second return value is false when any leg is unreachable (+Inf).
+func Evaluate(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, plan *model.RoutePlan) (float64, bool) {
+	cost, _, ok := evaluate(sp, start, startTime, plan.Stops)
+	return cost, ok
+}
+
+// EvaluateDetailed is Evaluate plus the per-order delivery instants and the
+// total waiting time incurred at restaurants, used by tests and by the
+// batching layer's diagnostics.
+func EvaluateDetailed(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, plan *model.RoutePlan) (cost, waitSec float64, dropTimes map[model.OrderID]float64, ok bool) {
+	dropTimes = make(map[model.OrderID]float64, len(plan.Stops)/2)
+	t := startTime
+	node := start
+	for _, s := range plan.Stops {
+		leg := sp(node, s.Node, t)
+		if math.IsInf(leg, 1) {
+			return 0, 0, nil, false
+		}
+		t += leg
+		node = s.Node
+		switch s.Kind {
+		case model.Pickup:
+			if ready := s.Order.ReadyAt(); t < ready {
+				waitSec += ready - t
+				t = ready
+			}
+		case model.Dropoff:
+			dropTimes[s.Order.ID] = t
+			cost += t - s.Order.PlacedAt - s.Order.SDT
+		}
+	}
+	return cost, waitSec, dropTimes, true
+}
+
+func evaluate(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, stops []model.Stop) (cost, endTime float64, ok bool) {
+	t := startTime
+	node := start
+	for _, s := range stops {
+		leg := sp(node, s.Node, t)
+		if math.IsInf(leg, 1) {
+			return 0, 0, false
+		}
+		t += leg
+		node = s.Node
+		switch s.Kind {
+		case model.Pickup:
+			if ready := s.Order.ReadyAt(); t < ready {
+				t = ready
+			}
+		case model.Dropoff:
+			cost += t - s.Order.PlacedAt - s.Order.SDT
+		}
+	}
+	return cost, t, true
+}
+
+// Optimize finds the quickest (minimum ΣXDT) route plan for a vehicle at
+// `start` at `startTime` that drops off every order in `onboard` (already
+// picked up — dropoff-only stops) and picks up and drops off every order in
+// `toPickup`. Returns the plan and its cost, or ok=false when no feasible
+// plan exists (some leg unreachable).
+//
+// The search enumerates all stop sequences respecting pickup-before-dropoff
+// with branch-and-bound pruning: XDT contributions accrue per dropoff and
+// are non-decreasing in time, so a partial cost already exceeding the best
+// complete plan can be cut.
+func Optimize(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, onboard, toPickup []*model.Order) (*model.RoutePlan, float64, bool) {
+	n := len(onboard) + len(toPickup)
+	if n == 0 {
+		return &model.RoutePlan{}, 0, true
+	}
+
+	// Minimising ΣXDT = Σ(dropTime − PlacedAt − SDT) is the same as
+	// minimising Σ dropTime, because the placement and SDT terms are
+	// constants of the order set. Branch-and-bound on the partial
+	// Σ dropTime is admissible: dropoff instants are positive and every
+	// remaining dropoff happens after the current clock, so
+	// partial + remaining·now lower-bounds any completion.
+	type searchState struct {
+		node    roadnet.NodeID
+		t       float64
+		dropSum float64
+	}
+	best := math.Inf(1) // best complete Σ dropTime
+	var bestSeq []model.Stop
+	seq := make([]model.Stop, 0, 2*n)
+
+	droppedOnboard := make([]bool, len(onboard))
+	picked := make([]bool, len(toPickup))
+	dropped := make([]bool, len(toPickup))
+	remaining := n // dropoffs still owed
+
+	var dfs func(st searchState)
+	dfs = func(st searchState) {
+		if st.dropSum+float64(remaining)*st.t >= best {
+			return
+		}
+		if remaining == 0 {
+			best = st.dropSum
+			bestSeq = append(bestSeq[:0], seq...)
+			return
+		}
+		tryStop := func(s model.Stop, undo func()) {
+			leg := sp(st.node, s.Node, st.t)
+			if math.IsInf(leg, 1) {
+				undo()
+				return
+			}
+			nt := st.t + leg
+			nd := st.dropSum
+			if s.Kind == model.Pickup {
+				if ready := s.Order.ReadyAt(); nt < ready {
+					nt = ready
+				}
+			} else {
+				nd += nt
+			}
+			seq = append(seq, s)
+			dfs(searchState{node: s.Node, t: nt, dropSum: nd})
+			seq = seq[:len(seq)-1]
+			undo()
+		}
+		for i, o := range onboard {
+			if droppedOnboard[i] {
+				continue
+			}
+			droppedOnboard[i] = true
+			remaining--
+			tryStop(model.Stop{Node: o.Customer, Order: o, Kind: model.Dropoff}, func() {
+				droppedOnboard[i] = false
+				remaining++
+			})
+		}
+		for i, o := range toPickup {
+			if dropped[i] {
+				continue
+			}
+			if !picked[i] {
+				picked[i] = true
+				tryStop(model.Stop{Node: o.Restaurant, Order: o, Kind: model.Pickup}, func() {
+					picked[i] = false
+				})
+			} else {
+				dropped[i] = true
+				remaining--
+				tryStop(model.Stop{Node: o.Customer, Order: o, Kind: model.Dropoff}, func() {
+					dropped[i] = false
+					remaining++
+				})
+			}
+		}
+	}
+	dfs(searchState{node: start, t: startTime})
+
+	if math.IsInf(best, 1) {
+		return nil, 0, false
+	}
+	constTerm := 0.0
+	for _, o := range onboard {
+		constTerm += o.PlacedAt + o.SDT
+	}
+	for _, o := range toPickup {
+		constTerm += o.PlacedAt + o.SDT
+	}
+	return &model.RoutePlan{Stops: bestSeq}, best - constTerm, true
+}
+
+// Cost computes Cost(v, O) (Eq. 4): the total XDT of the vehicle's order set
+// under its quickest route plan, with the vehicle at `start` at `startTime`.
+// Returns +Inf when infeasible.
+func Cost(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, onboard, toPickup []*model.Order) float64 {
+	_, c, ok := Optimize(sp, start, startTime, onboard, toPickup)
+	if !ok {
+		return math.Inf(1)
+	}
+	return c
+}
+
+// MarginalCost computes mCost(π, v) (Eq. 3 generalised to batches, Eq. 7):
+// the increase in total XDT when the orders `add` join a vehicle currently
+// at `start` carrying `onboard` (picked up) and `pending` (assigned, not
+// picked up). The base cost covers onboard+pending; the extended cost adds
+// the batch. Returns the new optimal plan alongside; ok=false when the
+// extended set is infeasible.
+func MarginalCost(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, onboard, pending, add []*model.Order) (*model.RoutePlan, float64, bool) {
+	base := Cost(sp, start, startTime, onboard, pending)
+	if math.IsInf(base, 1) {
+		// The vehicle's existing workload is already unreachable (should not
+		// happen on strongly connected networks); treat extension as
+		// infeasible.
+		return nil, 0, false
+	}
+	extended := make([]*model.Order, 0, len(pending)+len(add))
+	extended = append(extended, pending...)
+	extended = append(extended, add...)
+	plan, total, ok := Optimize(sp, start, startTime, onboard, extended)
+	if !ok {
+		return nil, 0, false
+	}
+	return plan, total - base, true
+}
+
+// EDT computes the expected delivery time of a single order assigned to a
+// vehicle at `start` (Definition 5) under the plan returned by Optimize for
+// just that order: max(firstMile, prep-remaining) + lastMile, expressed as
+// the dropoff instant minus placement time.
+func EDT(sp roadnet.SPFunc, start roadnet.NodeID, startTime float64, o *model.Order) float64 {
+	_, _, drops, ok := EvaluateDetailed(sp, start, startTime, &model.RoutePlan{Stops: []model.Stop{
+		{Node: o.Restaurant, Order: o, Kind: model.Pickup},
+		{Node: o.Customer, Order: o, Kind: model.Dropoff},
+	}})
+	if !ok {
+		return math.Inf(1)
+	}
+	return drops[o.ID] - o.PlacedAt
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/roadnet"
+	"repro/internal/routing"
+	"repro/internal/trace"
+)
+
+// advance moves one vehicle through simulated time [t0, t1): drive the
+// current leg edge by edge (each edge at its entry-time β), wait at
+// restaurants when the food is not ready, pick up, drop off, then start the
+// next leg.
+func (s *Simulator) advance(vr *vehicleRt, t0, t1 float64) {
+	v := vr.v
+	t := t0
+	for t < t1 {
+		if v.Plan.Empty() {
+			return // idle: vehicles park in place
+		}
+		stop := v.Plan.Stops[0]
+
+		// At the stop node with no residual path: service the stop.
+		if v.Node == stop.Node && len(vr.path) == 0 {
+			var done bool
+			t, done = s.serviceStop(vr, stop, t, t1)
+			if !done {
+				return // waiting for food past the window boundary
+			}
+			continue
+		}
+
+		// Need a path for the current leg?
+		if len(vr.path) == 0 {
+			p := roadnet.Path(s.g, v.Node, stop.Node, t)
+			if p == nil {
+				// The stop became unreachable (pathological graphs /
+				// failure injection): abandon the stop.
+				s.abandonStop(vr, stop)
+				continue
+			}
+			vr.path = append(vr.path[:0], p.Nodes[1:]...)
+			vr.edgeRemaining = 0
+		}
+
+		// Ensure the current edge is initialised.
+		if vr.edgeRemaining <= 0 {
+			if len(vr.path) == 0 {
+				continue // already at stop node; loop back to service it
+			}
+			e, ok := edgeBetween(s.g, v.Node, vr.path[0])
+			if !ok {
+				// Path invalidated (cannot happen on immutable graphs, but
+				// guard anyway): recompute next iteration.
+				vr.path = nil
+				continue
+			}
+			vr.edgeTotal = s.g.EdgeTime(e, t)
+			vr.edgeRemaining = vr.edgeTotal
+			vr.edgeLenM = float64(e.LenM)
+			v.EdgeTo = vr.path[0]
+		}
+
+		// Drive as much of the edge as the window allows.
+		dt := t1 - t
+		if vr.edgeRemaining <= dt {
+			t += vr.edgeRemaining
+			s.accrueDistance(v, vr.edgeLenM*vr.edgeRemaining/vr.edgeTotal, t)
+			v.Node = vr.path[0]
+			vr.path = vr.path[1:]
+			vr.edgeRemaining = 0
+			v.EdgeTo = roadnet.Invalid
+			v.EdgeProgress = 0
+		} else {
+			s.accrueDistance(v, vr.edgeLenM*dt/vr.edgeTotal, t1)
+			vr.edgeRemaining -= dt
+			v.EdgeProgress = vr.edgeTotal - vr.edgeRemaining
+			t = t1
+		}
+	}
+}
+
+// serviceStop handles a pickup or dropoff at the current node. It returns
+// the advanced clock and whether the stop completed (false: still waiting
+// for food at the window boundary).
+func (s *Simulator) serviceStop(vr *vehicleRt, stop model.Stop, t, t1 float64) (float64, bool) {
+	v := vr.v
+	o := stop.Order
+	switch stop.Kind {
+	case model.Pickup:
+		if o.State != model.OrderAssigned || o.AssignedTo != v.ID {
+			// The order was reshuffled away or rejected after this plan was
+			// made; skip the stale stop.
+			s.popStop(v)
+			return t, true
+		}
+		ready := o.ReadyAt()
+		if t < ready {
+			wait := math.Min(ready, t1) - t
+			v.WaitSec += wait
+			s.metrics.WaitSec += wait
+			s.metrics.SlotWaitSec[roadnet.Slot(t)] += wait
+			if ready > t1 {
+				return t1, false
+			}
+			t = ready
+		}
+		o.State = model.OrderPickedUp
+		o.PickedUpAt = t
+		removeOrder(&v.Pending, o.ID)
+		v.Onboard = append(v.Onboard, o)
+		s.popStop(v)
+		s.opts.Trace.Emit(trace.Event{Kind: trace.OrderPickedUp, T: t, Order: o.ID, Vehicle: v.ID})
+		return t, true
+
+	case model.Dropoff:
+		if o.State != model.OrderPickedUp || o.AssignedTo != v.ID {
+			s.popStop(v)
+			return t, true
+		}
+		o.State = model.OrderDelivered
+		o.DeliveredAt = t
+		removeOrder(&v.Onboard, o.ID)
+		s.popStop(v)
+		m := s.metrics
+		m.Delivered++
+		m.DeliverySec += o.DeliveryTime()
+		xdt := o.XDT()
+		m.XDTSec += xdt
+		slot := roadnet.Slot(o.PlacedAt)
+		m.SlotXDTSec[slot] += xdt
+		m.SlotDelivered[slot]++
+		s.opts.Trace.Emit(trace.Event{Kind: trace.OrderDelivered, T: t, Order: o.ID, Vehicle: v.ID})
+		return t, true
+	}
+	s.popStop(v)
+	return t, true
+}
+
+// abandonStop drops an unreachable stop, stranding its order when that was
+// the order's only delivery hope.
+func (s *Simulator) abandonStop(vr *vehicleRt, stop model.Stop) {
+	v := vr.v
+	o := stop.Order
+	s.popStop(v)
+	switch stop.Kind {
+	case model.Pickup:
+		removeOrder(&v.Pending, o.ID)
+		// Also remove the matching dropoff from the plan.
+		if v.Plan != nil {
+			stops := v.Plan.Stops[:0]
+			for _, st := range v.Plan.Stops {
+				if st.Order.ID != o.ID {
+					stops = append(stops, st)
+				}
+			}
+			v.Plan.Stops = stops
+		}
+		o.State = model.OrderRejected
+		o.AssignedTo = -1
+		s.metrics.Stranded++
+	case model.Dropoff:
+		removeOrder(&v.Onboard, o.ID)
+		o.State = model.OrderRejected
+		s.metrics.Stranded++
+	}
+	vr.path = nil
+	vr.edgeRemaining = 0
+}
+
+func (s *Simulator) popStop(v *model.Vehicle) {
+	v.Plan.Stops = v.Plan.Stops[1:]
+}
+
+// accrueDistance books metres driven at the vehicle's current load.
+func (s *Simulator) accrueDistance(v *model.Vehicle, meters, t float64) {
+	if meters <= 0 {
+		return
+	}
+	load := len(v.Onboard)
+	if load >= len(v.DistByLoad) {
+		load = len(v.DistByLoad) - 1
+	}
+	v.DistM += meters
+	v.DistByLoad[load] += meters
+	m := s.metrics
+	m.DistM += meters
+	if load < len(m.LoadDistM) {
+		m.LoadDistM[load] += meters
+	}
+	slot := roadnet.Slot(t)
+	m.SlotDistM[slot] += meters
+	m.SlotLoadDistM[slot] += float64(load) * meters
+}
+
+// edgeBetween finds the cheapest edge u -> w (parallel edges resolved by
+// free-flow time).
+func edgeBetween(g *roadnet.Graph, u, w roadnet.NodeID) (roadnet.Edge, bool) {
+	var best roadnet.Edge
+	found := false
+	for _, e := range g.OutEdges(u) {
+		if e.To == w && (!found || e.BaseSec < best.BaseSec) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+func removeOrder(list *[]*model.Order, id model.OrderID) {
+	ls := *list
+	for i, o := range ls {
+		if o.ID == id {
+			*list = append(ls[:i], ls[i+1:]...)
+			return
+		}
+	}
+}
+
+// optimizeDropoffs plans the remaining dropoffs for a vehicle's onboard
+// orders (used after reshuffling strips its pending pickups).
+func optimizeDropoffs(sp roadnet.SPFunc, node roadnet.NodeID, now float64, onboard []*model.Order) (*model.RoutePlan, float64, bool) {
+	return routing.Optimize(sp, node, now, onboard, nil)
+}
+
+// optimizePlan rebuilds a vehicle's full quickest plan over its onboard
+// dropoffs and pending pickups (used when restoring reshuffled orders).
+func optimizePlan(sp roadnet.SPFunc, node roadnet.NodeID, now float64, onboard, pending []*model.Order) (*model.RoutePlan, float64, bool) {
+	return routing.Optimize(sp, node, now, onboard, pending)
+}

@@ -1,0 +1,464 @@
+// Package sim is the discrete-event food-delivery simulator: it replays an
+// order stream against a fleet of vehicles on a time-dependent road network,
+// invoking an assignment policy at the end of every accumulation window
+// (Section II / Fig. 5 pipeline) and collecting the paper's evaluation
+// metrics.
+//
+// Within a window the simulator moves every vehicle continuously along its
+// route plan — edge by edge, each edge traversed at the β(e,t) of its entry
+// time — handling restaurant waits (food not ready), pickups and dropoffs.
+// At the window boundary it rejects stale orders, optionally reshuffles
+// assigned-but-unpicked orders back into the pool, builds the policy input
+// and applies the returned assignments.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/foodgraph"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// Options tunes simulator behaviour beyond the model.Config.
+type Options struct {
+	// SPBound caps single-source expansions of the shared distance cache in
+	// seconds; 0 defaults to 2×MaxFirstMile.
+	SPBound float64
+	// DrainCap bounds the post-stream drain phase in seconds (how long the
+	// simulator keeps running windows after the last order to let in-flight
+	// deliveries finish); 0 defaults to 2 h.
+	DrainCap float64
+	// Quiet suppresses progress output (always true in tests).
+	Quiet bool
+	// Trace receives the simulation event stream (nil = discard).
+	Trace trace.Sink
+	// DecisionGraph, when set, is the network the *policy* sees: its edge
+	// weights answer every marginal-cost and batching query, while vehicle
+	// movement and SDT (the metric lower bound) stay on the true graph.
+	// This models the paper's evaluation protocol, where travel times are
+	// learned from five days of GPS pings and the sixth day is driven on
+	// reality (Section V-B); pair it with the gps package's SpeedLearner.
+	DecisionGraph *roadnet.Graph
+}
+
+// Simulator replays one day of orders under a policy.
+type Simulator struct {
+	g *roadnet.Graph
+	// cache/sp answer metric queries (SDT) on the true graph; decCache/
+	// decSP answer the policy's queries, possibly on a learned graph.
+	cache    *roadnet.DistCache
+	sp       roadnet.SPFunc
+	decCache *roadnet.DistCache
+	decSP    roadnet.SPFunc
+	decG     *roadnet.Graph
+	pol      policy.Policy
+	cfg      *model.Config
+	opts     Options
+	orders   []*model.Order // sorted by PlacedAt
+	vrts     []*vehicleRt
+
+	pool    []*model.Order // placed, unassigned
+	nextOrd int
+	clock   float64 // last processed simulation instant (for event stamps)
+	metrics *Metrics
+}
+
+// vehicleRt wraps a vehicle with the simulator's movement state.
+type vehicleRt struct {
+	v *model.Vehicle
+	// path holds the remaining nodes of the current leg; path[0] is the node
+	// currently being driven towards.
+	path []roadnet.NodeID
+	// edgeRemaining/edgeTotal/edgeLenM describe progress on the edge
+	// v.Node -> path[0].
+	edgeRemaining float64
+	edgeTotal     float64
+	edgeLenM      float64
+}
+
+// New builds a simulator. Orders must carry PlacedAt/Items/Prep; SDT is
+// computed at injection. Vehicles should be parked at valid nodes.
+func New(g *roadnet.Graph, orders []*model.Order, vehicles []*model.Vehicle, pol policy.Policy, cfg *model.Config, opts Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.SPBound <= 0 {
+		opts.SPBound = 2 * cfg.MaxFirstMile
+	}
+	if opts.DrainCap <= 0 {
+		opts.DrainCap = 7200
+	}
+	if opts.Trace == nil {
+		opts.Trace = trace.Discard
+	}
+	sorted := make([]*model.Order, len(orders))
+	copy(sorted, orders)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].PlacedAt < sorted[j].PlacedAt })
+	cache := roadnet.NewDistCache(g, opts.SPBound)
+	s := &Simulator{
+		g:       g,
+		cache:   cache,
+		sp:      cache.AsFunc(),
+		pol:     pol,
+		cfg:     cfg,
+		opts:    opts,
+		orders:  sorted,
+		metrics: NewMetrics(cfg.MaxO),
+	}
+	s.decCache, s.decSP, s.decG = cache, s.sp, g
+	if opts.DecisionGraph != nil {
+		if opts.DecisionGraph.NumNodes() != g.NumNodes() {
+			return nil, fmt.Errorf("sim: decision graph has %d nodes, true graph %d",
+				opts.DecisionGraph.NumNodes(), g.NumNodes())
+		}
+		s.decG = opts.DecisionGraph
+		s.decCache = roadnet.NewDistCache(opts.DecisionGraph, opts.SPBound)
+		s.decSP = s.decCache.AsFunc()
+	}
+	for _, v := range vehicles {
+		if int(v.Node) >= g.NumNodes() || v.Node < 0 {
+			return nil, fmt.Errorf("sim: vehicle %d parked at invalid node %d", v.ID, v.Node)
+		}
+		if len(v.DistByLoad) < cfg.MaxO+1 {
+			v.DistByLoad = make([]float64, cfg.MaxO+1)
+		}
+		s.vrts = append(s.vrts, &vehicleRt{v: v})
+	}
+	return s, nil
+}
+
+// Metrics exposes the metric sink (live during Run).
+func (s *Simulator) Metrics() *Metrics { return s.metrics }
+
+// Run simulates [start, end) plus a drain phase and returns the metrics.
+func (s *Simulator) Run(start, end float64) *Metrics {
+	now := start
+	drainEnd := end + s.opts.DrainCap
+	slot := roadnet.Slot(now)
+	for now < drainEnd {
+		wEnd := now + s.cfg.Delta
+		// Weights change at slot boundaries; old-slot cache rows are never
+		// consulted again, so drop them to bound memory on long runs.
+		if ns := roadnet.Slot(now); ns != slot {
+			slot = ns
+			s.cache.Reset()
+			if s.decCache != s.cache {
+				s.decCache.Reset()
+			}
+		}
+		s.injectOrders(wEnd)
+		for _, vr := range s.vrts {
+			s.advance(vr, now, wEnd)
+		}
+		s.clock = wEnd
+		s.rejectStale(wEnd)
+		s.window(wEnd)
+		now = wEnd
+		if now >= end && s.idle() {
+			break
+		}
+	}
+	// Anything still undelivered at drain end was never served.
+	for _, o := range s.pool {
+		s.reject(o)
+	}
+	s.pool = nil
+	for _, vr := range s.vrts {
+		for _, o := range append(append([]*model.Order{}, vr.v.Onboard...), vr.v.Pending...) {
+			if o.State != model.OrderDelivered {
+				o.State = model.OrderRejected
+				s.metrics.Stranded++
+			}
+		}
+	}
+	return s.metrics
+}
+
+// idle reports whether no work remains anywhere.
+func (s *Simulator) idle() bool {
+	if len(s.pool) > 0 || s.nextOrd < len(s.orders) {
+		return false
+	}
+	for _, vr := range s.vrts {
+		if vr.v.OrderCount() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// injectOrders admits orders placed before wEnd into the pool, computing
+// their SDT lower bound on admission.
+func (s *Simulator) injectOrders(wEnd float64) {
+	for s.nextOrd < len(s.orders) && s.orders[s.nextOrd].PlacedAt < wEnd {
+		o := s.orders[s.nextOrd]
+		s.nextOrd++
+		o.State = model.OrderPlaced
+		o.AssignedTo = -1
+		o.SDT = o.Prep + s.sp(o.Restaurant, o.Customer, o.PlacedAt)
+		s.metrics.TotalOrders++
+		s.metrics.SlotOrders[roadnet.Slot(o.PlacedAt)]++
+		s.pool = append(s.pool, o)
+		s.opts.Trace.Emit(trace.Event{Kind: trace.OrderPlaced, T: o.PlacedAt, Order: o.ID})
+	}
+}
+
+// rejectStale drops orders unallocated longer than RejectAfter.
+func (s *Simulator) rejectStale(now float64) {
+	keep := s.pool[:0]
+	for _, o := range s.pool {
+		if now-o.PlacedAt > s.cfg.RejectAfter {
+			s.reject(o)
+		} else {
+			keep = append(keep, o)
+		}
+	}
+	s.pool = keep
+}
+
+func (s *Simulator) reject(o *model.Order) {
+	o.State = model.OrderRejected
+	s.metrics.Rejected++
+	s.metrics.RejectionPenaltySec += s.cfg.Omega
+	s.metrics.SlotRejectionSec[roadnet.Slot(o.PlacedAt)] += s.cfg.Omega
+	s.opts.Trace.Emit(trace.Event{Kind: trace.OrderRejected, T: s.clock, Order: o.ID})
+}
+
+// window performs the end-of-window assignment round at time now.
+func (s *Simulator) window(now float64) {
+	reshuffle := s.cfg.Reshuffle && s.pol.Reshuffles()
+
+	// Build O(ℓ).
+	orders := make([]*model.Order, 0, len(s.pool))
+	orders = append(orders, s.pool...)
+	stripped := make(map[model.VehicleID]bool)
+	prevVehicle := make(map[model.OrderID]model.VehicleID)
+	if reshuffle {
+		for _, vr := range s.vrts {
+			if len(vr.v.Pending) == 0 {
+				continue
+			}
+			for _, o := range vr.v.Pending {
+				o.State = model.OrderPlaced
+				prevVehicle[o.ID] = o.AssignedTo
+				o.AssignedTo = -1
+				orders = append(orders, o)
+				s.opts.Trace.Emit(trace.Event{Kind: trace.OrderReleased, T: now, Order: o.ID, Vehicle: prevVehicle[o.ID]})
+			}
+			vr.v.Pending = vr.v.Pending[:0]
+			stripped[vr.v.ID] = true
+		}
+	}
+	if len(orders) == 0 {
+		s.recordWindow(now, 0)
+		s.replanStripped(stripped, nil, now)
+		return
+	}
+
+	// Build V(ℓ). Single-order policies (the paper's vanilla KM) admit a
+	// vehicle only once it is empty; everything else admits any on-shift
+	// vehicle with spare MAXO/MAXI capacity (Definition 4).
+	singleOrder := s.pol.SingleOrderMode(s.cfg)
+	var vss []*foodgraph.VehicleState
+	for _, vr := range s.vrts {
+		v := vr.v
+		if !v.Active(now) {
+			continue
+		}
+		if singleOrder && v.OrderCount() > 0 {
+			continue
+		}
+		if v.OrderCount() >= s.cfg.MaxO || v.ItemCount() >= s.cfg.MaxI {
+			continue
+		}
+		vss = append(vss, &foodgraph.VehicleState{
+			Vehicle: v,
+			Node:    v.Node,
+			Dest:    vr.nextNode(),
+			Onboard: v.Onboard,
+			Keep:    v.Pending,
+		})
+	}
+
+	in := &policy.WindowInput{
+		G:         s.decG,
+		SP:        s.decSP,
+		Now:       now,
+		Orders:    orders,
+		Vehicles:  vss,
+		Incumbent: prevVehicle,
+		Cfg:       s.cfg,
+	}
+	t0 := time.Now()
+	assignments := s.pol.Assign(in)
+	assignSec := time.Since(t0).Seconds()
+	s.recordWindow(now, assignSec)
+	s.opts.Trace.Emit(trace.Event{
+		Kind: trace.WindowClosed, T: now,
+		PoolSize: len(orders), Vehicles: len(vss),
+		Assignments: len(assignments), AssignSec: assignSec,
+	})
+
+	assignedVehicles := make(map[model.VehicleID]bool, len(assignments))
+	assignedOrders := make(map[model.OrderID]bool)
+	for _, a := range assignments {
+		assignedVehicles[a.Vehicle.ID] = true
+		v := a.Vehicle
+		for _, o := range a.Orders {
+			o.State = model.OrderAssigned
+			if prev, had := prevVehicle[o.ID]; had && prev != v.ID {
+				s.metrics.Reassignments++
+			}
+			o.AssignedTo = v.ID
+			o.AssignedAt = now
+			assignedOrders[o.ID] = true
+			v.Pending = append(v.Pending, o)
+			s.opts.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
+		}
+		s.setPlan(v, a.Plan)
+	}
+
+	// Restore-to-incumbent: a reshuffled order the matching did not place
+	// anywhere keeps its previous assignment — reshuffling looks for
+	// *better* vehicles (Section IV-D2), it never strands an order that
+	// already had one. The incumbent may have received a new batch this
+	// window; restore only while capacity allows, replanning the vehicle
+	// with the restored pickups included.
+	restored := make(map[model.VehicleID]bool)
+	for _, o := range orders {
+		if assignedOrders[o.ID] || o.State != model.OrderPlaced {
+			continue
+		}
+		prev, had := prevVehicle[o.ID]
+		if !had {
+			continue
+		}
+		v := s.vehicleByID(prev)
+		if v == nil || !v.Active(now) {
+			continue
+		}
+		if v.OrderCount()+1 > s.cfg.MaxO || v.ItemCount()+o.Items > s.cfg.MaxI {
+			continue
+		}
+		o.State = model.OrderAssigned
+		o.AssignedTo = v.ID
+		v.Pending = append(v.Pending, o)
+		assignedOrders[o.ID] = true
+		restored[v.ID] = true
+		s.opts.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
+	}
+	for _, vr := range s.vrts {
+		if !restored[vr.v.ID] {
+			continue
+		}
+		plan, _, ok := optimizePlan(s.decSP, vr.v.Node, now, vr.v.Onboard, vr.v.Pending)
+		if ok {
+			s.setPlan(vr.v, plan)
+		}
+	}
+
+	// Rebuild the pool: orders not assigned anywhere stay (or return) in it.
+	newPool := s.pool[:0]
+	for _, o := range orders {
+		if !assignedOrders[o.ID] && o.State == model.OrderPlaced {
+			newPool = append(newPool, o)
+		}
+	}
+	s.pool = newPool
+
+	s.replanStripped(stripped, assignedVehicles, now)
+}
+
+// replanStripped rebuilds dropoff-only plans for vehicles whose pending
+// orders were pooled by reshuffling but which received no new assignment.
+func (s *Simulator) replanStripped(stripped map[model.VehicleID]bool, assigned map[model.VehicleID]bool, now float64) {
+	if len(stripped) == 0 {
+		return
+	}
+	for _, vr := range s.vrts {
+		v := vr.v
+		if !stripped[v.ID] || assigned[v.ID] {
+			continue
+		}
+		if len(v.Onboard) == 0 {
+			s.setPlan(v, &model.RoutePlan{})
+			continue
+		}
+		plan, _, ok := optimizeDropoffs(s.decSP, v.Node, now, v.Onboard)
+		if !ok {
+			// Keep the old plan's dropoffs in order as a fallback.
+			continue
+		}
+		s.setPlan(v, plan)
+	}
+}
+
+// setPlan replaces a vehicle's route plan. A vehicle mid-edge finishes that
+// road segment before rerouting (it cannot teleport back to the segment's
+// start); resetting its progress every window would systematically slow
+// every reshuffled vehicle.
+func (s *Simulator) setPlan(v *model.Vehicle, plan *model.RoutePlan) {
+	v.Plan = plan.Clone()
+	for _, vr := range s.vrts {
+		if vr.v != v {
+			continue
+		}
+		if vr.edgeRemaining > 0 && len(vr.path) > 0 {
+			// Keep only the in-progress edge; the leg to the new first stop
+			// is recomputed from its far end.
+			vr.path = vr.path[:1]
+			v.EdgeTo = vr.path[0]
+		} else {
+			vr.path = nil
+			vr.edgeRemaining = 0
+			vr.edgeTotal = 0
+			vr.edgeLenM = 0
+			v.EdgeTo = roadnet.Invalid
+			v.EdgeProgress = 0
+		}
+		break
+	}
+}
+
+func (s *Simulator) recordWindow(now, assignSec float64) {
+	m := s.metrics
+	slot := roadnet.Slot(now - s.cfg.Delta/2) // attribute to the window's interior
+	m.Windows++
+	m.SlotWindows[slot]++
+	m.AssignSecTotal += assignSec
+	m.SlotAssignSecSum[slot] += assignSec
+	if assignSec > m.AssignSecMax {
+		m.AssignSecMax = assignSec
+	}
+	if s.cfg.ComputeBudget > 0 && assignSec > s.cfg.ComputeBudget {
+		m.OverflownWindows++
+		m.SlotOverflown[slot]++
+	}
+}
+
+// nextNode returns the node the vehicle is currently heading towards
+// (roadnet.Invalid when idle) — the `dest` of the angular-distance model.
+func (vr *vehicleRt) nextNode() roadnet.NodeID {
+	if len(vr.path) > 0 {
+		return vr.path[0]
+	}
+	if vr.v.Plan != nil && !vr.v.Plan.Empty() {
+		return vr.v.Plan.Stops[0].Node
+	}
+	return roadnet.Invalid
+}
+
+// vehicleByID finds a vehicle in the fleet.
+func (s *Simulator) vehicleByID(id model.VehicleID) *model.Vehicle {
+	for _, vr := range s.vrts {
+		if vr.v.ID == id {
+			return vr.v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleStream() *Recorder {
+	r := NewRecorder()
+	r.Emit(Event{Kind: OrderPlaced, T: 100, Order: 1})
+	r.Emit(Event{Kind: OrderPlaced, T: 110, Order: 2})
+	r.Emit(Event{Kind: WindowClosed, T: 180, PoolSize: 2, Vehicles: 3, Assignments: 2, AssignSec: 0.01})
+	r.Emit(Event{Kind: OrderAssigned, T: 180, Order: 1, Vehicle: 7})
+	r.Emit(Event{Kind: OrderAssigned, T: 180, Order: 2, Vehicle: 8})
+	r.Emit(Event{Kind: OrderReleased, T: 360, Order: 1, Vehicle: 7})
+	r.Emit(Event{Kind: OrderAssigned, T: 360, Order: 1, Vehicle: 9}) // reassigned
+	r.Emit(Event{Kind: OrderPickedUp, T: 700, Order: 1, Vehicle: 9})
+	r.Emit(Event{Kind: OrderDelivered, T: 1500, Order: 1, Vehicle: 9})
+	r.Emit(Event{Kind: OrderPickedUp, T: 800, Order: 2, Vehicle: 8})
+	r.Emit(Event{Kind: OrderDelivered, T: 4000, Order: 2, Vehicle: 8})
+	r.Emit(Event{Kind: OrderPlaced, T: 400, Order: 3})
+	r.Emit(Event{Kind: OrderRejected, T: 2260, Order: 3})
+	r.Emit(Event{Kind: WindowClosed, T: 360, PoolSize: 3, Vehicles: 2, Assignments: 1})
+	return r
+}
+
+func TestTimelines(t *testing.T) {
+	tls := sampleStream().Timelines()
+	if len(tls) != 3 {
+		t.Fatalf("timelines = %d, want 3", len(tls))
+	}
+	o1 := tls[0]
+	if o1.Order != 1 || o1.PlacedAt != 100 || o1.PickedUpAt != 700 || o1.DeliveredAt != 1500 {
+		t.Fatalf("order 1 timeline wrong: %+v", o1)
+	}
+	if o1.Reassignments() != 1 || o1.FinalVehicle() != 9 {
+		t.Fatalf("order 1 reassignment tracking wrong: %+v", o1)
+	}
+	o3 := tls[2]
+	if o3.RejectedAt != 2260 || o3.DeliveredAt != 0 {
+		t.Fatalf("order 3 rejection wrong: %+v", o3)
+	}
+	var empty Timeline
+	if empty.FinalVehicle() != 0 {
+		t.Fatal("empty timeline FinalVehicle should be 0")
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	s := sampleStream().Summarise(45 * 60)
+	if s.Orders != 3 || s.Delivered != 2 || s.Rejected != 1 || s.Reassigned != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Order 1: delivered in 1400 s (within 2700); order 2: 3890 s (late).
+	if s.WithinPromise != 0.5 {
+		t.Fatalf("within-promise = %v, want 0.5", s.WithinPromise)
+	}
+	// Pickup delays: 600 and 690 -> mean 645 s = 10.75 min.
+	if s.MeanPickupMin < 10.7 || s.MeanPickupMin > 10.8 {
+		t.Fatalf("mean pickup = %v min", s.MeanPickupMin)
+	}
+}
+
+func TestQueueDepth(t *testing.T) {
+	qs := sampleStream().QueueDepth()
+	if len(qs) != 2 {
+		t.Fatalf("queue points = %d", len(qs))
+	}
+	if qs[0].Depth != 0 || qs[1].Depth != 2 {
+		t.Fatalf("depths = %+v", qs)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := sampleStream()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(r.Events) {
+		t.Fatalf("jsonl lines = %d, want %d", lines, len(r.Events))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(r.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(r.Events))
+	}
+	for i := range back.Events {
+		if back.Events[i] != r.Events[i] {
+			t.Fatalf("event %d changed: %+v vs %+v", i, back.Events[i], r.Events[i])
+		}
+	}
+}
+
+func TestReadJSONLBad(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	Discard.Emit(Event{Kind: OrderPlaced}) // must not panic
+}

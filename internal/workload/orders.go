@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/roadnet"
+)
+
+// OrderStream generates one day (86 400 s) of orders for the city: a
+// non-homogeneous Poisson process whose hourly intensity follows the city's
+// Fig. 6(a)-style profile, restaurants drawn by popularity, customers drawn
+// Gaussian around their restaurant, prep times from the restaurant's
+// per-slot Gaussian (floored at one minute), and 1–4 items per order.
+//
+// The stream is deterministic in (city seed, stream seed) and sorted by
+// placement time.
+func OrderStream(c *City, seed int64) []*model.Order {
+	return OrderStreamWindow(c, seed, 0, roadnet.SecondsPerDay)
+}
+
+// OrderStreamWindow restricts generation to placement times in [from, to).
+// The full-day volume is budgeted first so a window carries exactly the
+// load the city would see at that time of day.
+func OrderStreamWindow(c *City, seed int64, from, to float64) []*model.Order {
+	rng := rand.New(rand.NewSource(seed ^ 0x0bde5))
+	var orders []*model.Order
+	var id model.OrderID
+	for hour := 0; hour < 24; hour++ {
+		// Expected orders this hour; Poisson-jittered around the budget.
+		lambda := c.Hourly[hour] * float64(c.Params.OrdersPerDay)
+		count := poisson(rng, lambda)
+		for i := 0; i < count; i++ {
+			t := (float64(hour) + rng.Float64()) * 3600
+			if t < from || t >= to {
+				continue
+			}
+			id++
+			orders = append(orders, c.NewOrder(rng, id, t))
+		}
+	}
+	sortOrders(orders)
+	return orders
+}
+
+// NewOrder draws a single order placed at time t.
+func (c *City) NewOrder(rng *rand.Rand, id model.OrderID, t float64) *model.Order {
+	ri := c.sampleRestaurant(rng)
+	rest := c.Restaurants[ri]
+	restPt := c.G.Point(rest)
+
+	// Customer: Gaussian spread around the restaurant, snapped to the
+	// network, re-drawn if it collapses onto the restaurant itself.
+	var cust roadnet.NodeID
+	for tries := 0; ; tries++ {
+		pt := geo.Offset(restPt,
+			rng.NormFloat64()*c.Params.CustomerSpreadM,
+			rng.NormFloat64()*c.Params.CustomerSpreadM)
+		cust = c.NearestNode(pt)
+		if cust != rest || tries >= 4 {
+			break
+		}
+	}
+
+	slot := roadnet.Slot(t)
+	prep := c.PrepMeanSec[ri][slot] + rng.NormFloat64()*c.PrepStdSec[ri][slot]
+	if prep < 60 {
+		prep = 60
+	}
+
+	items := 1 + rng.Intn(4)
+	return &model.Order{
+		ID:         id,
+		Restaurant: rest,
+		Customer:   cust,
+		PlacedAt:   t,
+		Items:      items,
+		Prep:       prep,
+		AssignedTo: -1,
+	}
+}
+
+// poisson draws a Poisson variate (Knuth for small λ, normal approximation
+// above 30 to stay O(1)).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func sortOrders(orders []*model.Order) {
+	// Insertion-friendly: orders are near-sorted (hour by hour).
+	for i := 1; i < len(orders); i++ {
+		for j := i; j > 0 && orders[j].PlacedAt < orders[j-1].PlacedAt; j-- {
+			orders[j], orders[j-1] = orders[j-1], orders[j]
+		}
+	}
+}
+
+// HourlyCounts histograms an order stream by hour of placement — the
+// Fig. 6(a) numerator.
+func HourlyCounts(orders []*model.Order) [24]int {
+	var h [24]int
+	for _, o := range orders {
+		h[roadnet.Slot(o.PlacedAt)]++
+	}
+	return h
+}
+
+// OrderVehicleRatio computes Fig. 6(a)'s per-slot #orders/#vehicles with the
+// full configured fleet.
+func OrderVehicleRatio(c *City, orders []*model.Order) [24]float64 {
+	counts := HourlyCounts(orders)
+	var r [24]float64
+	for s := range r {
+		r[s] = float64(counts[s]) / float64(c.Params.Vehicles)
+	}
+	return r
+}
+
+// newRand is a test seam for deterministic random sources.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,139 @@
+package workload
+
+import "math"
+
+// Paper-scale figures from Table II. Presets scale them down by a linear
+// factor: counts (restaurants, vehicles, orders) scale by `scale`, the node
+// count scales by `scale` with the grid dimension following its square
+// root, so density — the property that drives algorithmic behaviour — is
+// preserved.
+const (
+	// DefaultScale is the 1:50 laptop operating point used by the bench
+	// harness; cmd/experiments accepts any scale.
+	DefaultScale = 0.02
+)
+
+type paperCity struct {
+	name         string
+	nodes        int
+	restaurants  int
+	vehicles     int
+	orders       int
+	prepMin      float64
+	hourlyPeaked float64 // dinner-peak multiplier tweak per city
+	// peakRatio calibrates shift supply. Fig. 6(a) reports peak
+	// order-to-vehicle ratios of ~3 (City B), ~1.6 (City C), ~1.1 (City A)
+	// against a broader "available vehicles" denominator than our strictly
+	// concurrent shift model, so our targets are scaled up ~1.9x. What the
+	// calibration preserves is the *regime* every Section V result depends
+	// on: at peak, demand exceeds what one-order-per-trip service can
+	// clear, so batching is load-bearing rather than decorative. See
+	// EXPERIMENTS.md for the calibration study.
+	peakRatio float64
+}
+
+var paperCities = map[string]paperCity{
+	// Table II: City A is the small city; City B has the highest
+	// order-to-vehicle ratio; City C has the most restaurants.
+	"CityA": {name: "CityA", nodes: 39_000, restaurants: 2085, vehicles: 2454, orders: 23_442, prepMin: 8.45, hourlyPeaked: 0.75, peakRatio: 2.2},
+	"CityB": {name: "CityB", nodes: 116_000, restaurants: 6777, vehicles: 13_429, orders: 159_160, prepMin: 9.34, hourlyPeaked: 1.25, peakRatio: 5.5},
+	"CityC": {name: "CityC", nodes: 183_000, restaurants: 8116, vehicles: 10_608, orders: 112_745, prepMin: 10.22, hourlyPeaked: 1.0, peakRatio: 3.5},
+	// GrubHub (Reyes et al. instance): tiny, sparse, long prep times. The
+	// original has no road network; we give it a coarse one and the Reyes
+	// policy ignores it anyway (Haversine decisions).
+	"GrubHub": {name: "GrubHub", nodes: 2_000, restaurants: 159, vehicles: 183, orders: 1046, prepMin: 19.55, hourlyPeaked: 0.9, peakRatio: 1.4},
+}
+
+// CityNames lists the available presets in canonical order.
+func CityNames() []string { return []string{"CityA", "CityB", "CityC", "GrubHub"} }
+
+// Preset builds one of the Table II cities at the given scale (1.0 = paper
+// size; DefaultScale for laptop benches). Scale only shrinks counts — the
+// profile shapes, prep averages and density stay faithful.
+func Preset(name string, scale float64, seed int64) (*City, error) {
+	pc, ok := paperCities[name]
+	if !ok {
+		return nil, errUnknownCity(name)
+	}
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	// GrubHub is already tiny at paper scale (183 vehicles); scaling it
+	// down 1:50 like the metros leaves nothing to simulate. Floor its
+	// scale at 1:5.
+	if pc.name == "GrubHub" && scale < 0.2 {
+		scale = 0.2
+	}
+	// The street grid scales at one third of the count scale: batching
+	// quality depends on the *density* of the order pool (how likely two
+	// orders pair with a small detour), and shrinking the city as fast as
+	// the order counts destroys exactly that. One third keeps per-km²
+	// order density within ~3x of the paper's cities at laptop scales.
+	nodes := int(float64(pc.nodes) * scale / 3)
+	if nodes < 100 {
+		nodes = 100
+	}
+	dim := int(math.Round(math.Sqrt(float64(nodes))))
+	if dim < 6 {
+		dim = 6
+	}
+	atLeast := func(v int, min int) int {
+		if v < min {
+			return min
+		}
+		return v
+	}
+	hourly := DefaultHourlyProfile()
+	// Per-city peak character: City B's dinner peak is the sharpest in
+	// Fig. 6(a); City A is flatter.
+	hourly[19] *= pc.hourlyPeaked
+	hourly[20] *= pc.hourlyPeaked
+	hourly[21] *= pc.hourlyPeaked
+
+	p := CityParams{
+		Name:          pc.name,
+		Rows:          dim,
+		Cols:          dim,
+		BlockM:        220,
+		ArterialEvery: 5,
+		// Speeds are tuned so the mean restaurant→customer leg takes
+		// ~12–15 min free-flow (≈25 min under peak congestion) at the fixed
+		// 2.2 km customer spread — the travel-time regime in which the
+		// paper's 45-minute guarantee and peak scarcity actually bind.
+		// Scaled-down street grids with realistic motorbike speeds would
+		// make every leg trivially short and mask the batching trade-off.
+		LocalSpeedMS:    4.0,
+		ArterialSpeedMS: 6.5,
+		DiagonalFrac:    0.06,
+		// Restaurants are spatial entities like the street grid: scaling
+		// them as fast as the order counts would thin each restaurant's
+		// order flow to the point where the order graph has no good merges.
+		Hotspots:        atLeast(int(float64(pc.restaurants)*scale/2)/12, 4),
+		Restaurants:     atLeast(int(float64(pc.restaurants)*scale/2), 5),
+		Vehicles:        atLeast(int(float64(pc.vehicles)*scale), 3),
+		OrdersPerDay:    atLeast(int(float64(pc.orders)*scale), 20),
+		PrepMeanMin:     pc.prepMin,
+		Hourly:          hourly,
+		CustomerSpreadM: 1600,
+		TargetPeakRatio: pc.peakRatio,
+		Seed:            seed,
+	}
+	if pc.name == "GrubHub" {
+		p.CustomerSpreadM = 1200
+		p.DiagonalFrac = 0
+	}
+	return Generate(p)
+}
+
+// MustPreset is Preset that panics on error.
+func MustPreset(name string, scale float64, seed int64) *City {
+	c, err := Preset(name, scale, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type errUnknownCity string
+
+func (e errUnknownCity) Error() string { return "workload: unknown city preset " + string(e) }

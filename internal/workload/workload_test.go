@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/model"
+	"repro/internal/roadnet"
+)
+
+func smallCity(t testing.TB, seed int64) *City {
+	t.Helper()
+	c, err := Generate(CityParams{
+		Name: "test", Rows: 12, Cols: 12, Restaurants: 15, Vehicles: 10,
+		OrdersPerDay: 200, PrepMeanMin: 9, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return c
+}
+
+func TestGenerateValidations(t *testing.T) {
+	if _, err := Generate(CityParams{Rows: 1, Cols: 5, Restaurants: 1, Vehicles: 1}); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := Generate(CityParams{Rows: 5, Cols: 5, Restaurants: 0, Vehicles: 1}); err == nil {
+		t.Fatal("zero restaurants accepted")
+	}
+}
+
+func TestGeneratedGraphIsStronglyConnected(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		c := smallCity(t, seed)
+		if !roadnet.StronglyConnected(c.G) {
+			t.Fatalf("seed %d: graph not strongly connected", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c1 := smallCity(t, 42)
+	c2 := smallCity(t, 42)
+	if c1.G.NumNodes() != c2.G.NumNodes() || c1.G.NumEdges() != c2.G.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range c1.Restaurants {
+		if c1.Restaurants[i] != c2.Restaurants[i] {
+			t.Fatal("same seed, different restaurants")
+		}
+	}
+	o1 := OrderStream(c1, 7)
+	o2 := OrderStream(c2, 7)
+	if len(o1) != len(o2) {
+		t.Fatalf("same seed, different order counts: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i].Restaurant != o2[i].Restaurant || o1[i].PlacedAt != o2[i].PlacedAt {
+			t.Fatal("same seed, different orders")
+		}
+	}
+}
+
+func TestOrderStreamProperties(t *testing.T) {
+	c := smallCity(t, 3)
+	orders := OrderStream(c, 11)
+	if len(orders) < 100 || len(orders) > 350 {
+		t.Fatalf("order volume %d far from budget 200", len(orders))
+	}
+	restSet := make(map[roadnet.NodeID]bool)
+	for _, r := range c.Restaurants {
+		restSet[r] = true
+	}
+	var last float64 = -1
+	ids := make(map[model.OrderID]bool)
+	for _, o := range orders {
+		if o.PlacedAt < last {
+			t.Fatal("orders not sorted by placement time")
+		}
+		last = o.PlacedAt
+		if o.PlacedAt < 0 || o.PlacedAt >= roadnet.SecondsPerDay {
+			t.Fatalf("order placed at %v outside the day", o.PlacedAt)
+		}
+		if !restSet[o.Restaurant] {
+			t.Fatalf("order from non-restaurant node %d", o.Restaurant)
+		}
+		if int(o.Customer) >= c.G.NumNodes() || o.Customer < 0 {
+			t.Fatalf("invalid customer node %d", o.Customer)
+		}
+		if o.Prep < 60 {
+			t.Fatalf("prep %v below the one-minute floor", o.Prep)
+		}
+		if o.Items < 1 || o.Items > 4 {
+			t.Fatalf("items %d out of range", o.Items)
+		}
+		if ids[o.ID] {
+			t.Fatalf("duplicate order id %d", o.ID)
+		}
+		ids[o.ID] = true
+	}
+}
+
+func TestOrderStreamPeaks(t *testing.T) {
+	// Lunch+dinner hours must clearly dominate the small hours.
+	c, err := Generate(CityParams{
+		Name: "peaky", Rows: 12, Cols: 12, Restaurants: 15, Vehicles: 10,
+		OrdersPerDay: 3000, PrepMeanMin: 9, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := OrderStream(c, 11)
+	h := HourlyCounts(orders)
+	peak := h[12] + h[13] + h[19] + h[20]
+	night := h[1] + h[2] + h[3] + h[4]
+	if peak < 5*night {
+		t.Fatalf("peak hours (%d) should dwarf night hours (%d)", peak, night)
+	}
+}
+
+func TestOrderStreamWindowRestricts(t *testing.T) {
+	c := smallCity(t, 9)
+	from, to := 12*3600.0, 14*3600.0
+	orders := OrderStreamWindow(c, 11, from, to)
+	if len(orders) == 0 {
+		t.Fatal("lunch window produced no orders")
+	}
+	for _, o := range orders {
+		if o.PlacedAt < from || o.PlacedAt >= to {
+			t.Fatalf("order at %v outside window [%v,%v)", o.PlacedAt, from, to)
+		}
+	}
+}
+
+func TestPrepModelAverageMatchesCity(t *testing.T) {
+	c := smallCity(t, 13)
+	// Off-peak slot 10: average of restaurant means should be near the
+	// configured city average (lognormal factor has mean slightly above 1).
+	sum := 0.0
+	for i := range c.Restaurants {
+		sum += c.PrepMeanSec[i][10]
+	}
+	avgMin := sum / float64(len(c.Restaurants)) / 60
+	if avgMin < 0.7*c.Params.PrepMeanMin || avgMin > 1.5*c.Params.PrepMeanMin {
+		t.Fatalf("prep mean %v min too far from configured %v", avgMin, c.Params.PrepMeanMin)
+	}
+}
+
+func TestFleet(t *testing.T) {
+	c := smallCity(t, 2)
+	full := c.Fleet(1.0, 3, 1)
+	if len(full) == 0 || len(full) > c.Params.Vehicles {
+		t.Fatalf("full fleet = %d, roster %d", len(full), c.Params.Vehicles)
+	}
+	half := c.Fleet(0.5, 3, 1)
+	if len(half) < len(full)/3 || len(half) > len(full)/2+1 {
+		t.Fatalf("half fleet = %d of %d", len(half), len(full))
+	}
+	ids := make(map[model.VehicleID]bool)
+	for _, v := range full {
+		if int(v.Node) >= c.G.NumNodes() {
+			t.Fatalf("vehicle parked off-network at %d", v.Node)
+		}
+		if ids[v.ID] {
+			t.Fatalf("duplicate vehicle id %d", v.ID)
+		}
+		ids[v.ID] = true
+		if v.ActiveTo <= v.ActiveFrom {
+			t.Fatalf("degenerate shift [%v,%v)", v.ActiveFrom, v.ActiveTo)
+		}
+	}
+	again := c.Fleet(1.0, 3, 1)
+	for i := range full {
+		if full[i].Node != again[i].Node || full[i].ActiveFrom != again[i].ActiveFrom {
+			t.Fatal("fleet not deterministic in seed")
+		}
+	}
+}
+
+func TestFleetShiftsTrackDemand(t *testing.T) {
+	c := MustPreset("CityB", DefaultScale, 1)
+	fleet := c.Fleet(1.0, 3, 1)
+	lunch := ActiveAt(fleet, 12.5*3600)
+	dinner := ActiveAt(fleet, 20.5*3600)
+	night := ActiveAt(fleet, 3.5*3600)
+	if lunch <= night || dinner <= night {
+		t.Fatalf("supply must track demand: lunch %d dinner %d night %d", lunch, dinner, night)
+	}
+	// Peak order-to-active-vehicle ratio should approach the city target
+	// (within a generous band — integerisation and roster caps intervene).
+	orders := OrderStream(c, 2)
+	counts := HourlyCounts(orders)
+	ratio := float64(counts[20]) / float64(dinner)
+	want := c.Params.TargetPeakRatio
+	if ratio < want*0.5 || ratio > want*2.0 {
+		t.Fatalf("dinner ratio %.2f too far from target %.2f", ratio, want)
+	}
+}
+
+func TestNearestNodeGrid(t *testing.T) {
+	c := smallCity(t, 4)
+	for i := 0; i < c.G.NumNodes(); i += 7 {
+		pt := c.G.Point(roadnet.NodeID(i))
+		got := c.NearestNode(pt)
+		// The nearest node to a node's own coordinate is itself (or a
+		// coincident node).
+		if d := geo.Haversine(pt, c.G.Point(got)); d > 1 {
+			t.Fatalf("node %d snapped %f m away", i, d)
+		}
+	}
+	// Compare grid answer to brute force on offset points.
+	for i := 0; i < 40; i++ {
+		pt := geo.Offset(c.G.Point(0), float64(i)*97, float64(i)*61)
+		got := c.NearestNode(pt)
+		want := c.G.NearestNode(pt)
+		dg := geo.Haversine(pt, c.G.Point(got))
+		dw := geo.Haversine(pt, c.G.Point(want))
+		if dg > dw+1 {
+			t.Fatalf("grid nearest %f m vs brute %f m", dg, dw)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range CityNames() {
+		c, err := Preset(name, DefaultScale, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.G.NumNodes() < 100 {
+			t.Fatalf("%s: only %d nodes", name, c.G.NumNodes())
+		}
+		if !roadnet.StronglyConnected(c.G) {
+			t.Fatalf("%s: not strongly connected", name)
+		}
+		if len(c.Restaurants) < 5 || c.Params.Vehicles < 3 {
+			t.Fatalf("%s: degenerate scale", name)
+		}
+	}
+	if _, err := Preset("Atlantis", 1, 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetRelativeScale(t *testing.T) {
+	a := MustPreset("CityA", DefaultScale, 1)
+	b := MustPreset("CityB", DefaultScale, 1)
+	cc := MustPreset("CityC", DefaultScale, 1)
+	// Table II orderings that the experiments rely on.
+	if !(b.Params.OrdersPerDay > cc.Params.OrdersPerDay && cc.Params.OrdersPerDay > a.Params.OrdersPerDay) {
+		t.Fatal("order volumes must follow B > C > A")
+	}
+	if !(b.Params.Vehicles > cc.Params.Vehicles && cc.Params.Vehicles > a.Params.Vehicles) {
+		t.Fatal("fleet sizes must follow B > C > A")
+	}
+	if !(cc.Params.Restaurants > b.Params.Restaurants) {
+		t.Fatal("City C must have the most restaurants")
+	}
+	// Order-to-vehicle ratio is highest in City B (Fig. 6(a)).
+	ra := float64(a.Params.OrdersPerDay) / float64(a.Params.Vehicles)
+	rb := float64(b.Params.OrdersPerDay) / float64(b.Params.Vehicles)
+	rc := float64(cc.Params.OrdersPerDay) / float64(cc.Params.Vehicles)
+	if !(rb > rc && rb > ra) {
+		t.Fatalf("City B ratio %v must exceed A %v and C %v", rb, ra, rc)
+	}
+}
+
+func TestOrderVehicleRatioPeaks(t *testing.T) {
+	c := MustPreset("CityB", DefaultScale, 1)
+	orders := OrderStream(c, 2)
+	r := OrderVehicleRatio(c, orders)
+	if r[20] <= r[3] {
+		t.Fatalf("dinner ratio %v should exceed 3 AM ratio %v", r[20], r[3])
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	c := smallCity(t, 1)
+	_ = c
+	rngSeeds := []int64{1, 2, 3}
+	for _, s := range rngSeeds {
+		rng := newRand(s)
+		const lambda = 12.0
+		n := 4000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, lambda))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-lambda) > 0.5 {
+			t.Fatalf("poisson mean %v, want ~%v", mean, lambda)
+		}
+	}
+	rng := newRand(1)
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+	if v := poisson(rng, 100); v < 50 || v > 150 {
+		t.Fatalf("poisson(100) = %d implausible", v)
+	}
+}
