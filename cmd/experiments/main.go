@@ -24,14 +24,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list available experiment ids")
-		scale  = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
-		seed   = flag.Int64("seed", 1, "deterministic seed")
-		fromH  = flag.Float64("from", 18, "simulation start hour")
-		toH    = flag.Float64("to", 22, "simulation end hour")
-		budget = flag.Float64("budget", 0, "compute budget seconds for the overflow experiments")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list available experiment ids")
+		scale   = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		fromH   = flag.Float64("from", 18, "simulation start hour")
+		toH     = flag.Float64("to", 22, "simulation end hour")
+		budget  = flag.Float64("budget", 0, "compute budget seconds for the overflow experiments")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON Lines (one table per line) instead of aligned text")
 	)
 	flag.Parse()
 
@@ -69,7 +70,15 @@ func main() {
 	st.ComputeBudget = *budget
 
 	emit := func(t *foodmatch.ExperimentTable) {
-		fmt.Println(t.Render())
+		if *jsonOut {
+			line, err := t.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(line))
+		} else {
+			fmt.Println(t.Render())
+		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fatal(err)
@@ -94,7 +103,12 @@ func main() {
 		for _, t := range tables {
 			emit(t)
 		}
-		fmt.Printf("-- %s regenerated in %v --\n\n", id, time.Since(t0).Round(time.Second))
+		// Keep stdout pure JSONL under -json; progress goes to stderr.
+		progress := os.Stdout
+		if *jsonOut {
+			progress = os.Stderr
+		}
+		fmt.Fprintf(progress, "-- %s regenerated in %v --\n\n", id, time.Since(t0).Round(time.Second))
 	}
 }
 

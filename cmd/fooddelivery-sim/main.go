@@ -97,7 +97,7 @@ func main() {
 		}
 		sum := rec.Summarise(cfg.MaxFirstMile)
 		fmt.Printf("trace: %d events -> %s (within-promise %.1f%%, %d reassigned)\n",
-			len(rec.Events), *traceOut, 100*sum.WithinPromise, sum.Reassigned)
+			rec.Len(), *traceOut, 100*sum.WithinPromise, sum.Reassigned)
 	}
 
 	fmt.Println()

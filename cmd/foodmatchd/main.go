@@ -1,0 +1,100 @@
+// Command foodmatchd serves the online dispatch engine over HTTP: a
+// long-running assignment service that ingests order placements and vehicle
+// pings, runs the batching→FoodGraph→KM pipeline every ∆ seconds across K
+// geographic zone shards, and streams assignment decisions to subscribers.
+//
+//	foodmatchd -city CityB -shards 4 -timescale 60
+//
+// then, against the default address:
+//
+//	curl -s localhost:8080/metrics | jq .
+//	curl -s -X POST localhost:8080/orders \
+//	     -d '{"restaurant_node":12,"customer_node":400,"items":2,"prep_sec":540}'
+//	curl -s -X POST localhost:8080/vehicles/1/ping -d '{"node":37}'
+//	curl -sN localhost:8080/assignments     # NDJSON decision stream
+//
+// The engine clock starts at -start hours (default the dinner peak) and
+// advances ∆ simulation seconds every ∆/timescale wall seconds, so demos
+// replay city time faster than reality; -timescale 1 runs in real time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	foodmatch "repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cityName  = flag.String("city", "CityB", "Table II city preset")
+		scale     = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		polName   = flag.String("policy", "foodmatch", "assignment policy: foodmatch|km|greedy|reyes")
+		shards    = flag.Int("shards", 4, "geographic zone shards K")
+		delta     = flag.Float64("delta", 0, "accumulation window seconds (0 = city default)")
+		queue     = flag.Int("queue", 4096, "ingestion queue capacity")
+		fleetFrac = flag.Float64("fleet", 1.0, "fraction of the city fleet to register")
+		startHour = flag.Float64("start", 18, "simulation clock start, hours since midnight")
+		timeScale = flag.Float64("timescale", 60, "simulation seconds per wall second")
+	)
+	flag.Parse()
+
+	city, err := foodmatch.LoadCity(*cityName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := foodmatch.ExperimentConfig(*cityName, *scale)
+	if *delta > 0 {
+		cfg.Delta = *delta
+	}
+	if _, err := foodmatch.PolicyByName(*polName); err != nil {
+		fatal(err)
+	}
+	if *polName == "km" {
+		foodmatch.ConfigureVanillaKM(cfg)
+	}
+	fleet := city.Fleet(*fleetFrac, cfg.MaxO, *seed)
+	eng, err := foodmatch.NewEngine(city.G, fleet, foodmatch.EngineConfig{
+		Pipeline: cfg,
+		NewPolicy: func() foodmatch.Policy {
+			p, _ := foodmatch.PolicyByName(*polName)
+			return p
+		},
+		Shards:    *shards,
+		QueueSize: *queue,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.Start(*startHour*3600, *timeScale); err != nil {
+		fatal(err)
+	}
+	defer eng.Stop()
+
+	srv := &http.Server{Addr: *addr, Handler: NewServer(eng, city)}
+	go func() {
+		log.Printf("foodmatchd: %s @ %.0f nodes, %d vehicles, %d shards, ∆=%.0fs, %s on %s",
+			*cityName, float64(city.G.NumNodes()), len(fleet), *shards, cfg.Delta, *polName, *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("foodmatchd: shutting down")
+	_ = srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "foodmatchd:", err)
+	os.Exit(1)
+}

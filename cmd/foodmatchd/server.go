@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	foodmatch "repro"
+)
+
+// Server exposes the online dispatch engine over HTTP/JSON:
+//
+//	POST /orders              place an order (node ids or lat/lon)
+//	POST /vehicles/{id}/ping  vehicle location/shift update
+//	GET  /assignments         NDJSON stream of decisions + round stats
+//	GET  /metrics             engine metrics snapshot
+//	GET  /healthz             liveness
+type Server struct {
+	eng    *foodmatch.Engine
+	city   *foodmatch.City
+	nextID atomic.Int64
+	mux    *http.ServeMux
+}
+
+// NewServer wires the handlers around an engine. city provides coordinate
+// snapping for lat/lon payloads (restaurants, customers, pings).
+func NewServer(eng *foodmatch.Engine, city *foodmatch.City) *Server {
+	s := &Server{eng: eng, city: city, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /orders", s.handleOrder)
+	s.mux.HandleFunc("POST /vehicles/{id}/ping", s.handlePing)
+	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// latLon is an optional coordinate payload.
+type latLon struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// orderRequest is the POST /orders payload. Locations are given either as
+// road-network node ids or as coordinates snapped to the network.
+type orderRequest struct {
+	RestaurantNode *int64  `json:"restaurant_node,omitempty"`
+	Restaurant     *latLon `json:"restaurant,omitempty"`
+	CustomerNode   *int64  `json:"customer_node,omitempty"`
+	Customer       *latLon `json:"customer,omitempty"`
+	Items          int     `json:"items"`
+	PrepSec        float64 `json:"prep_sec"`
+	// PlacedAt is seconds since midnight (simulation time); omit or pass 0
+	// to stamp with the engine clock at admission.
+	PlacedAt float64 `json:"placed_at,omitempty"`
+}
+
+type orderResponse struct {
+	Order int64 `json:"order"`
+	// PlacedAt echoes the request; 0 means the engine stamps the order
+	// with its clock at admission (the next window).
+	PlacedAt float64 `json:"placed_at"`
+}
+
+func (s *Server) resolveNode(node *int64, pt *latLon) (foodmatch.NodeID, error) {
+	switch {
+	case node != nil:
+		// Bounds-check at int64 width: a blind NodeID(*node) conversion
+		// would let huge ids wrap into valid-but-wrong nodes.
+		if *node < 0 || *node >= int64(s.city.G.NumNodes()) {
+			return 0, fmt.Errorf("node %d outside the road network [0, %d)", *node, s.city.G.NumNodes())
+		}
+		return foodmatch.NodeID(*node), nil
+	case pt != nil:
+		return s.city.NearestNode(foodmatch.Point{Lat: pt.Lat, Lon: pt.Lon}), nil
+	default:
+		return 0, errors.New("need a node id or a lat/lon")
+	}
+}
+
+func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
+	var req orderRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad order payload: %v", err)
+		return
+	}
+	rest, err := s.resolveNode(req.RestaurantNode, req.Restaurant)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "restaurant: %v", err)
+		return
+	}
+	cust, err := s.resolveNode(req.CustomerNode, req.Customer)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "customer: %v", err)
+		return
+	}
+	if req.Items <= 0 {
+		req.Items = 1
+	}
+	if req.PrepSec <= 0 {
+		req.PrepSec = 480 // a typical kitchen if the client has no estimate
+	}
+	o := &foodmatch.Order{
+		ID:         foodmatch.OrderID(s.nextID.Add(1)),
+		Restaurant: rest,
+		Customer:   cust,
+		PlacedAt:   req.PlacedAt,
+		Items:      req.Items,
+		Prep:       req.PrepSec,
+		AssignedTo: -1,
+	}
+	// Capture the response fields before SubmitOrder: the engine owns the
+	// order from the moment it is enqueued and may stamp PlacedAt on its
+	// round goroutine concurrently with this handler.
+	resp := orderResponse{Order: int64(o.ID), PlacedAt: o.PlacedAt}
+	switch err := s.eng.SubmitOrder(o); {
+	case errors.Is(err, foodmatch.ErrEngineQueueFull):
+		httpError(w, http.StatusServiceUnavailable, "order queue full, retry with backoff")
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// pingRequest is the POST /vehicles/{id}/ping payload.
+type pingRequest struct {
+	Node *int64  `json:"node,omitempty"`
+	At   *latLon `json:"at,omitempty"`
+	// Optional shift update, seconds since midnight.
+	ActiveFrom *float64 `json:"active_from,omitempty"`
+	ActiveTo   *float64 `json:"active_to,omitempty"`
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad vehicle id %q", r.PathValue("id"))
+		return
+	}
+	var req pingRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad ping payload: %v", err)
+		return
+	}
+	vid := foodmatch.VehicleID(id)
+	if req.ActiveFrom != nil || req.ActiveTo != nil {
+		from, to := math.NaN(), math.NaN() // NaN = leave unchanged
+		if req.ActiveFrom != nil {
+			from = *req.ActiveFrom
+		}
+		if req.ActiveTo != nil {
+			to = *req.ActiveTo
+		}
+		if err := s.eng.SetVehicleShift(vid, from, to); err != nil {
+			pingError(w, err)
+			return
+		}
+	}
+	if req.Node != nil || req.At != nil {
+		node, err := s.resolveNode(req.Node, req.At)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "position: %v", err)
+			return
+		}
+		if err := s.eng.PingVehicle(vid, node); err != nil {
+			pingError(w, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func pingError(w http.ResponseWriter, err error) {
+	if errors.Is(err, foodmatch.ErrEngineQueueFull) {
+		httpError(w, http.StatusServiceUnavailable, "ping queue full")
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
+}
+
+// handleAssignments streams the assignment stream as NDJSON until the
+// client disconnects (or the engine stops and closes the stream).
+func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	buffer := 1024
+	if b := r.URL.Query().Get("buffer"); b != "" {
+		// Clamp: the value sizes a channel allocation, so an unbounded
+		// client-supplied number would be a one-request memory DoS.
+		if n, err := strconv.Atoi(b); err == nil && n > 0 && n <= 65536 {
+			buffer = n
+		}
+	}
+	sub := s.eng.Subscribe(buffer)
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	if canFlush {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, open := <-sub.C:
+			if !open {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.eng.Snapshot())
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

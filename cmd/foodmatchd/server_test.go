@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	foodmatch "repro"
+)
+
+// TestServerEndToEnd replays a CityB dinner-peak order slice through the
+// HTTP handlers — POST /orders ingestion, the NDJSON /assignments stream,
+// /metrics — while the engine clock is stepped deterministically.
+func TestServerEndToEnd(t *testing.T) {
+	city, err := foodmatch.LoadCity("CityB", foodmatch.DefaultScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := foodmatch.ExperimentConfig("CityB", foodmatch.DefaultScale)
+	fleet := city.Fleet(1.0, cfg.MaxO, 1)
+	eng, err := foodmatch.NewEngine(city.G, fleet, foodmatch.EngineConfig{
+		Pipeline: cfg,
+		Shards:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng, city))
+	defer ts.Close()
+
+	// Attach a streaming consumer before any round runs.
+	var decisions, rounds atomic.Int64
+	streamResp, err := http.Get(ts.URL + "/assignments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		sc := bufio.NewScanner(streamResp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev struct {
+				Decision *struct {
+					Orders []int64 `json:"orders"`
+					Shard  int     `json:"shard"`
+				} `json:"decision"`
+				Round *struct {
+					T float64 `json:"t"`
+				} `json:"round"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Errorf("bad stream line %q: %v", sc.Text(), err)
+				return
+			}
+			if ev.Decision != nil {
+				decisions.Add(1)
+			}
+			if ev.Round != nil {
+				rounds.Add(1)
+			}
+		}
+	}()
+
+	start := 19.0 * 3600
+	orders := foodmatch.OrderStreamWindow(city, 1, start, start+900)
+	if len(orders) == 0 {
+		t.Fatal("empty workload slice")
+	}
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	next := 0
+	for now := start + cfg.Delta; now < start+1800; now += cfg.Delta {
+		for next < len(orders) && orders[next].PlacedAt < now {
+			o := orders[next]
+			next++
+			body, _ := json.Marshal(orderRequest{
+				RestaurantNode: ptr(int64(o.Restaurant)),
+				CustomerNode:   ptr(int64(o.Customer)),
+				Items:          o.Items,
+				PrepSec:        o.Prep,
+				PlacedAt:       o.PlacedAt,
+			})
+			resp, err := http.Post(ts.URL+"/orders", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("POST /orders -> %d", resp.StatusCode)
+			}
+			var or orderResponse
+			if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if or.Order == 0 {
+				t.Fatal("server did not allocate an order id")
+			}
+		}
+		eng.Step(now)
+	}
+
+	// Vehicle ping endpoint: known id by node, by coordinate, unknown id.
+	vid := fleet[0].ID
+	if resp := post(fmt.Sprintf("/vehicles/%d/ping", vid), `{"node":3}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ping by node -> %d", resp.StatusCode)
+	}
+	pt := city.G.Point(3)
+	if resp := post(fmt.Sprintf("/vehicles/%d/ping", vid),
+		fmt.Sprintf(`{"at":{"lat":%f,"lon":%f}}`, pt.Lat, pt.Lon)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ping by coordinate -> %d", resp.StatusCode)
+	}
+	if resp := post("/vehicles/999999/ping", `{"node":3}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown vehicle ping -> %d", resp.StatusCode)
+	}
+	if resp := post("/orders", `{"items":1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("order without location -> %d", resp.StatusCode)
+	}
+	if resp := post("/orders", `{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed order -> %d", resp.StatusCode)
+	}
+
+	// Metrics must reflect the replay.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m foodmatch.EngineMetrics
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if int(m.OrdersAdmitted) != next {
+		t.Fatalf("metrics admitted %d, submitted %d", m.OrdersAdmitted, next)
+	}
+	if m.Assigned == 0 {
+		t.Fatal("no orders assigned during the replay")
+	}
+	if m.Shards != 2 || m.Rounds == 0 {
+		t.Fatalf("metrics snapshot off: %+v", m)
+	}
+
+	// The stream must have carried the rounds' decisions.
+	deadline := time.Now().Add(5 * time.Second)
+	for decisions.Load() == 0 || rounds.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream delivered %d decisions, %d rounds", decisions.Load(), rounds.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	streamResp.Body.Close()
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream goroutine did not exit after disconnect")
+	}
+	if healthz, err := http.Get(ts.URL + "/healthz"); err != nil || healthz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", healthz, err)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -33,6 +33,7 @@ package foodmatch
 import (
 	"math/rand"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/geo"
 	"repro/internal/gps"
@@ -181,6 +182,34 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // experiment drivers (∆ per city, KFactor scaled to the fleet).
 func ExperimentConfig(cityName string, scale float64) *Config {
 	return experiments.ConfigForScale(cityName, scale)
+}
+
+// Online dispatch engine re-exports: the concurrent, zone-sharded service
+// that runs the assignment pipeline against a live order/vehicle stream.
+type (
+	// Engine is the online dispatcher (see internal/engine).
+	Engine = engine.Engine
+	// EngineConfig tunes the online engine (shards, queues, policy factory).
+	EngineConfig = engine.Config
+	// EngineMetrics is a point-in-time engine health/throughput snapshot.
+	EngineMetrics = engine.Metrics
+	// EngineRoundStats summarises one assignment round.
+	EngineRoundStats = engine.RoundStats
+	// AssignmentDecision is one published (vehicle, orders) decision.
+	AssignmentDecision = engine.Decision
+	// AssignmentStreamEvent is one message on the assignment stream.
+	AssignmentStreamEvent = engine.StreamEvent
+	// AssignmentSubscription consumes the assignment stream.
+	AssignmentSubscription = engine.Subscription
+)
+
+// ErrEngineQueueFull is the engine's ingestion backpressure signal.
+var ErrEngineQueueFull = engine.ErrQueueFull
+
+// NewEngine builds the online dispatch engine over a road network and a
+// fleet. Drive it with Start (real-time window clock) or Step (replay).
+func NewEngine(g *Graph, fleet []*Vehicle, cfg EngineConfig) (*Engine, error) {
+	return engine.New(g, fleet, cfg)
 }
 
 // GPS data pipeline re-exports (Section V-A: weights learned from pings).

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// BenchmarkEngineRound measures one loaded dinner-peak assignment round —
+// queue drain, vehicle advancement, zone partition, parallel per-shard
+// batching→FoodGraph→KM, application — at 1 shard vs K shards on the
+// Table II cities. The pool accumulates 20 minutes of peak orders so the
+// round carries production-shaped pressure; each iteration rebuilds the
+// engine and fleet (under StopTimer) because a round consumes its pool.
+//
+//	go test ./internal/engine -bench EngineRound -benchtime 5x
+func BenchmarkEngineRound(b *testing.B) {
+	for _, cityName := range []string{"CityA", "CityB", "CityC"} {
+		city := workload.MustPreset(cityName, workload.DefaultScale, 1)
+		start := 19.0 * 3600
+		wEnd := start + 1200
+		orders := workload.OrderStreamWindow(city, 1, start, wEnd)
+		for _, shards := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", cityName, shards), func(b *testing.B) {
+				cfg := model.DefaultConfig()
+				if cityName == "CityA" {
+					cfg.Delta = 60
+				}
+				b.ReportMetric(float64(len(orders)), "orders/round")
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					fresh := workload.OrderStreamWindow(city, 1, start, wEnd)
+					fleet := city.Fleet(1.0, cfg.MaxO, 1)
+					e, err := New(city.G, fleet, Config{Pipeline: cfg, Shards: shards, QueueSize: len(fresh) + 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, o := range fresh {
+						if err := e.SubmitOrder(o); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Park the clock at the window start so the measured
+					// Step spans exactly one ∆ of movement plus the round.
+					e.mu.Lock()
+					e.clock = wEnd - cfg.Delta
+					e.mu.Unlock()
+					b.StartTimer()
+					stats := e.Step(wEnd)
+					if stats.AssignedOrders == 0 && len(fresh) > 0 && stats.AvailableVehicles > 0 {
+						b.Fatalf("round assigned nothing (pool %d, vehicles %d)", stats.PoolSize, stats.AvailableVehicles)
+					}
+				}
+			})
+		}
+	}
+}

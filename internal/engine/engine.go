@@ -1,0 +1,376 @@
+// Package engine is the online dispatch engine: a concurrent, long-running
+// assignment service that wraps the offline FOODMATCH pipeline (batching →
+// FoodGraph → KM matching → reshuffling) behind an event-driven API.
+//
+// Where the offline Simulator replays a pre-generated order stream under a
+// replayed clock, the Engine ingests live order placements and vehicle
+// location pings through bounded queues, accumulates them into ∆-second
+// assignment windows, and at every window boundary runs the assignment
+// round — partitioned into K geographic zone shards, each with its own
+// policy instance and distance cache, matched in parallel. Assignment and
+// reshuffle decisions are published on a channel-based AssignmentStream
+// together with per-round engine metrics (queue depth, round latency,
+// orders/sec).
+//
+// The Engine can be driven two ways: Start launches the real-time window
+// clock (wall-clock ticks mapped onto simulation seconds by a time-scale
+// factor), while Step advances the engine to an explicit instant — the mode
+// replay drivers and tests use for determinism.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Errors surfaced to producers. A full queue is backpressure, not failure:
+// callers decide whether to retry, shed, or block.
+var (
+	ErrQueueFull  = errors.New("engine: ingestion queue full")
+	ErrStopped    = errors.New("engine: stopped")
+	ErrNotRunning = errors.New("engine: not running")
+	ErrRunning    = errors.New("engine: already running")
+)
+
+// Config tunes the online engine.
+type Config struct {
+	// Pipeline is the assignment-pipeline operating point (∆, MAXO, …).
+	Pipeline *model.Config
+	// NewPolicy constructs one policy instance per shard; policies are not
+	// required to be internally synchronised (see policy.Policy), so the
+	// engine never shares an instance across shards. Nil = full FOODMATCH.
+	NewPolicy func() policy.Policy
+	// Shards is the zone-shard count K; values < 2 run unsharded.
+	Shards int
+	// QueueSize bounds each ingestion queue (orders, vehicle pings);
+	// 0 defaults to 4096. Producers get ErrQueueFull beyond it.
+	QueueSize int
+	// BoundaryM is the cross-shard handoff margin in metres: an order whose
+	// restaurant lies within this distance of a neighbouring zone may be
+	// handed to that zone when it is under less pressure (see round.go).
+	// 0 defaults to 800 m.
+	BoundaryM float64
+	// SPBound caps single-source expansions of the per-shard distance
+	// caches in seconds; 0 defaults to 2×MaxFirstMile.
+	SPBound float64
+	// Workers bounds the goroutines advancing vehicle movement between
+	// rounds; 0 defaults to GOMAXPROCS.
+	Workers int
+	// Trace receives the engine event stream (nil = discard). The sink must
+	// be safe for concurrent use: shards emit from their own goroutines.
+	Trace trace.Sink
+}
+
+// vehiclePing is one queued location/status update.
+type vehiclePing struct {
+	id   model.VehicleID
+	node roadnet.NodeID
+	// shift updates, seconds since midnight; NaN = leave unchanged.
+	activeFrom, activeTo float64
+}
+
+// shardRt is the per-shard runtime: its own policy instance and its own
+// distance cache so concurrent rounds never contend.
+type shardRt struct {
+	id    int
+	pol   policy.Policy
+	cache *roadnet.DistCache
+	slot  int // slot the cache rows belong to
+}
+
+// Engine is the online dispatcher. All exported methods are safe for
+// concurrent use.
+type Engine struct {
+	g      *roadnet.Graph
+	cfg    Config
+	sh     *sharder
+	mover  *sim.Mover
+	shards []*shardRt
+	// pol is the prototype instance answering Reshuffles/SingleOrderMode
+	// (identical across shards by construction).
+	pol policy.Policy
+
+	orderCh chan *model.Order
+	pingCh  chan vehiclePing
+
+	// mu guards the world state: vehicles, order pool, clock. Step holds it
+	// for the whole round; ingestion only touches the channels.
+	mu       sync.Mutex
+	motions  []*sim.Motion
+	byID     map[model.VehicleID]*sim.Motion
+	pool     []*model.Order // placed, unassigned
+	future   []*model.Order // ingested with PlacedAt beyond the clock
+	clock    float64
+	slot     int
+	sdtCache *roadnet.DistCache // answers SDT queries at admission
+
+	// statMu guards counters written by movement hooks (which run on
+	// several worker goroutines) and read by Snapshot.
+	statMu sync.Mutex
+	stats  counters
+
+	subs subscribers
+
+	// runMu serialises Start/Stop.
+	runMu  sync.Mutex
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// New builds an engine over a road network and a fleet. The fleet is owned
+// by the engine from here on: callers must not mutate the vehicles while the
+// engine runs.
+func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) {
+	if cfg.Pipeline == nil {
+		cfg.Pipeline = model.DefaultConfig()
+	}
+	if err := cfg.Pipeline.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NewPolicy == nil {
+		cfg.NewPolicy = func() policy.Policy { return policy.NewFoodMatch() }
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	if cfg.BoundaryM <= 0 {
+		cfg.BoundaryM = 800
+	}
+	if cfg.SPBound <= 0 {
+		cfg.SPBound = 2 * cfg.Pipeline.MaxFirstMile
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Discard
+	}
+
+	e := &Engine{
+		g:        g,
+		cfg:      cfg,
+		sh:       newSharder(g, cfg.Shards),
+		pol:      cfg.NewPolicy(),
+		orderCh:  make(chan *model.Order, cfg.QueueSize),
+		pingCh:   make(chan vehiclePing, cfg.QueueSize),
+		byID:     make(map[model.VehicleID]*sim.Motion, len(fleet)),
+		sdtCache: roadnet.NewDistCache(g, cfg.SPBound),
+		slot:     -1,
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		e.shards = append(e.shards, &shardRt{
+			id:    s,
+			pol:   cfg.NewPolicy(),
+			cache: roadnet.NewDistCache(g, cfg.SPBound),
+			slot:  -1,
+		})
+	}
+	e.mover = sim.NewMover(g, cfg.Trace)
+	e.mover.Hooks = sim.MoveHooks{
+		Wait: func(_ *model.Vehicle, sec, _ float64) {
+			e.statMu.Lock()
+			e.stats.waitSec += sec
+			e.statMu.Unlock()
+		},
+		Deliver: func(o *model.Order, _ *model.Vehicle, _ float64) {
+			e.statMu.Lock()
+			e.stats.delivered++
+			e.stats.xdtSec += o.XDT()
+			e.statMu.Unlock()
+		},
+		Distance: func(_ *model.Vehicle, meters float64, _ int, _ float64) {
+			e.statMu.Lock()
+			e.stats.distM += meters
+			e.statMu.Unlock()
+		},
+		Strand: func(*model.Order) {
+			e.statMu.Lock()
+			e.stats.stranded++
+			e.statMu.Unlock()
+		},
+	}
+	for _, v := range fleet {
+		if v.Node < 0 || int(v.Node) >= g.NumNodes() {
+			return nil, fmt.Errorf("engine: vehicle %d parked at invalid node %d", v.ID, v.Node)
+		}
+		if _, dup := e.byID[v.ID]; dup {
+			return nil, fmt.Errorf("engine: duplicate vehicle id %d", v.ID)
+		}
+		if len(v.DistByLoad) < cfg.Pipeline.MaxO+1 {
+			v.DistByLoad = make([]float64, cfg.Pipeline.MaxO+1)
+		}
+		mo := sim.NewMotion(v)
+		e.motions = append(e.motions, mo)
+		e.byID[v.ID] = mo
+	}
+	return e, nil
+}
+
+// Shards returns the zone-shard count K.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// SubmitOrder enqueues an order placement. Orders with PlacedAt <= 0 are
+// stamped with the engine clock at admission; orders with PlacedAt beyond
+// the clock are held until the window that covers them (scheduled orders).
+// Returns ErrQueueFull when the bounded queue is saturated — callers should
+// shed or retry with backoff.
+func (e *Engine) SubmitOrder(o *model.Order) error {
+	if o == nil {
+		return errors.New("engine: nil order")
+	}
+	if o.Restaurant < 0 || int(o.Restaurant) >= e.g.NumNodes() {
+		return fmt.Errorf("engine: order %d restaurant at invalid node %d", o.ID, o.Restaurant)
+	}
+	if o.Customer < 0 || int(o.Customer) >= e.g.NumNodes() {
+		return fmt.Errorf("engine: order %d customer at invalid node %d", o.ID, o.Customer)
+	}
+	select {
+	case e.orderCh <- o:
+		e.statMu.Lock()
+		e.stats.ingested++
+		e.statMu.Unlock()
+		return nil
+	default:
+		e.statMu.Lock()
+		e.stats.shedOrders++
+		e.statMu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// PingVehicle enqueues a location update for a vehicle. The engine owns
+// movement while a vehicle executes a plan, so pings relocate only idle
+// vehicles; they always refresh liveness.
+func (e *Engine) PingVehicle(id model.VehicleID, node roadnet.NodeID) error {
+	return e.ping(vehiclePing{id: id, node: node, activeFrom: math.NaN(), activeTo: math.NaN()})
+}
+
+// SetVehicleShift enqueues a shift-window update (seconds since midnight);
+// pass NaN to leave a bound unchanged.
+func (e *Engine) SetVehicleShift(id model.VehicleID, from, to float64) error {
+	return e.ping(vehiclePing{id: id, node: roadnet.Invalid, activeFrom: from, activeTo: to})
+}
+
+func (e *Engine) ping(p vehiclePing) error {
+	if _, ok := e.byID[p.id]; !ok { // byID is immutable after New
+		return fmt.Errorf("engine: unknown vehicle %d", p.id)
+	}
+	if p.node != roadnet.Invalid && (p.node < 0 || int(p.node) >= e.g.NumNodes()) {
+		return fmt.Errorf("engine: vehicle %d ping at invalid node %d", p.id, p.node)
+	}
+	select {
+	case e.pingCh <- p:
+		return nil
+	default:
+		e.statMu.Lock()
+		e.stats.shedPings++
+		e.statMu.Unlock()
+		return ErrQueueFull
+	}
+}
+
+// VehicleIDs lists the fleet (stable after New).
+func (e *Engine) VehicleIDs() []model.VehicleID {
+	ids := make([]model.VehicleID, 0, len(e.motions))
+	for _, mo := range e.motions {
+		ids = append(ids, mo.V.ID)
+	}
+	return ids
+}
+
+// Clock returns the engine's simulation clock (the end of the last round).
+func (e *Engine) Clock() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clock
+}
+
+// Idle reports whether no work remains anywhere: ingestion queues drained,
+// no pooled or scheduled orders, and every vehicle empty. Replay drivers use
+// it to decide when the post-stream drain phase may stop.
+func (e *Engine) Idle() bool {
+	if len(e.orderCh) > 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pool) > 0 || len(e.future) > 0 {
+		return false
+	}
+	for _, mo := range e.motions {
+		if mo.V.OrderCount() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Start launches the real-time window clock at simulation time startSim
+// (seconds since midnight). Every ∆/timeScale wall seconds the engine
+// advances the simulation clock by ∆ and runs an assignment round;
+// timeScale 60 replays a minute of city time per wall second. Stop halts
+// the loop.
+func (e *Engine) Start(startSim, timeScale float64) error {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.stopCh != nil {
+		return ErrRunning
+	}
+	e.mu.Lock()
+	e.clock = startSim
+	e.mu.Unlock()
+	e.stopCh = make(chan struct{})
+	e.doneCh = make(chan struct{})
+	period := time.Duration(float64(time.Second) * e.cfg.Pipeline.Delta / timeScale)
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	go e.run(startSim, period, e.stopCh, e.doneCh)
+	return nil
+}
+
+func (e *Engine) run(startSim float64, period time.Duration, stopCh <-chan struct{}, doneCh chan<- struct{}) {
+	defer close(doneCh)
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	now := startSim
+	for {
+		select {
+		case <-stopCh:
+			return
+		case <-tick.C:
+			now += e.cfg.Pipeline.Delta
+			e.Step(now)
+		}
+	}
+}
+
+// Stop halts the window clock (no-op when not running) and closes every
+// subscription stream.
+func (e *Engine) Stop() {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.stopCh == nil {
+		return
+	}
+	close(e.stopCh)
+	<-e.doneCh
+	e.stopCh, e.doneCh = nil, nil
+	e.subs.closeAll()
+}

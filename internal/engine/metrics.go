@@ -1,0 +1,142 @@
+package engine
+
+// counters is the engine's internal mutable statistics, guarded by statMu.
+type counters struct {
+	ingested   int64 // accepted into the order queue
+	admitted   int64 // moved from queue to pool
+	shedOrders int64 // rejected with ErrQueueFull
+	shedPings  int64
+	assigned   int64 // assignment decisions applied (order count)
+	reassigned int64 // reshuffle moves across vehicles
+	rejected   int64 // unallocated past RejectAfter
+	delivered  int64
+	stranded   int64
+	handoffs   int64 // orders served by a neighbouring zone
+
+	xdtSec  float64
+	waitSec float64
+	distM   float64
+
+	rounds        int64
+	roundSecTotal float64
+	roundSecMax   float64
+	simStart      float64 // clock before the first round (for throughput)
+	lastRound     RoundStats
+}
+
+// ShardRoundStats is one zone's share of a round.
+type ShardRoundStats struct {
+	Orders      int     `json:"orders"`
+	Vehicles    int     `json:"vehicles"`
+	Assignments int     `json:"assignments"`
+	AssignSec   float64 `json:"assign_sec"`
+}
+
+// RoundStats summarises one assignment round.
+type RoundStats struct {
+	// T is the simulation clock the round closed at.
+	T float64 `json:"t"`
+	// PoolSize is |O(ℓ)|: pooled plus reshuffled orders matched this round.
+	PoolSize int `json:"pool"`
+	// PoolCarried is how many orders stayed unassigned into the next round.
+	PoolCarried int `json:"pool_carried"`
+	// AvailableVehicles is |V(ℓ)| across every zone.
+	AvailableVehicles int `json:"vehicles"`
+	// AssignedOrders counts orders attached to vehicles this round.
+	AssignedOrders int `json:"assigned"`
+	// Rejected counts orders dropped for staleness this round.
+	Rejected int `json:"rejected"`
+	// Handoffs counts orders served by a neighbouring zone this round.
+	Handoffs int `json:"handoffs"`
+	// LatencySec is the full wall-clock cost of the round (movement,
+	// partition, matching, application); AssignSecMax is the slowest
+	// zone's matching time — the critical path of the parallel section.
+	LatencySec   float64 `json:"latency_sec"`
+	AssignSecMax float64 `json:"assign_sec_max"`
+	// OrderQueueDepth / PingQueueDepth sample the ingestion backlog at the
+	// end of the round.
+	OrderQueueDepth int `json:"order_queue"`
+	PingQueueDepth  int `json:"ping_queue"`
+	// Shards is the per-zone breakdown.
+	Shards []ShardRoundStats `json:"shards"`
+}
+
+// Metrics is a point-in-time snapshot of engine health and throughput.
+type Metrics struct {
+	Clock  float64 `json:"clock"`
+	Shards int     `json:"shards"`
+
+	// Order lifecycle totals.
+	OrdersIngested int64 `json:"orders_ingested"`
+	OrdersAdmitted int64 `json:"orders_admitted"`
+	OrdersShed     int64 `json:"orders_shed"`
+	PingsShed      int64 `json:"pings_shed"`
+	Assigned       int64 `json:"assigned"`
+	Reassigned     int64 `json:"reassigned"`
+	Delivered      int64 `json:"delivered"`
+	Rejected       int64 `json:"rejected"`
+	Stranded       int64 `json:"stranded"`
+	Handoffs       int64 `json:"handoffs"`
+
+	// Quality aggregates (the paper's metrics, online).
+	XDTSec  float64 `json:"xdt_sec"`
+	WaitSec float64 `json:"wait_sec"`
+	DistKm  float64 `json:"dist_km"`
+
+	// Round latency.
+	Rounds          int64   `json:"rounds"`
+	RoundSecMean    float64 `json:"round_sec_mean"`
+	RoundSecMax     float64 `json:"round_sec_max"`
+	OrdersPerSimSec float64 `json:"orders_per_sim_sec"`
+
+	// Queue depths sampled now.
+	OrderQueueDepth int `json:"order_queue"`
+	PingQueueDepth  int `json:"ping_queue"`
+	PoolDepth       int `json:"pool"`
+
+	// LastRound echoes the most recent round's statistics.
+	LastRound RoundStats `json:"last_round"`
+}
+
+// Snapshot captures current engine metrics. Safe to call concurrently with
+// rounds; the snapshot is internally consistent for the counter block but
+// queue depths are instantaneous samples.
+func (e *Engine) Snapshot() Metrics {
+	e.statMu.Lock()
+	c := e.stats
+	e.statMu.Unlock()
+	m := Metrics{
+		Shards:          e.cfg.Shards,
+		OrdersIngested:  c.ingested,
+		OrdersAdmitted:  c.admitted,
+		OrdersShed:      c.shedOrders,
+		PingsShed:       c.shedPings,
+		Assigned:        c.assigned,
+		Reassigned:      c.reassigned,
+		Delivered:       c.delivered,
+		Rejected:        c.rejected,
+		Stranded:        c.stranded,
+		Handoffs:        c.handoffs,
+		XDTSec:          c.xdtSec,
+		WaitSec:         c.waitSec,
+		DistKm:          c.distM / 1000,
+		Rounds:          c.rounds,
+		RoundSecMax:     c.roundSecMax,
+		LastRound:       c.lastRound,
+		OrderQueueDepth: len(e.orderCh),
+		PingQueueDepth:  len(e.pingCh),
+	}
+	if c.rounds > 0 {
+		m.RoundSecMean = c.roundSecTotal / float64(c.rounds)
+	}
+	e.mu.Lock()
+	m.Clock = e.clock
+	m.PoolDepth = len(e.pool)
+	e.mu.Unlock()
+	if span := c.lastRound.T - c.simStart; span > 0 && c.admitted > 0 {
+		// Ingest throughput against simulated time; wall-clock throughput
+		// depends on the Start time-scale.
+		m.OrdersPerSimSec = float64(c.admitted) / span
+	}
+	return m
+}

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/foodgraph"
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Step advances the engine to simulation time `now` and runs one assignment
+// round: drain the ingestion queues, move every vehicle through
+// [clock, now), reject stale orders, then shard the pool and match each
+// zone in parallel. It returns the round's statistics and is the
+// deterministic entry point replay drivers and tests use; the Start loop
+// calls it once per ∆ tick.
+func (e *Engine) Step(now float64) RoundStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t0 := time.Now()
+
+	if now < e.clock {
+		now = e.clock // the clock never runs backwards
+	}
+	e.drainPings()
+	e.drainOrders(now)
+
+	// Slot boundary: weights changed, memoised distance rows are stale.
+	if s := roadnet.Slot(now); s != e.slot {
+		e.slot = s
+		e.sdtCache.Reset()
+	}
+
+	e.advanceAll(e.clock, now)
+	e.clock = now
+	rejected := e.rejectStale(now)
+
+	stats := e.assignRound(now)
+	stats.Rejected = rejected
+	stats.LatencySec = time.Since(t0).Seconds()
+	stats.OrderQueueDepth = len(e.orderCh)
+	stats.PingQueueDepth = len(e.pingCh)
+
+	e.statMu.Lock()
+	if e.stats.rounds == 0 {
+		e.stats.simStart = now - e.cfg.Pipeline.Delta
+	}
+	e.stats.rounds++
+	e.stats.roundSecTotal += stats.LatencySec
+	if stats.LatencySec > e.stats.roundSecMax {
+		e.stats.roundSecMax = stats.LatencySec
+	}
+	e.stats.assigned += int64(stats.AssignedOrders)
+	e.stats.rejected += int64(rejected)
+	e.stats.handoffs += int64(stats.Handoffs)
+	e.stats.lastRound = stats
+	e.statMu.Unlock()
+
+	e.subs.publish(StreamEvent{Round: &stats})
+	return stats
+}
+
+// drainOrders admits queued orders. Orders placed beyond `now` wait in the
+// future buffer — the online analogue of the simulator injecting only
+// orders with PlacedAt < window end.
+func (e *Engine) drainOrders(now float64) {
+	arrived := false
+	for {
+		select {
+		case o := <-e.orderCh:
+			if o.PlacedAt <= 0 {
+				o.PlacedAt = now
+			}
+			e.future = append(e.future, o)
+			arrived = true
+		default:
+			e.admitFuture(now, arrived)
+			return
+		}
+	}
+}
+
+// admitFuture moves matured orders from the future buffer into the pool,
+// computing their SDT lower bound at admission. The buffer is kept sorted
+// by placement time; removal preserves that, so re-sorting is only needed
+// when this round's drain appended new arrivals.
+func (e *Engine) admitFuture(now float64, arrived bool) {
+	if arrived {
+		sort.SliceStable(e.future, func(i, j int) bool {
+			return e.future[i].PlacedAt < e.future[j].PlacedAt
+		})
+	}
+	n := 0
+	for _, o := range e.future {
+		if o.PlacedAt >= now {
+			e.future[n] = o
+			n++
+			continue
+		}
+		o.State = model.OrderPlaced
+		o.AssignedTo = -1
+		o.SDT = o.Prep + e.sdtCache.Dist(o.Restaurant, o.Customer, o.PlacedAt)
+		e.pool = append(e.pool, o)
+		e.statMu.Lock()
+		e.stats.admitted++
+		e.statMu.Unlock()
+		e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderPlaced, T: o.PlacedAt, Order: o.ID})
+	}
+	e.future = e.future[:n]
+}
+
+// drainPings applies queued vehicle updates. Pings relocate only idle
+// vehicles: while a plan is live, position comes from simulated movement.
+func (e *Engine) drainPings() {
+	for {
+		select {
+		case p := <-e.pingCh:
+			mo := e.byID[p.id]
+			if mo == nil {
+				continue
+			}
+			if !math.IsNaN(p.activeFrom) {
+				mo.V.ActiveFrom = p.activeFrom
+			}
+			if !math.IsNaN(p.activeTo) {
+				mo.V.ActiveTo = p.activeTo
+			}
+			if p.node != roadnet.Invalid {
+				e.mover.Relocate(mo, p.node)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// advanceAll moves every vehicle through [t0, t1), fanned out over the
+// worker pool. Each vehicle's state is touched by exactly one worker; the
+// graph is read-only; movement hooks and the trace sink synchronise
+// internally.
+func (e *Engine) advanceAll(t0, t1 float64) {
+	if t1 <= t0 {
+		return
+	}
+	workers := e.cfg.Workers
+	if workers > len(e.motions) {
+		workers = len(e.motions)
+	}
+	if workers <= 1 {
+		for _, mo := range e.motions {
+			e.mover.Advance(mo, t0, t1)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan *sim.Motion, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for mo := range next {
+				e.mover.Advance(mo, t0, t1)
+			}
+		}()
+	}
+	for _, mo := range e.motions {
+		next <- mo
+	}
+	close(next)
+	wg.Wait()
+}
+
+// rejectStale drops pool orders unallocated longer than RejectAfter.
+func (e *Engine) rejectStale(now float64) int {
+	n := 0
+	keep := e.pool[:0]
+	for _, o := range e.pool {
+		if now-o.PlacedAt > e.cfg.Pipeline.RejectAfter {
+			o.State = model.OrderRejected
+			n++
+			e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderRejected, T: now, Order: o.ID})
+			e.subs.publish(StreamEvent{Rejection: &Rejection{T: now, Order: o.ID}})
+		} else {
+			keep = append(keep, o)
+		}
+	}
+	e.pool = keep
+	return n
+}
+
+// shardWork is the input/output of one zone's matching goroutine.
+type shardWork struct {
+	orders   []*model.Order
+	vehicles []*foodgraph.VehicleState
+	res      []policy.Assignment
+	sec      float64
+}
+
+// assignRound runs the sharded end-of-window assignment at time now.
+// The world lock is held: ingestion keeps flowing into the channels, but
+// vehicle and pool state belong to this round until it returns.
+func (e *Engine) assignRound(now float64) RoundStats {
+	cfg := e.cfg.Pipeline
+	stats := RoundStats{T: now, Shards: make([]ShardRoundStats, len(e.shards))}
+	w := &sim.RoundWorld{
+		ByID:    e.byID,
+		Motions: e.motions,
+		Mover:   e.mover,
+		Cfg:     cfg,
+		Trace:   e.cfg.Trace,
+		SPFor:   e.shardCacheFor,
+	}
+
+	// Build O(ℓ): the pool plus — when reshuffling — every vehicle's
+	// assigned-but-unpicked orders, returned to the pool.
+	orders := make([]*model.Order, 0, len(e.pool))
+	orders = append(orders, e.pool...)
+	var stripped map[model.VehicleID]bool
+	prevVehicle := make(map[model.OrderID]model.VehicleID)
+	if cfg.Reshuffle && e.pol.Reshuffles() {
+		orders, prevVehicle, stripped = w.StripPending(now, orders)
+	}
+	stats.PoolSize = len(orders)
+
+	// Build V(ℓ) per shard, keyed by each vehicle's current zone.
+	singleOrder := e.pol.SingleOrderMode(cfg)
+	work := make([]shardWork, len(e.shards))
+	availTotal := 0
+	for _, mo := range e.motions {
+		v := mo.V
+		if !v.Active(now) {
+			continue
+		}
+		if singleOrder && v.OrderCount() > 0 {
+			continue
+		}
+		if v.OrderCount() >= cfg.MaxO || v.ItemCount() >= cfg.MaxI {
+			continue
+		}
+		s := e.sh.shardOf(v.Node)
+		work[s].vehicles = append(work[s].vehicles, &foodgraph.VehicleState{
+			Vehicle: v,
+			Node:    v.Node,
+			Dest:    mo.NextNode(),
+			Onboard: v.Onboard,
+			Keep:    v.Pending,
+		})
+		availTotal++
+	}
+	stats.AvailableVehicles = availTotal
+
+	// Partition O(ℓ) by restaurant zone with the cross-shard handoff rule.
+	if len(orders) > 0 && availTotal > 0 {
+		stats.Handoffs = e.partitionOrders(orders, work)
+	}
+
+	// Run every zone's pipeline in parallel on its own policy instance and
+	// distance cache.
+	var wg sync.WaitGroup
+	for s := range e.shards {
+		if len(work[s].orders) == 0 || len(work[s].vehicles) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sr *shardRt, w *shardWork) {
+			defer wg.Done()
+			if sr.slot != e.slot {
+				sr.slot = e.slot
+				sr.cache.Reset()
+			}
+			t0 := time.Now()
+			w.res = sr.pol.Assign(&policy.WindowInput{
+				G:         e.g,
+				SP:        sr.cache.AsFunc(),
+				Now:       now,
+				Orders:    w.orders,
+				Vehicles:  w.vehicles,
+				Incumbent: prevVehicle,
+				Cfg:       cfg,
+			})
+			w.sec = time.Since(t0).Seconds()
+		}(e.shards[s], &work[s])
+	}
+	wg.Wait()
+
+	// Apply the zones' decisions centrally through the shared round logic
+	// (window.go — the same code path the offline simulator runs). Zones
+	// hold disjoint vehicles, so decisions never conflict; sequential
+	// application keeps the world state single-writer.
+	assignedVehicles := make(map[model.VehicleID]bool)
+	assignedOrders := make(map[model.OrderID]bool)
+	for s := range work {
+		sw := &work[s]
+		stats.Shards[s] = ShardRoundStats{
+			Orders:      len(sw.orders),
+			Vehicles:    len(sw.vehicles),
+			Assignments: len(sw.res),
+			AssignSec:   sw.sec,
+		}
+		if sw.sec > stats.AssignSecMax {
+			stats.AssignSecMax = sw.sec
+		}
+		for _, ap := range w.ApplyAssignments(now, sw.res, prevVehicle, assignedOrders, assignedVehicles) {
+			if ap.ReassignedOrders > 0 {
+				e.statMu.Lock()
+				e.stats.reassigned += int64(ap.ReassignedOrders)
+				e.statMu.Unlock()
+			}
+			stats.AssignedOrders += len(ap.Orders)
+			e.subs.publish(StreamEvent{Decision: &Decision{
+				T: now, Vehicle: ap.Vehicle.ID, Orders: ap.Orders, Shard: s,
+				Reassigned: ap.ReassignedOrders > 0,
+			}})
+		}
+	}
+
+	restored := w.RestoreToIncumbent(now, orders, prevVehicle, assignedOrders)
+	e.pool = sim.RebuildPool(orders, assignedOrders, e.pool[:0])
+	stats.PoolCarried = len(e.pool)
+	w.ReplanStripped(now, stripped, assignedVehicles, restored)
+
+	e.cfg.Trace.Emit(trace.Event{
+		Kind: trace.WindowClosed, T: now,
+		PoolSize: stats.PoolSize, Vehicles: availTotal,
+		Assignments: stats.AssignedOrders, AssignSec: stats.AssignSecMax,
+	})
+	return stats
+}
+
+// partitionOrders distributes O(ℓ) across the zone shards: every order goes
+// to its restaurant's home zone unless it straddles a boundary (restaurant
+// within BoundaryM of a neighbouring zone) and the neighbour is under less
+// pressure — fewer orders queued per available vehicle — in which case it is
+// handed off. Returns the handoff count.
+func (e *Engine) partitionOrders(orders []*model.Order, work []shardWork) int {
+	if len(work) == 1 {
+		work[0].orders = orders
+		return 0
+	}
+	handoffs := 0
+	var near []int
+	for _, o := range orders {
+		home := e.sh.shardOf(o.Restaurant)
+		best := home
+		if len(work[home].vehicles) == 0 || len(work[home].orders) >= len(work[home].vehicles) {
+			// Home zone is starved or saturated: consider neighbours the
+			// restaurant can plausibly be served from.
+			near = e.sh.nearShards(near[:0], e.g.Point(o.Restaurant), home, e.cfg.BoundaryM)
+			bestScore := pressure(&work[home])
+			for _, s := range near {
+				if len(work[s].vehicles) == 0 {
+					continue
+				}
+				if sc := pressure(&work[s]); sc < bestScore {
+					best, bestScore = s, sc
+				}
+			}
+		}
+		if best != home {
+			handoffs++
+		}
+		work[best].orders = append(work[best].orders, o)
+	}
+	return handoffs
+}
+
+// pressure scores a zone's load for the handoff rule: queued orders per
+// available vehicle (+Inf when the zone has no vehicles).
+func pressure(w *shardWork) float64 {
+	if len(w.vehicles) == 0 {
+		return math.Inf(1)
+	}
+	return float64(len(w.orders)+1) / float64(len(w.vehicles))
+}
+
+// shardCacheFor returns the distance oracle of a node's zone (used outside
+// the parallel section).
+func (e *Engine) shardCacheFor(n roadnet.NodeID) roadnet.SPFunc {
+	return e.shards[e.sh.shardOf(n)].cache.AsFunc()
+}

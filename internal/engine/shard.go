@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// sharder partitions the road network into K contiguous geographic zones by
+// recursive median splits of the node coordinates (a KD partition): at each
+// level the node set is cut along its wider axis at the quantile that keeps
+// the shard sizes balanced for any K, not just powers of two. Each zone runs
+// its own policy instance, so FoodGraph construction and KM matching for
+// disjoint zones proceed in parallel.
+type sharder struct {
+	k     int
+	of    []int32 // node -> shard
+	boxes []bbox  // shard -> geographic bounding box
+}
+
+// bbox is a lat/lon-aligned bounding box in degrees.
+type bbox struct {
+	minLat, minLon, maxLat, maxLon float64
+}
+
+func emptyBox() bbox {
+	return bbox{
+		minLat: math.Inf(1), minLon: math.Inf(1),
+		maxLat: math.Inf(-1), maxLon: math.Inf(-1),
+	}
+}
+
+func (b *bbox) extend(p geo.Point) {
+	b.minLat = math.Min(b.minLat, p.Lat)
+	b.maxLat = math.Max(b.maxLat, p.Lat)
+	b.minLon = math.Min(b.minLon, p.Lon)
+	b.maxLon = math.Max(b.maxLon, p.Lon)
+}
+
+// distM approximates the distance in metres from p to the box (0 inside).
+// An equirectangular approximation is plenty at city scale.
+func (b *bbox) distM(p geo.Point) float64 {
+	dLat := 0.0
+	switch {
+	case p.Lat < b.minLat:
+		dLat = b.minLat - p.Lat
+	case p.Lat > b.maxLat:
+		dLat = p.Lat - b.maxLat
+	}
+	dLon := 0.0
+	switch {
+	case p.Lon < b.minLon:
+		dLon = b.minLon - p.Lon
+	case p.Lon > b.maxLon:
+		dLon = p.Lon - b.maxLon
+	}
+	mPerDegLat := 111_000.0
+	mPerDegLon := 111_000.0 * math.Cos(geo.Rad(p.Lat))
+	return math.Hypot(dLat*mPerDegLat, dLon*mPerDegLon)
+}
+
+// newSharder builds a K-way partition of g's nodes.
+func newSharder(g *roadnet.Graph, k int) *sharder {
+	n := g.NumNodes()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	sh := &sharder{k: k, of: make([]int32, n), boxes: make([]bbox, k)}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sh.split(g, idx, k, 0)
+	for i := range sh.boxes {
+		sh.boxes[i] = emptyBox()
+	}
+	for i := 0; i < n; i++ {
+		b := &sh.boxes[sh.of[i]]
+		b.extend(g.Point(roadnet.NodeID(i)))
+	}
+	return sh
+}
+
+// split recursively assigns idx's nodes to shards [base, base+k).
+func (sh *sharder) split(g *roadnet.Graph, idx []int, k, base int) {
+	if k <= 1 {
+		for _, i := range idx {
+			sh.of[i] = int32(base)
+		}
+		return
+	}
+	// Wider axis in metres decides the cut direction.
+	box := emptyBox()
+	for _, i := range idx {
+		box.extend(g.Point(roadnet.NodeID(i)))
+	}
+	midLat := (box.minLat + box.maxLat) / 2
+	latExtent := (box.maxLat - box.minLat) * 111_000
+	lonExtent := (box.maxLon - box.minLon) * 111_000 * math.Cos(geo.Rad(midLat))
+	byLat := latExtent >= lonExtent
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := g.Point(roadnet.NodeID(idx[a])), g.Point(roadnet.NodeID(idx[b]))
+		if byLat {
+			if pa.Lat != pb.Lat {
+				return pa.Lat < pb.Lat
+			}
+			return pa.Lon < pb.Lon
+		}
+		if pa.Lon != pb.Lon {
+			return pa.Lon < pb.Lon
+		}
+		return pa.Lat < pb.Lat
+	})
+	kl := k / 2
+	cut := len(idx) * kl / k
+	sh.split(g, idx[:cut], kl, base)
+	sh.split(g, idx[cut:], k-kl, base+kl)
+}
+
+// shardOf returns the home shard of a node.
+func (sh *sharder) shardOf(n roadnet.NodeID) int { return int(sh.of[n]) }
+
+// nearShards appends to dst the shards other than `own` whose zone lies
+// within marginM metres of p — the candidates for cross-shard handoff of a
+// boundary-straddling order.
+func (sh *sharder) nearShards(dst []int, p geo.Point, own int, marginM float64) []int {
+	for s := 0; s < sh.k; s++ {
+		if s == own {
+			continue
+		}
+		if sh.boxes[s].distM(p) <= marginM {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}

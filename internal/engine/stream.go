@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Decision is one published assignment: Orders were attached to Vehicle by
+// the round at time T, computed by zone shard Shard. Reassigned marks a
+// reshuffle that moved at least one of the orders off another vehicle.
+type Decision struct {
+	T          float64         `json:"t"`
+	Vehicle    model.VehicleID `json:"vehicle"`
+	Orders     []model.OrderID `json:"orders"`
+	Shard      int             `json:"shard"`
+	Reassigned bool            `json:"reassigned,omitempty"`
+}
+
+// Rejection is one published rejection (order unallocated past RejectAfter).
+type Rejection struct {
+	T     float64       `json:"t"`
+	Order model.OrderID `json:"order"`
+}
+
+// StreamEvent is one message on the assignment stream; exactly one field is
+// non-nil.
+type StreamEvent struct {
+	Decision  *Decision   `json:"decision,omitempty"`
+	Rejection *Rejection  `json:"rejection,omitempty"`
+	Round     *RoundStats `json:"round,omitempty"`
+}
+
+// Subscription is one consumer of the assignment stream. Events are
+// delivered on C; a consumer that falls behind loses events rather than
+// stalling the engine (Dropped counts them). Cancel releases the
+// subscription and closes C.
+type Subscription struct {
+	C <-chan StreamEvent
+
+	owner  *subscribers
+	id     int
+	ch     chan StreamEvent
+	closed bool
+
+	mu      sync.Mutex
+	dropped int64
+}
+
+// Cancel detaches the subscription; C is closed. Safe to call twice.
+func (s *Subscription) Cancel() { s.owner.cancel(s) }
+
+// Dropped reports how many events were lost to a full buffer.
+func (s *Subscription) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// subscribers is the engine's fan-out registry.
+type subscribers struct {
+	mu   sync.Mutex
+	next int
+	subs map[int]*Subscription
+}
+
+// Subscribe attaches a consumer to the assignment stream with the given
+// channel buffer (min 1). Events published while the buffer is full are
+// dropped for that consumer only.
+func (e *Engine) Subscribe(buffer int) *Subscription {
+	return e.subs.add(buffer)
+}
+
+func (r *subscribers) add(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.subs == nil {
+		r.subs = make(map[int]*Subscription)
+	}
+	ch := make(chan StreamEvent, buffer)
+	s := &Subscription{C: ch, ch: ch, owner: r, id: r.next}
+	r.subs[r.next] = s
+	r.next++
+	return s
+}
+
+func (r *subscribers) cancel(s *Subscription) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(r.subs, s.id)
+	close(s.ch)
+}
+
+func (r *subscribers) publish(ev StreamEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (r *subscribers) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, s := range r.subs {
+		s.closed = true
+		close(s.ch)
+		delete(r.subs, id)
+	}
+}

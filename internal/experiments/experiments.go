@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -216,6 +217,36 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as a machine-readable object (one line), the shape
+// CI fidelity tracking consumes: {"id","title","columns","rows":[{"label",
+// "values"}],"notes"}. Non-finite values (NaN/±Inf placeholders) become
+// null, since JSON has no encoding for them.
+func (t *Table) JSON() ([]byte, error) {
+	type jsonRow struct {
+		Label  string `json:"label"`
+		Values []any  `json:"values"`
+	}
+	rows := make([]jsonRow, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		vals := make([]any, len(r.Values))
+		for i, v := range r.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = nil
+			} else {
+				vals[i] = v
+			}
+		}
+		rows = append(rows, jsonRow{Label: r.Label, Values: vals})
+	}
+	return json.Marshal(struct {
+		ID      string    `json:"id"`
+		Title   string    `json:"title"`
+		Columns []string  `json:"columns"`
+		Rows    []jsonRow `json:"rows"`
+		Notes   []string  `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, rows, t.Notes})
 }
 
 // percentiles summarises a sample at the requested percentiles (0–100).

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{
+		ID:      "T0",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "r1", Values: []float64{1.5, math.NaN()}},
+			{Label: "r2", Values: []float64{math.Inf(1), -2}},
+		},
+		Notes: []string{"note"},
+	}
+	line, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		ID      string   `json:"id"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label  string `json:"label"`
+			Values []any  `json:"values"`
+		} `json:"rows"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal(line, &back); err != nil {
+		t.Fatalf("JSON() emitted invalid JSON: %v\n%s", err, line)
+	}
+	if back.ID != "T0" || len(back.Columns) != 2 || len(back.Rows) != 2 || len(back.Notes) != 1 {
+		t.Fatalf("round trip mangled the table: %+v", back)
+	}
+	if back.Rows[0].Values[1] != nil || back.Rows[1].Values[0] != nil {
+		t.Fatalf("non-finite values must encode as null: %+v", back.Rows)
+	}
+	if v, ok := back.Rows[0].Values[0].(float64); !ok || v != 1.5 {
+		t.Fatalf("finite value lost: %+v", back.Rows[0])
+	}
+}

@@ -7,6 +7,19 @@
 // and the available vehicles V(ℓ) — and returns the set of (vehicle, batch,
 // route plan) assignments. The simulator owns order/vehicle lifecycle; the
 // policy is pure decision logic.
+//
+// # Concurrency contract
+//
+// A Policy instance is driven by one window loop at a time: Assign is never
+// called concurrently on the same instance, so implementations may keep
+// per-call scratch state without synchronisation. The online engine runs K
+// zone shards in parallel by constructing one instance per shard through a
+// factory (engine.Config.NewPolicy) — implementations must therefore not
+// share mutable package-level state across instances, and everything
+// reachable from WindowInput (graph, SP oracle, config) is read-only during
+// Assign. Observer callbacks (e.g. FoodMatch.RankObserver) are invoked on
+// the calling shard's goroutine and must synchronise internally if they
+// aggregate across shards.
 package policy
 
 import (
@@ -44,7 +57,9 @@ type Assignment struct {
 	Plan    *model.RoutePlan
 }
 
-// Policy is an assignment strategy.
+// Policy is an assignment strategy. Instances are confined to a single
+// window loop (one simulator, or one engine zone shard); see the package
+// comment for the full concurrency contract.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string

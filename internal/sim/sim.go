@@ -60,25 +60,14 @@ type Simulator struct {
 	cfg      *model.Config
 	opts     Options
 	orders   []*model.Order // sorted by PlacedAt
-	vrts     []*vehicleRt
+	mover    *Mover
+	vrts     []*Motion
+	byID     map[model.VehicleID]*Motion
 
 	pool    []*model.Order // placed, unassigned
 	nextOrd int
 	clock   float64 // last processed simulation instant (for event stamps)
 	metrics *Metrics
-}
-
-// vehicleRt wraps a vehicle with the simulator's movement state.
-type vehicleRt struct {
-	v *model.Vehicle
-	// path holds the remaining nodes of the current leg; path[0] is the node
-	// currently being driven towards.
-	path []roadnet.NodeID
-	// edgeRemaining/edgeTotal/edgeLenM describe progress on the edge
-	// v.Node -> path[0].
-	edgeRemaining float64
-	edgeTotal     float64
-	edgeLenM      float64
 }
 
 // New builds a simulator. Orders must carry PlacedAt/Items/Prep; SDT is
@@ -120,6 +109,35 @@ func New(g *roadnet.Graph, orders []*model.Order, vehicles []*model.Vehicle, pol
 		s.decCache = roadnet.NewDistCache(opts.DecisionGraph, opts.SPBound)
 		s.decSP = s.decCache.AsFunc()
 	}
+	s.mover = NewMover(g, opts.Trace)
+	s.mover.Hooks = MoveHooks{
+		Wait: func(_ *model.Vehicle, sec, t float64) {
+			s.metrics.WaitSec += sec
+			s.metrics.SlotWaitSec[roadnet.Slot(t)] += sec
+		},
+		Deliver: func(o *model.Order, _ *model.Vehicle, _ float64) {
+			m := s.metrics
+			m.Delivered++
+			m.DeliverySec += o.DeliveryTime()
+			xdt := o.XDT()
+			m.XDTSec += xdt
+			slot := roadnet.Slot(o.PlacedAt)
+			m.SlotXDTSec[slot] += xdt
+			m.SlotDelivered[slot]++
+		},
+		Distance: func(_ *model.Vehicle, meters float64, load int, t float64) {
+			m := s.metrics
+			m.DistM += meters
+			if load < len(m.LoadDistM) {
+				m.LoadDistM[load] += meters
+			}
+			slot := roadnet.Slot(t)
+			m.SlotDistM[slot] += meters
+			m.SlotLoadDistM[slot] += float64(load) * meters
+		},
+		Strand: func(*model.Order) { s.metrics.Stranded++ },
+	}
+	s.byID = make(map[model.VehicleID]*Motion, len(vehicles))
 	for _, v := range vehicles {
 		if int(v.Node) >= g.NumNodes() || v.Node < 0 {
 			return nil, fmt.Errorf("sim: vehicle %d parked at invalid node %d", v.ID, v.Node)
@@ -127,7 +145,9 @@ func New(g *roadnet.Graph, orders []*model.Order, vehicles []*model.Vehicle, pol
 		if len(v.DistByLoad) < cfg.MaxO+1 {
 			v.DistByLoad = make([]float64, cfg.MaxO+1)
 		}
-		s.vrts = append(s.vrts, &vehicleRt{v: v})
+		mo := NewMotion(v)
+		s.vrts = append(s.vrts, mo)
+		s.byID[v.ID] = mo
 	}
 	return s, nil
 }
@@ -153,7 +173,7 @@ func (s *Simulator) Run(start, end float64) *Metrics {
 		}
 		s.injectOrders(wEnd)
 		for _, vr := range s.vrts {
-			s.advance(vr, now, wEnd)
+			s.mover.Advance(vr, now, wEnd)
 		}
 		s.clock = wEnd
 		s.rejectStale(wEnd)
@@ -169,7 +189,7 @@ func (s *Simulator) Run(start, end float64) *Metrics {
 	}
 	s.pool = nil
 	for _, vr := range s.vrts {
-		for _, o := range append(append([]*model.Order{}, vr.v.Onboard...), vr.v.Pending...) {
+		for _, o := range append(append([]*model.Order{}, vr.V.Onboard...), vr.V.Pending...) {
 			if o.State != model.OrderDelivered {
 				o.State = model.OrderRejected
 				s.metrics.Stranded++
@@ -185,7 +205,7 @@ func (s *Simulator) idle() bool {
 		return false
 	}
 	for _, vr := range s.vrts {
-		if vr.v.OrderCount() > 0 {
+		if vr.V.OrderCount() > 0 {
 			return false
 		}
 	}
@@ -229,34 +249,35 @@ func (s *Simulator) reject(o *model.Order) {
 	s.opts.Trace.Emit(trace.Event{Kind: trace.OrderRejected, T: s.clock, Order: o.ID})
 }
 
+// world returns the shared round-application view of the simulator state
+// (the logic in window.go that the online engine reuses).
+func (s *Simulator) world() *RoundWorld {
+	return &RoundWorld{
+		ByID:    s.byID,
+		Motions: s.vrts,
+		Mover:   s.mover,
+		Cfg:     s.cfg,
+		Trace:   s.opts.Trace,
+		SPFor:   func(roadnet.NodeID) roadnet.SPFunc { return s.decSP },
+	}
+}
+
 // window performs the end-of-window assignment round at time now.
 func (s *Simulator) window(now float64) {
-	reshuffle := s.cfg.Reshuffle && s.pol.Reshuffles()
+	w := s.world()
 
-	// Build O(ℓ).
+	// Build O(ℓ): the pool plus — when reshuffling — every vehicle's
+	// assigned-but-unpicked orders, returned to the pool (Section IV-D2).
 	orders := make([]*model.Order, 0, len(s.pool))
 	orders = append(orders, s.pool...)
-	stripped := make(map[model.VehicleID]bool)
+	var stripped map[model.VehicleID]bool
 	prevVehicle := make(map[model.OrderID]model.VehicleID)
-	if reshuffle {
-		for _, vr := range s.vrts {
-			if len(vr.v.Pending) == 0 {
-				continue
-			}
-			for _, o := range vr.v.Pending {
-				o.State = model.OrderPlaced
-				prevVehicle[o.ID] = o.AssignedTo
-				o.AssignedTo = -1
-				orders = append(orders, o)
-				s.opts.Trace.Emit(trace.Event{Kind: trace.OrderReleased, T: now, Order: o.ID, Vehicle: prevVehicle[o.ID]})
-			}
-			vr.v.Pending = vr.v.Pending[:0]
-			stripped[vr.v.ID] = true
-		}
+	if s.cfg.Reshuffle && s.pol.Reshuffles() {
+		orders, prevVehicle, stripped = w.StripPending(now, orders)
 	}
 	if len(orders) == 0 {
 		s.recordWindow(now, 0)
-		s.replanStripped(stripped, nil, now)
+		w.ReplanStripped(now, stripped, nil, nil)
 		return
 	}
 
@@ -266,7 +287,7 @@ func (s *Simulator) window(now float64) {
 	singleOrder := s.pol.SingleOrderMode(s.cfg)
 	var vss []*foodgraph.VehicleState
 	for _, vr := range s.vrts {
-		v := vr.v
+		v := vr.V
 		if !v.Active(now) {
 			continue
 		}
@@ -279,7 +300,7 @@ func (s *Simulator) window(now float64) {
 		vss = append(vss, &foodgraph.VehicleState{
 			Vehicle: v,
 			Node:    v.Node,
-			Dest:    vr.nextNode(),
+			Dest:    vr.NextNode(),
 			Onboard: v.Onboard,
 			Keep:    v.Pending,
 		})
@@ -306,123 +327,12 @@ func (s *Simulator) window(now float64) {
 
 	assignedVehicles := make(map[model.VehicleID]bool, len(assignments))
 	assignedOrders := make(map[model.OrderID]bool)
-	for _, a := range assignments {
-		assignedVehicles[a.Vehicle.ID] = true
-		v := a.Vehicle
-		for _, o := range a.Orders {
-			o.State = model.OrderAssigned
-			if prev, had := prevVehicle[o.ID]; had && prev != v.ID {
-				s.metrics.Reassignments++
-			}
-			o.AssignedTo = v.ID
-			o.AssignedAt = now
-			assignedOrders[o.ID] = true
-			v.Pending = append(v.Pending, o)
-			s.opts.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
-		}
-		s.setPlan(v, a.Plan)
+	for _, ap := range w.ApplyAssignments(now, assignments, prevVehicle, assignedOrders, assignedVehicles) {
+		s.metrics.Reassignments += ap.ReassignedOrders
 	}
-
-	// Restore-to-incumbent: a reshuffled order the matching did not place
-	// anywhere keeps its previous assignment — reshuffling looks for
-	// *better* vehicles (Section IV-D2), it never strands an order that
-	// already had one. The incumbent may have received a new batch this
-	// window; restore only while capacity allows, replanning the vehicle
-	// with the restored pickups included.
-	restored := make(map[model.VehicleID]bool)
-	for _, o := range orders {
-		if assignedOrders[o.ID] || o.State != model.OrderPlaced {
-			continue
-		}
-		prev, had := prevVehicle[o.ID]
-		if !had {
-			continue
-		}
-		v := s.vehicleByID(prev)
-		if v == nil || !v.Active(now) {
-			continue
-		}
-		if v.OrderCount()+1 > s.cfg.MaxO || v.ItemCount()+o.Items > s.cfg.MaxI {
-			continue
-		}
-		o.State = model.OrderAssigned
-		o.AssignedTo = v.ID
-		v.Pending = append(v.Pending, o)
-		assignedOrders[o.ID] = true
-		restored[v.ID] = true
-		s.opts.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
-	}
-	for _, vr := range s.vrts {
-		if !restored[vr.v.ID] {
-			continue
-		}
-		plan, _, ok := optimizePlan(s.decSP, vr.v.Node, now, vr.v.Onboard, vr.v.Pending)
-		if ok {
-			s.setPlan(vr.v, plan)
-		}
-	}
-
-	// Rebuild the pool: orders not assigned anywhere stay (or return) in it.
-	newPool := s.pool[:0]
-	for _, o := range orders {
-		if !assignedOrders[o.ID] && o.State == model.OrderPlaced {
-			newPool = append(newPool, o)
-		}
-	}
-	s.pool = newPool
-
-	s.replanStripped(stripped, assignedVehicles, now)
-}
-
-// replanStripped rebuilds dropoff-only plans for vehicles whose pending
-// orders were pooled by reshuffling but which received no new assignment.
-func (s *Simulator) replanStripped(stripped map[model.VehicleID]bool, assigned map[model.VehicleID]bool, now float64) {
-	if len(stripped) == 0 {
-		return
-	}
-	for _, vr := range s.vrts {
-		v := vr.v
-		if !stripped[v.ID] || assigned[v.ID] {
-			continue
-		}
-		if len(v.Onboard) == 0 {
-			s.setPlan(v, &model.RoutePlan{})
-			continue
-		}
-		plan, _, ok := optimizeDropoffs(s.decSP, v.Node, now, v.Onboard)
-		if !ok {
-			// Keep the old plan's dropoffs in order as a fallback.
-			continue
-		}
-		s.setPlan(v, plan)
-	}
-}
-
-// setPlan replaces a vehicle's route plan. A vehicle mid-edge finishes that
-// road segment before rerouting (it cannot teleport back to the segment's
-// start); resetting its progress every window would systematically slow
-// every reshuffled vehicle.
-func (s *Simulator) setPlan(v *model.Vehicle, plan *model.RoutePlan) {
-	v.Plan = plan.Clone()
-	for _, vr := range s.vrts {
-		if vr.v != v {
-			continue
-		}
-		if vr.edgeRemaining > 0 && len(vr.path) > 0 {
-			// Keep only the in-progress edge; the leg to the new first stop
-			// is recomputed from its far end.
-			vr.path = vr.path[:1]
-			v.EdgeTo = vr.path[0]
-		} else {
-			vr.path = nil
-			vr.edgeRemaining = 0
-			vr.edgeTotal = 0
-			vr.edgeLenM = 0
-			v.EdgeTo = roadnet.Invalid
-			v.EdgeProgress = 0
-		}
-		break
-	}
+	restored := w.RestoreToIncumbent(now, orders, prevVehicle, assignedOrders)
+	s.pool = RebuildPool(orders, assignedOrders, s.pool[:0])
+	w.ReplanStripped(now, stripped, assignedVehicles, restored)
 }
 
 func (s *Simulator) recordWindow(now, assignSec float64) {
@@ -439,26 +349,4 @@ func (s *Simulator) recordWindow(now, assignSec float64) {
 		m.OverflownWindows++
 		m.SlotOverflown[slot]++
 	}
-}
-
-// nextNode returns the node the vehicle is currently heading towards
-// (roadnet.Invalid when idle) — the `dest` of the angular-distance model.
-func (vr *vehicleRt) nextNode() roadnet.NodeID {
-	if len(vr.path) > 0 {
-		return vr.path[0]
-	}
-	if vr.v.Plan != nil && !vr.v.Plan.Empty() {
-		return vr.v.Plan.Stops[0].Node
-	}
-	return roadnet.Invalid
-}
-
-// vehicleByID finds a vehicle in the fleet.
-func (s *Simulator) vehicleByID(id model.VehicleID) *model.Vehicle {
-	for _, vr := range s.vrts {
-		if vr.v.ID == id {
-			return vr.v
-		}
-	}
-	return nil
 }

@@ -381,7 +381,7 @@ func TestTraceIntegration(t *testing.T) {
 	}
 	// Window events must be present and carry assignment durations.
 	found := false
-	for _, e := range rec.Events {
+	for _, e := range rec.Snapshot() {
 		if e.Kind == trace.WindowClosed && e.Assignments > 0 {
 			found = true
 			if e.AssignSec < 0 {

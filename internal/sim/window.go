@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"repro/internal/model"
+	"repro/internal/policy"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// RoundWorld bundles the mutable world state the end-of-window application
+// phase operates on: pooling pending orders for reshuffle, applying the
+// policy's assignments, restoring unplaced orders to their incumbents and
+// replanning stripped vehicles. The offline Simulator and the online engine
+// share this logic so their decisions stay identical round for round; only
+// how the policy itself is invoked (single loop vs parallel zone shards)
+// differs between them.
+type RoundWorld struct {
+	ByID    map[model.VehicleID]*Motion
+	Motions []*Motion
+	Mover   *Mover
+	Cfg     *model.Config
+	Trace   trace.Sink
+	// SPFor returns the distance oracle for planning around a node. The
+	// simulator answers every query with one oracle; the engine answers
+	// with the node's zone-shard cache.
+	SPFor func(roadnet.NodeID) roadnet.SPFunc
+}
+
+// StripPending implements the reshuffle release (Section IV-D2): every
+// vehicle's assigned-but-unpicked orders return to the pool. It appends the
+// released orders to `orders` and returns the extended slice, the incumbent
+// map (order -> vehicle it was stripped from) and the stripped-vehicle set.
+func (w *RoundWorld) StripPending(now float64, orders []*model.Order) ([]*model.Order, map[model.OrderID]model.VehicleID, map[model.VehicleID]bool) {
+	incumbent := make(map[model.OrderID]model.VehicleID)
+	stripped := make(map[model.VehicleID]bool)
+	for _, mo := range w.Motions {
+		v := mo.V
+		if len(v.Pending) == 0 {
+			continue
+		}
+		for _, o := range v.Pending {
+			o.State = model.OrderPlaced
+			incumbent[o.ID] = o.AssignedTo
+			o.AssignedTo = -1
+			orders = append(orders, o)
+			w.Trace.Emit(trace.Event{Kind: trace.OrderReleased, T: now, Order: o.ID, Vehicle: incumbent[o.ID]})
+		}
+		v.Pending = v.Pending[:0]
+		stripped[v.ID] = true
+	}
+	return orders, incumbent, stripped
+}
+
+// Applied describes one applied assignment decision.
+type Applied struct {
+	Vehicle *model.Vehicle
+	Orders  []model.OrderID
+	// ReassignedOrders counts orders that moved off a different incumbent.
+	ReassignedOrders int
+}
+
+// ApplyAssignments attaches each assignment's orders to its vehicle,
+// replaces the vehicle's plan, and records the touched orders/vehicles in
+// the provided sets. It returns the applied decisions in input order.
+func (w *RoundWorld) ApplyAssignments(now float64, as []policy.Assignment,
+	incumbent map[model.OrderID]model.VehicleID,
+	assignedOrders map[model.OrderID]bool, assignedVehicles map[model.VehicleID]bool) []Applied {
+	applied := make([]Applied, 0, len(as))
+	for _, a := range as {
+		v := a.Vehicle
+		assignedVehicles[v.ID] = true
+		ap := Applied{Vehicle: v, Orders: make([]model.OrderID, 0, len(a.Orders))}
+		for _, o := range a.Orders {
+			o.State = model.OrderAssigned
+			if prev, had := incumbent[o.ID]; had && prev != v.ID {
+				ap.ReassignedOrders++
+			}
+			o.AssignedTo = v.ID
+			o.AssignedAt = now
+			assignedOrders[o.ID] = true
+			v.Pending = append(v.Pending, o)
+			ap.Orders = append(ap.Orders, o.ID)
+			w.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
+		}
+		w.setPlan(v, a.Plan)
+		applied = append(applied, ap)
+	}
+	return applied
+}
+
+// RestoreToIncumbent gives a reshuffled order the matching did not place
+// anywhere back to its previous vehicle — reshuffling looks for *better*
+// vehicles, it never strands an order that already had one. The incumbent
+// may have received a new batch this round; restore only while capacity
+// allows, replanning each restored vehicle with the restored pickups
+// included. Returns the restored-vehicle set.
+func (w *RoundWorld) RestoreToIncumbent(now float64, orders []*model.Order,
+	incumbent map[model.OrderID]model.VehicleID, assignedOrders map[model.OrderID]bool) map[model.VehicleID]bool {
+	restored := make(map[model.VehicleID]bool)
+	for _, o := range orders {
+		if assignedOrders[o.ID] || o.State != model.OrderPlaced {
+			continue
+		}
+		prev, had := incumbent[o.ID]
+		if !had {
+			continue
+		}
+		mo := w.ByID[prev]
+		if mo == nil || !mo.V.Active(now) {
+			continue
+		}
+		v := mo.V
+		if v.OrderCount()+1 > w.Cfg.MaxO || v.ItemCount()+o.Items > w.Cfg.MaxI {
+			continue
+		}
+		o.State = model.OrderAssigned
+		o.AssignedTo = v.ID
+		v.Pending = append(v.Pending, o)
+		assignedOrders[o.ID] = true
+		restored[v.ID] = true
+		w.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
+	}
+	for _, mo := range w.Motions {
+		v := mo.V
+		if !restored[v.ID] {
+			continue
+		}
+		sp := w.SPFor(v.Node)
+		if plan, _, ok := OptimizePlan(sp, v.Node, now, v.Onboard, v.Pending); ok {
+			w.setPlan(v, plan)
+		}
+	}
+	return restored
+}
+
+// ReplanStripped rebuilds dropoff-only plans for vehicles whose pending
+// orders were pooled by reshuffling but which received no new assignment.
+// Vehicles that had orders restored to them already got a full plan (with
+// the restored pickups) and must keep it.
+func (w *RoundWorld) ReplanStripped(now float64, stripped, assigned, restored map[model.VehicleID]bool) {
+	if len(stripped) == 0 {
+		return
+	}
+	for _, mo := range w.Motions {
+		v := mo.V
+		if !stripped[v.ID] || assigned[v.ID] || restored[v.ID] {
+			continue
+		}
+		if len(v.Onboard) == 0 {
+			w.setPlan(v, &model.RoutePlan{})
+			continue
+		}
+		sp := w.SPFor(v.Node)
+		plan, _, ok := OptimizeDropoffs(sp, v.Node, now, v.Onboard)
+		if !ok {
+			// Keep the old plan's dropoffs in order as a fallback.
+			continue
+		}
+		w.setPlan(v, plan)
+	}
+}
+
+// RebuildPool keeps the orders not assigned anywhere, reusing dst's storage.
+func RebuildPool(orders []*model.Order, assignedOrders map[model.OrderID]bool, dst []*model.Order) []*model.Order {
+	for _, o := range orders {
+		if !assignedOrders[o.ID] && o.State == model.OrderPlaced {
+			dst = append(dst, o)
+		}
+	}
+	return dst
+}
+
+func (w *RoundWorld) setPlan(v *model.Vehicle, plan *model.RoutePlan) {
+	if mo := w.ByID[v.ID]; mo != nil {
+		w.Mover.SetPlan(mo, plan)
+	}
+}

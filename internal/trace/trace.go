@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -58,22 +59,63 @@ type discard struct{}
 
 func (discard) Emit(Event) {}
 
-// Recorder stores events in memory in emission order.
+// Recorder stores events in memory in emission order. It is safe for
+// concurrent use: the online engine's zone shards emit from their own
+// goroutines, so appends are serialised by a mutex.
 type Recorder struct {
-	Events []Event
+	mu     sync.Mutex
+	events []Event
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
 // Emit implements Sink.
-func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Snapshot returns a copy of the recorded events in emission order.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the recorded events of the given kinds, in emission order.
+func (r *Recorder) Filter(kinds ...Kind) []Event {
+	want := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // WriteJSONL streams the recorded events as JSON Lines.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	events := r.Snapshot()
 	enc := json.NewEncoder(w)
-	for i := range r.Events {
-		if err := enc.Encode(&r.Events[i]); err != nil {
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
 			return fmt.Errorf("trace: encoding event %d: %w", i, err)
 		}
 	}
@@ -89,9 +131,9 @@ func ReadJSONL(rd io.Reader) (*Recorder, error) {
 		if err := dec.Decode(&e); err == io.EOF {
 			return r, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: decoding event %d: %w", len(r.Events), err)
+			return nil, fmt.Errorf("trace: decoding event %d: %w", len(r.events), err)
 		}
-		r.Events = append(r.Events, e)
+		r.events = append(r.events, e)
 	}
 }
 
@@ -141,7 +183,7 @@ func (r *Recorder) Timelines() []*Timeline {
 		}
 		return tl
 	}
-	for _, e := range r.Events {
+	for _, e := range r.Snapshot() {
 		switch e.Kind {
 		case OrderPlaced:
 			get(e.Order).PlacedAt = e.T
@@ -173,7 +215,7 @@ type QueuePoint struct {
 // QueueDepth derives the end-of-window unassigned queue series.
 func (r *Recorder) QueueDepth() []QueuePoint {
 	var out []QueuePoint
-	for _, e := range r.Events {
+	for _, e := range r.Snapshot() {
 		if e.Kind == WindowClosed {
 			out = append(out, QueuePoint{T: e.T, Depth: e.PoolSize - e.Assignments})
 		}

@@ -3,7 +3,10 @@ package trace
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/model"
 )
 
 func sampleStream() *Recorder {
@@ -78,19 +81,20 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if err := r.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if lines := strings.Count(buf.String(), "\n"); lines != len(r.Events) {
-		t.Fatalf("jsonl lines = %d, want %d", lines, len(r.Events))
+	if lines := strings.Count(buf.String(), "\n"); lines != r.Len() {
+		t.Fatalf("jsonl lines = %d, want %d", lines, r.Len())
 	}
 	back, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back.Events) != len(r.Events) {
-		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(r.Events))
+	want, got := r.Snapshot(), back.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(want))
 	}
-	for i := range back.Events {
-		if back.Events[i] != r.Events[i] {
-			t.Fatalf("event %d changed: %+v vs %+v", i, back.Events[i], r.Events[i])
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d changed: %+v vs %+v", i, got[i], want[i])
 		}
 	}
 }
@@ -103,4 +107,93 @@ func TestReadJSONLBad(t *testing.T) {
 
 func TestDiscard(t *testing.T) {
 	Discard.Emit(Event{Kind: OrderPlaced}) // must not panic
+}
+
+func TestFilter(t *testing.T) {
+	r := sampleStream()
+	placed := r.Filter(OrderPlaced)
+	if len(placed) != 3 {
+		t.Fatalf("placed events = %d, want 3", len(placed))
+	}
+	for _, e := range placed {
+		if e.Kind != OrderPlaced {
+			t.Fatalf("filter leaked kind %q", e.Kind)
+		}
+	}
+	both := r.Filter(OrderPlaced, WindowClosed)
+	if len(both) != 5 {
+		t.Fatalf("placed+window events = %d, want 5", len(both))
+	}
+	if n := len(r.Filter()); n != 0 {
+		t.Fatalf("empty filter returned %d events", n)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: OrderPlaced, T: 1, Order: 1})
+	snap := r.Snapshot()
+	snap[0].Order = 99
+	if r.Snapshot()[0].Order != 1 {
+		t.Fatal("mutating a snapshot leaked into the recorder")
+	}
+}
+
+func TestEmitOrdering(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Kind: OrderPlaced, Order: model.OrderID(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 100 || r.Len() != 100 {
+		t.Fatalf("len = %d / %d, want 100", len(snap), r.Len())
+	}
+	for i, e := range snap {
+		if e.Order != model.OrderID(i) {
+			t.Fatalf("event %d out of order: got order %d", i, e.Order)
+		}
+	}
+}
+
+// TestConcurrentEmit exercises the engine's emission pattern: several zone
+// shards appending to one recorder at once. Run with -race to catch
+// regressions in the locking.
+func TestConcurrentEmit(t *testing.T) {
+	r := NewRecorder()
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(Event{Kind: OrderAssigned, Order: model.OrderID(w*per + i), Vehicle: model.VehicleID(w)})
+				if i%100 == 0 {
+					_ = r.Len()
+					_ = r.Filter(OrderAssigned, WindowClosed)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // a concurrent reader, like a live metrics scraper
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+			_ = r.Timelines()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Len() != writers*per {
+		t.Fatalf("events = %d, want %d", r.Len(), writers*per)
+	}
+	// Per-writer subsequences must preserve each goroutine's emission order.
+	last := make(map[model.VehicleID]model.OrderID)
+	for _, e := range r.Snapshot() {
+		if prev, ok := last[e.Vehicle]; ok && e.Order <= prev {
+			t.Fatalf("writer %d order regressed: %d after %d", e.Vehicle, e.Order, prev)
+		}
+		last[e.Vehicle] = e.Order
+	}
 }
