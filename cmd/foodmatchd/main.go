@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -26,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	foodmatch "repro"
 )
@@ -73,10 +76,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := eng.Start(*startHour*3600, *timeScale); err != nil {
+
+	// SIGINT/SIGTERM cancel the context, which halts the engine's window
+	// clock mid-tick; the explicit drain below finishes in-flight work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := eng.StartContext(ctx, *startHour*3600, *timeScale); err != nil {
 		fatal(err)
 	}
-	defer eng.Stop()
 
 	srv := &http.Server{Addr: *addr, Handler: NewServer(eng, city)}
 	go func() {
@@ -87,11 +94,26 @@ func main() {
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Println("foodmatchd: shutting down")
-	_ = srv.Close()
+	<-ctx.Done()
+	log.Println("foodmatchd: shutting down: draining assignment streams")
+
+	// Stop halts the round loop and closes every assignment-stream
+	// subscription, letting the NDJSON handlers flush their tails and
+	// return; Shutdown then drains the remaining HTTP exchanges.
+	eng.Stop()
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("foodmatchd: forced close after drain timeout: %v", err)
+		_ = srv.Close()
+	}
+
+	// Flush the final metrics snapshot so operators keep the run's totals.
+	snap, err := json.Marshal(eng.Snapshot())
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("foodmatchd: final metrics %s", snap)
 }
 
 func fatal(err error) {

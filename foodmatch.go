@@ -26,6 +26,23 @@
 //	metrics := sim.Run(18*3600, 22*3600) // dinner peak
 //	fmt.Println(metrics.Summary())
 //
+// The assignment round decomposes into four swappable stages — Batcher,
+// GraphSparsifier, Reshuffler, Matcher — composed with NewPipeline, and
+// every stage consumes network distances through one injected Router
+// (Dijkstra, bounded SSSP, hub labels, or an LRU-cached decorator):
+//
+//	pol := foodmatch.NewPipeline(
+//		foodmatch.WithBatcher(foodmatch.NewGreedyBatcher(0)),
+//		foodmatch.WithMatcher(foodmatch.NewKMMatcher()),
+//	)
+//	router := foodmatch.NewCachedRouter(foodmatch.NewHubLabels(city.G), 1<<17)
+//	sim, _ := foodmatch.NewSimulator(city.G, orders, fleet, pol, cfg,
+//		foodmatch.SimOptions{Router: router})
+//
+// NewPipeline with no options is exactly NewFoodMatch. Long-running entry
+// points have context-aware variants (RunContext, StartContext,
+// StepContext) for cancellation and deadline propagation.
+//
 // See the examples/ directory for complete programs and cmd/experiments for
 // the drivers that regenerate every table and figure of the paper.
 package foodmatch
@@ -38,6 +55,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gps"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -71,21 +89,34 @@ type (
 	NodeID = roadnet.NodeID
 	// Point is a WGS-84 coordinate.
 	Point = geo.Point
-	// SPFunc is the shortest-path oracle signature.
+	// SPFunc is the shortest-path oracle signature. Every SPFunc is also a
+	// Router.
 	SPFunc = roadnet.SPFunc
+	// Router is the unified shortest-path substrate every pipeline stage,
+	// the simulator and the engine consume via injection. Backends:
+	// NewDijkstraRouter, NewBoundedRouter, NewHubLabels (hub labels), and
+	// the NewCachedRouter decorator.
+	Router = roadnet.Router
 	// City is a synthetic workload city.
 	City = workload.City
 	// CityParams parameterises city generation.
 	CityParams = workload.CityParams
-	// Policy is an order-assignment strategy.
+	// Policy is an order-assignment strategy: the four canned policies and
+	// any NewPipeline composition implement it.
 	Policy = policy.Policy
+	// WindowInput is one accumulation window as a policy sees it.
+	WindowInput = pipeline.Input
+	// Assignment is one policy decision.
+	Assignment = pipeline.Assignment
 	// Metrics aggregates the paper's evaluation metrics.
 	Metrics = sim.Metrics
 	// Simulator replays an order stream under a policy.
 	Simulator = sim.Simulator
 	// SimOptions tunes the simulator.
 	SimOptions = sim.Options
-	// HubLabels is the pruned-landmark-labeling distance index.
+	// HubLabels is the pruned-landmark-labeling distance index. It
+	// implements Router, so it drops into SimOptions.Router or
+	// EngineConfig.NewRouter as the hub-label shortest-path backend.
 	HubLabels = spindex.Index
 	// ExperimentTable is a rendered experiment artefact.
 	ExperimentTable = experiments.Table
@@ -127,6 +158,126 @@ func ConfigureVanillaKM(cfg *Config) *Config { return policy.ConfigureVanillaKM(
 
 // PolicyByName resolves "foodmatch", "km", "greedy" or "reyes".
 func PolicyByName(name string) (Policy, error) { return experiments.PolicyByName(name) }
+
+// Composable pipeline re-exports: the stage interfaces behind the canned
+// policies, so callers can mix stages (e.g. greedy batching + KM matching,
+// or a custom sparsifier) without forking internals. See internal/pipeline.
+type (
+	// Pipeline is a composed assignment policy (batch → sparsify →
+	// reshuffle → match); it implements Policy.
+	Pipeline = pipeline.Pipeline
+	// PipelineOption configures NewPipeline.
+	PipelineOption = pipeline.Option
+	// PipelineStats is the per-stage timing/size breakdown recorded on
+	// every Assign and surfaced on the engine's round stats.
+	PipelineStats = pipeline.Stats
+	// Batcher groups O(ℓ) into batches (stage 1).
+	Batcher = pipeline.Batcher
+	// GraphSparsifier constructs the batch×vehicle cost graph (stage 2).
+	GraphSparsifier = pipeline.GraphSparsifier
+	// Reshuffler adjusts edge weights with incumbent information (stage 3).
+	Reshuffler = pipeline.Reshuffler
+	// Matcher turns the graph into assignments (stage 4).
+	Matcher = pipeline.Matcher
+)
+
+// NewPipeline composes an assignment pipeline from stages. With no options
+// it is exactly NewFoodMatch's composition (decision-identical); options
+// swap individual stages:
+//
+//	p := foodmatch.NewPipeline(
+//		foodmatch.WithBatcher(foodmatch.NewGreedyBatcher(0)),
+//		foodmatch.WithMatcher(foodmatch.NewKMMatcher()),
+//	)
+func NewPipeline(opts ...PipelineOption) *Pipeline { return pipeline.New(opts...) }
+
+// WithLabel overrides the pipeline's report name.
+func WithLabel(label string) PipelineOption { return pipeline.WithLabel(label) }
+
+// WithBatcher swaps stage 1.
+func WithBatcher(b Batcher) PipelineOption { return pipeline.WithBatcher(b) }
+
+// WithSparsifier swaps stage 2; nil skips graph construction (for matchers
+// that compute their own costs, e.g. the greedy matcher).
+func WithSparsifier(s GraphSparsifier) PipelineOption { return pipeline.WithSparsifier(s) }
+
+// WithReshuffler swaps stage 3; nil disables reshuffling.
+func WithReshuffler(r Reshuffler) PipelineOption { return pipeline.WithReshuffler(r) }
+
+// WithMatcher swaps stage 4.
+func WithMatcher(m Matcher) PipelineOption { return pipeline.WithMatcher(m) }
+
+// WithSingleOrderWhen installs the single-order-mode predicate (nil =
+// capacity-based availability always).
+func WithSingleOrderWhen(f func(*Config) bool) PipelineOption {
+	return pipeline.WithSingleOrderWhen(f)
+}
+
+// NewClusterBatcher returns the paper's Algorithm 1 batcher (iterative
+// clustering; degrades to singletons when cfg.Batching is off).
+func NewClusterBatcher() Batcher { return pipeline.ClusterBatcher{} }
+
+// NewSingletonBatcher returns the one-order-per-batch batcher.
+func NewSingletonBatcher() Batcher { return pipeline.SingletonBatcher{} }
+
+// NewSameRestaurantBatcher returns the Reyes-style batcher (orders may
+// share a batch only when they come from the same restaurant).
+func NewSameRestaurantBatcher() Batcher { return pipeline.SameRestaurantBatcher{} }
+
+// NewGreedyBatcher returns the nearest-neighbour greedy batcher;
+// radiusSec caps restaurant-to-restaurant joins (0 = config BatchRadius).
+func NewGreedyBatcher(radiusSec float64) Batcher {
+	return pipeline.GreedyBatcher{RadiusSec: radiusSec}
+}
+
+// NewBestFirstSparsifier returns the paper's Algorithm 2 FoodGraph
+// construction (honours every Config ablation switch).
+func NewBestFirstSparsifier() GraphSparsifier { return pipeline.BestFirstSparsifier{} }
+
+// NewHaversineSparsifier returns the Reyes straight-line cost model;
+// speedMS is the assumed travel speed (0 = 8.33 m/s). It attaches no route
+// plans, so pair it with NewReyesMatcher — the plain KM matcher drops
+// plan-less edges and would assign nothing.
+func NewHaversineSparsifier(speedMS float64) GraphSparsifier {
+	return pipeline.HaversineSparsifier{SpeedMS: speedMS}
+}
+
+// NewReyesMatcher returns the Kuhn–Munkres-then-replan matcher: matches on
+// whatever costs the sparsifier produced, then rebuilds each matched
+// batch's plan on the true road network (the matcher the Reyes baseline
+// needs, since its Haversine graph carries no executable plans).
+func NewReyesMatcher() Matcher { return pipeline.ReyesMatcher{} }
+
+// NewIncumbentReshuffler returns the Section IV-D2 weight adjuster.
+func NewIncumbentReshuffler() Reshuffler { return pipeline.IncumbentReshuffler{} }
+
+// NewKMMatcher returns the Kuhn–Munkres matcher over the constructed graph.
+func NewKMMatcher() Matcher { return &pipeline.KMMatcher{} }
+
+// NewGreedyMatcher returns the Section III iterative minimum-marginal-cost
+// matcher (computes its own costs; pair with WithSparsifier(nil)).
+func NewGreedyMatcher() Matcher { return pipeline.GreedyMatcher{} }
+
+// Unified Router backends. Any SPFunc is also a Router, and NewHubLabels'
+// index implements Router directly (exact hub-label distances).
+
+// NewDijkstraRouter returns the exact per-query Dijkstra backend (safe for
+// concurrent use).
+func NewDijkstraRouter(g *Graph) Router { return roadnet.NewDijkstraRouter(g) }
+
+// NewBoundedRouter returns the bounded single-source backend with dense
+// row memoisation — the pipeline's default; targets beyond boundSec report
+// +Inf. Not safe for concurrent use.
+func NewBoundedRouter(g *Graph, boundSec float64) Router {
+	return roadnet.NewBoundedRouter(g, boundSec)
+}
+
+// NewCachedRouter decorates any Router with an LRU point-to-point memo of
+// at most capacity entries (safe for concurrent use; e.g. wrap NewHubLabels
+// for repeated within-window queries).
+func NewCachedRouter(inner Router, capacity int) Router {
+	return roadnet.NewLRURouter(inner, capacity)
+}
 
 // CityNames lists the Table II city presets.
 func CityNames() []string { return workload.CityNames() }

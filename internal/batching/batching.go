@@ -90,8 +90,10 @@ func (h *edgeHeap) Pop() interface{} {
 }
 
 // Run executes Algorithm 1 over the window's unassigned orders and returns
-// the order partition U1 (batches with their route plans).
-func Run(sp roadnet.SPFunc, orders []*model.Order, opt Options) *Result {
+// the order partition U1 (batches with their route plans). Distances come
+// from the injected Router (any roadnet.SPFunc is one).
+func Run(rt roadnet.Router, orders []*model.Order, opt Options) *Result {
+	sp := rt.Travel
 	res := &Result{}
 	if len(orders) == 0 {
 		return res

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -63,6 +64,13 @@ type Config struct {
 	// SPBound caps single-source expansions of the per-shard distance
 	// caches in seconds; 0 defaults to 2×MaxFirstMile.
 	SPBound float64
+	// NewRouter constructs the shortest-path backend one zone shard's
+	// pipeline consumes (called once per shard, so instances need not be
+	// safe for concurrent use). Nil defaults to a bounded-SSSP distance
+	// cache capped at SPBound — swap in hub labels, plain Dijkstra or an
+	// LRU decorator per workload. SDT metric queries always use an internal
+	// bounded cache regardless.
+	NewRouter func(g *roadnet.Graph) roadnet.Router
 	// Workers bounds the goroutines advancing vehicle movement between
 	// rounds; 0 defaults to GOMAXPROCS.
 	Workers int
@@ -80,12 +88,12 @@ type vehiclePing struct {
 }
 
 // shardRt is the per-shard runtime: its own policy instance and its own
-// distance cache so concurrent rounds never contend.
+// Router so concurrent rounds never contend.
 type shardRt struct {
-	id    int
-	pol   policy.Policy
-	cache *roadnet.DistCache
-	slot  int // slot the cache rows belong to
+	id     int
+	pol    policy.Policy
+	router roadnet.Router
+	slot   int // slot the router's memoised rows belong to
 }
 
 // Engine is the online dispatcher. All exported methods are safe for
@@ -158,6 +166,12 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 	if cfg.Trace == nil {
 		cfg.Trace = trace.Discard
 	}
+	if cfg.NewRouter == nil {
+		bound := cfg.SPBound
+		cfg.NewRouter = func(g *roadnet.Graph) roadnet.Router {
+			return roadnet.NewBoundedRouter(g, bound)
+		}
+	}
 
 	e := &Engine{
 		g:        g,
@@ -172,10 +186,10 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		e.shards = append(e.shards, &shardRt{
-			id:    s,
-			pol:   cfg.NewPolicy(),
-			cache: roadnet.NewDistCache(g, cfg.SPBound),
-			slot:  -1,
+			id:     s,
+			pol:    cfg.NewPolicy(),
+			router: cfg.NewRouter(g),
+			slot:   -1,
 		})
 	}
 	e.mover = sim.NewMover(g, cfg.Trace)
@@ -324,6 +338,18 @@ func (e *Engine) Idle() bool {
 // timeScale 60 replays a minute of city time per wall second. Stop halts
 // the loop.
 func (e *Engine) Start(startSim, timeScale float64) error {
+	return e.StartContext(context.Background(), startSim, timeScale)
+}
+
+// StartContext is Start with cancellation/deadline propagation: the context
+// halts the window clock when it is done and is threaded into every round
+// (and from there into every pipeline stage). Cancellation stops ticking
+// but leaves the engine state intact — call Stop to close the assignment
+// streams and release subscribers, typically after draining them.
+func (e *Engine) StartContext(ctx context.Context, startSim, timeScale float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if timeScale <= 0 {
 		timeScale = 1
 	}
@@ -341,11 +367,11 @@ func (e *Engine) Start(startSim, timeScale float64) error {
 	if period <= 0 {
 		period = time.Millisecond
 	}
-	go e.run(startSim, period, e.stopCh, e.doneCh)
+	go e.run(ctx, startSim, period, e.stopCh, e.doneCh)
 	return nil
 }
 
-func (e *Engine) run(startSim float64, period time.Duration, stopCh <-chan struct{}, doneCh chan<- struct{}) {
+func (e *Engine) run(ctx context.Context, startSim float64, period time.Duration, stopCh <-chan struct{}, doneCh chan<- struct{}) {
 	defer close(doneCh)
 	tick := time.NewTicker(period)
 	defer tick.Stop()
@@ -354,9 +380,11 @@ func (e *Engine) run(startSim float64, period time.Duration, stopCh <-chan struc
 		select {
 		case <-stopCh:
 			return
+		case <-ctx.Done():
+			return
 		case <-tick.C:
 			now += e.cfg.Pipeline.Delta
-			e.Step(now)
+			e.StepContext(ctx, now)
 		}
 	}
 }

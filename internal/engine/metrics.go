@@ -1,5 +1,13 @@
 package engine
 
+import "repro/internal/pipeline"
+
+// PipelineStats is the per-stage timing/size breakdown of an assignment
+// round (alias of pipeline.Stats): batching, FoodGraph construction,
+// reshuffle weighting and matching, with the intermediate cardinalities.
+// The paper's Section V ablations fall out of these numbers directly.
+type PipelineStats = pipeline.Stats
+
 // counters is the engine's internal mutable statistics, guarded by statMu.
 type counters struct {
 	ingested   int64 // accepted into the order queue
@@ -30,6 +38,9 @@ type ShardRoundStats struct {
 	Vehicles    int     `json:"vehicles"`
 	Assignments int     `json:"assignments"`
 	AssignSec   float64 `json:"assign_sec"`
+	// Pipeline is the zone's per-stage breakdown (nil when the zone was
+	// skipped this round or its policy does not record stage stats).
+	Pipeline *PipelineStats `json:"pipeline,omitempty"`
 }
 
 // RoundStats summarises one assignment round.
@@ -57,6 +68,10 @@ type RoundStats struct {
 	// end of the round.
 	OrderQueueDepth int `json:"order_queue"`
 	PingQueueDepth  int `json:"ping_queue"`
+	// Pipeline aggregates the per-stage timing/size stats across every zone
+	// that ran (stage seconds sum over shards; the parallel-section critical
+	// path remains AssignSecMax).
+	Pipeline PipelineStats `json:"pipeline"`
 	// Shards is the per-zone breakdown.
 	Shards []ShardRoundStats `json:"shards"`
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/foodgraph"
 	"repro/internal/model"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -21,6 +23,16 @@ import (
 // deterministic entry point replay drivers and tests use; the Start loop
 // calls it once per ∆ tick.
 func (e *Engine) Step(now float64) RoundStats {
+	return e.StepContext(context.Background(), now)
+}
+
+// StepContext is Step with cancellation/deadline propagation into every
+// zone shard's pipeline stages. A cancelled context makes the round apply
+// only the decisions already made; world state stays consistent.
+func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t0 := time.Now()
@@ -41,7 +53,7 @@ func (e *Engine) Step(now float64) RoundStats {
 	e.clock = now
 	rejected := e.rejectStale(now)
 
-	stats := e.assignRound(now)
+	stats := e.assignRound(ctx, now)
 	stats.Rejected = rejected
 	stats.LatencySec = time.Since(t0).Seconds()
 	stats.OrderQueueDepth = len(e.orderCh)
@@ -200,12 +212,13 @@ type shardWork struct {
 	vehicles []*foodgraph.VehicleState
 	res      []policy.Assignment
 	sec      float64
+	pstats   *pipeline.Stats // non-nil iff the shard ran and records stats
 }
 
 // assignRound runs the sharded end-of-window assignment at time now.
 // The world lock is held: ingestion keeps flowing into the channels, but
 // vehicle and pool state belong to this round until it returns.
-func (e *Engine) assignRound(now float64) RoundStats {
+func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 	cfg := e.cfg.Pipeline
 	stats := RoundStats{T: now, Shards: make([]ShardRoundStats, len(e.shards))}
 	w := &sim.RoundWorld{
@@ -272,12 +285,14 @@ func (e *Engine) assignRound(now float64) RoundStats {
 			defer wg.Done()
 			if sr.slot != e.slot {
 				sr.slot = e.slot
-				sr.cache.Reset()
+				if r, ok := sr.router.(roadnet.Resettable); ok {
+					r.Reset()
+				}
 			}
 			t0 := time.Now()
-			w.res = sr.pol.Assign(&policy.WindowInput{
+			w.res = sr.pol.Assign(ctx, &policy.WindowInput{
 				G:         e.g,
-				SP:        sr.cache.AsFunc(),
+				Router:    sr.router,
 				Now:       now,
 				Orders:    w.orders,
 				Vehicles:  w.vehicles,
@@ -285,6 +300,10 @@ func (e *Engine) assignRound(now float64) RoundStats {
 				Cfg:       cfg,
 			})
 			w.sec = time.Since(t0).Seconds()
+			if src, ok := sr.pol.(pipeline.StatsSource); ok {
+				ps := src.LastStats()
+				w.pstats = &ps
+			}
 		}(e.shards[s], &work[s])
 	}
 	wg.Wait()
@@ -302,6 +321,10 @@ func (e *Engine) assignRound(now float64) RoundStats {
 			Vehicles:    len(sw.vehicles),
 			Assignments: len(sw.res),
 			AssignSec:   sw.sec,
+			Pipeline:    sw.pstats,
+		}
+		if sw.pstats != nil {
+			stats.Pipeline.Accumulate(*sw.pstats)
 		}
 		if sw.sec > stats.AssignSecMax {
 			stats.AssignSecMax = sw.sec
@@ -382,5 +405,5 @@ func pressure(w *shardWork) float64 {
 // shardCacheFor returns the distance oracle of a node's zone (used outside
 // the parallel section).
 func (e *Engine) shardCacheFor(n roadnet.NodeID) roadnet.SPFunc {
-	return e.shards[e.sh.shardOf(n)].cache.AsFunc()
+	return e.shards[e.sh.shardOf(n)].router.Travel
 }

@@ -43,14 +43,63 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
-func TestPolicyByNameAliases(t *testing.T) {
-	for _, name := range []string{"foodmatch", "FM", "km", "Kuhn-Munkres", "GREEDY", "Reyes"} {
-		if _, err := PolicyByName(name); err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
+func TestPolicyByName(t *testing.T) {
+	cases := []struct {
+		name     string
+		wantName string
+		wantErr  bool
+	}{
+		// The four canonical names.
+		{name: "foodmatch", wantName: "FoodMatch"},
+		{name: "km", wantName: "KM"},
+		{name: "greedy", wantName: "Greedy"},
+		{name: "reyes", wantName: "Reyes"},
+		// Documented aliases.
+		{name: "fm", wantName: "FoodMatch"},
+		{name: "kuhn-munkres", wantName: "KM"},
+		// Case-insensitivity.
+		{name: "FOODMATCH", wantName: "FoodMatch"},
+		{name: "FM", wantName: "FoodMatch"},
+		{name: "Kuhn-Munkres", wantName: "KM"},
+		{name: "GREEDY", wantName: "Greedy"},
+		{name: "Reyes", wantName: "Reyes"},
+		// Unknown inputs.
+		{name: "dijkstra", wantErr: true},
+		{name: "", wantErr: true},
+		{name: "food match", wantErr: true},
 	}
-	if _, err := PolicyByName("dijkstra"); err == nil {
-		t.Fatal("unknown policy accepted")
+	for _, tc := range cases {
+		t.Run("input="+tc.name, func(t *testing.T) {
+			pol, err := PolicyByName(tc.name)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("PolicyByName(%q) accepted, want error", tc.name)
+				}
+				// The error must help: it should list every valid name.
+				for _, valid := range []string{"foodmatch", "km", "greedy", "reyes"} {
+					if !strings.Contains(err.Error(), valid) {
+						t.Fatalf("error %q does not mention valid name %q", err, valid)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("PolicyByName(%q): %v", tc.name, err)
+			}
+			if got := pol.Name(); got != tc.wantName {
+				t.Fatalf("PolicyByName(%q).Name() = %q, want %q", tc.name, got, tc.wantName)
+			}
+		})
+	}
+}
+
+func TestPolicyByNameReturnsFreshInstances(t *testing.T) {
+	// The engine constructs one policy per zone shard via a factory;
+	// PolicyByName must never hand out a shared instance.
+	a, _ := PolicyByName("foodmatch")
+	b, _ := PolicyByName("foodmatch")
+	if a == b {
+		t.Fatal("PolicyByName returned a shared instance")
 	}
 }
 

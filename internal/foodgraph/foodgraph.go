@@ -96,8 +96,10 @@ type Bipartite struct {
 	TrueEdges int
 }
 
-// Build constructs the FOODGRAPH for one accumulation window.
-func Build(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch, vehicles []*VehicleState, opt Options) *Bipartite {
+// Build constructs the FOODGRAPH for one accumulation window. Distances
+// come from the injected Router (any roadnet.SPFunc is one).
+func Build(g *roadnet.Graph, rt roadnet.Router, batches []*model.Batch, vehicles []*VehicleState, opt Options) *Bipartite {
+	sp := roadnet.SPFunc(rt.Travel)
 	nb, nv := len(batches), len(vehicles)
 	bp := &Bipartite{
 		Cost: make([][]float64, nb),

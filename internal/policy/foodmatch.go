@@ -1,17 +1,20 @@
 package policy
 
 import (
-	"repro/internal/batching"
-	"repro/internal/foodgraph"
-	"repro/internal/matching"
+	"context"
+
 	"repro/internal/model"
+	"repro/internal/pipeline"
 )
 
 // FoodMatch is the full pipeline of Section IV: batching by iterative
 // clustering, sparsified FOODGRAPH construction via best-first search with
 // angular distance, Kuhn–Munkres minimum-weight matching, and reshuffling.
-// The Config ablation switches individually disable each optimisation,
-// yielding the Fig. 7(a) variants (and, with everything off, vanilla KM).
+// It is the default stage composition of pipeline.New, kept as a named
+// struct so the ablation drivers can label variants and hook the matching
+// observer. The Config ablation switches individually disable each
+// optimisation, yielding the Fig. 7(a) variants (and, with everything off,
+// vanilla KM).
 type FoodMatch struct {
 	// Label overrides Name() when non-empty (used by ablation reports).
 	Label string
@@ -20,7 +23,25 @@ type FoodMatch struct {
 	// vehicle-batch pair (Fig. 4(a) instrumentation): for the matched pair,
 	// rank is the fraction of batches strictly closer to the vehicle than
 	// the assigned batch, by network distance to the first pickup.
+	// May be set or cleared between Assign calls.
 	RankObserver func(percentile float64)
+
+	pipe *pipeline.Pipeline
+}
+
+// pipeline composes the stages lazily so Label and RankObserver may be set
+// by struct literal after construction (Assign is never concurrent on one
+// instance, so no synchronisation is needed). The matcher observer is
+// always bound; observeRank reads RankObserver per call, so toggling it
+// between Assigns keeps working.
+func (p *FoodMatch) pipeline() *pipeline.Pipeline {
+	if p.pipe == nil {
+		p.pipe = pipeline.New(
+			pipeline.WithLabel(p.Name()),
+			pipeline.WithMatcher(&pipeline.KMMatcher{PairObserver: p.observeRank}),
+		)
+	}
+	return p.pipe
 }
 
 // Name implements Policy.
@@ -41,111 +62,32 @@ func (p *FoodMatch) Reshuffles() bool { return true }
 func (p *FoodMatch) SingleOrderMode(cfg *model.Config) bool { return !cfg.Batching }
 
 // Assign implements Policy.
-func (p *FoodMatch) Assign(in *WindowInput) []Assignment {
-	cfg := in.Cfg
-	if len(in.Orders) == 0 || len(in.Vehicles) == 0 {
-		return nil
-	}
-
-	// Step 1: batching (Algorithm 1) — or singleton batches when disabled.
-	var batches []*model.Batch
-	if cfg.Batching {
-		res := batching.Run(in.SP, in.Orders, batching.Options{
-			Eta:        cfg.Eta,
-			AgeNeutral: cfg.AgeNeutralEdges,
-			MaxO:       cfg.MaxO,
-			MaxI:       cfg.MaxI,
-			Radius:     cfg.BatchRadius,
-			Now:        in.Now,
-		})
-		batches = res.Batches
-	} else {
-		batches = singletonBatches(in.SP, in.Now, in.Orders)
-	}
-
-	// Step 2: FOODGRAPH construction (Algorithm 2 when BestFirst).
-	k := foodgraph.KFor(cfg.KFactor, cfg.KMin, len(batches), len(in.Vehicles))
-	bp := foodgraph.Build(in.G, in.SP, batches, in.Vehicles, foodgraph.Options{
-		K:            k,
-		Gamma:        cfg.Gamma,
-		Angular:      cfg.Angular,
-		BestFirst:    cfg.BestFirst,
-		Omega:        cfg.Omega,
-		MaxFirstMile: cfg.MaxFirstMile,
-		MaxO:         cfg.MaxO,
-		MaxI:         cfg.MaxI,
-		Now:          in.Now,
-		AgeNeutral:   cfg.AgeNeutralEdges,
-	})
-
-	// Reshuffling adjustments, applied to true edges only:
-	//
-	//  1. Priority tier: every order that already had a vehicle discounts
-	//     its batch's edges by a constant ≫ Ω. Serviceability is
-	//     non-negotiable (Section I); when batches outnumber vehicles the
-	//     matching's leave-out decision must fall on never-assigned orders,
-	//     not strand one that had a ride. Being a row constant, the
-	//     discount never changes *which* vehicle a covered batch gets.
-	//  2. Incumbent tie-break: an infinitesimal extra discount when the
-	//     order would stay on its previous vehicle, so equal-cost
-	//     alternatives don't churn assignments window after window.
-	if len(in.Incumbent) > 0 {
-		priority := 10 * cfg.Omega
-		for bi, b := range batches {
-			for vj, vs := range in.Vehicles {
-				if bp.Plan[bi][vj] == nil {
-					continue
-				}
-				for _, o := range b.Orders {
-					if prev, had := in.Incumbent[o.ID]; had {
-						bp.Cost[bi][vj] -= priority
-						if prev == vs.Vehicle.ID {
-							bp.Cost[bi][vj] -= 0.001
-						}
-					}
-				}
-			}
-		}
-	}
-
-	// Step 3: minimum-weight perfect matching (Kuhn–Munkres).
-	mate := matching.Solve(bp.Cost)
-
-	// Step 4: emit assignments; Ω-weight matches mean "leave unassigned for
-	// the next window".
-	var out []Assignment
-	for bi, vj := range mate {
-		if vj < 0 || bp.Cost[bi][vj] >= cfg.Omega || bp.Plan[bi][vj] == nil {
-			continue
-		}
-		vs := in.Vehicles[vj]
-		out = append(out, Assignment{
-			Vehicle: vs.Vehicle,
-			Orders:  batches[bi].Orders,
-			Plan:    bp.Plan[bi][vj],
-		})
-		if p.RankObserver != nil {
-			p.observeRank(in, batches, bi, vj)
-		}
-	}
-	return out
+func (p *FoodMatch) Assign(ctx context.Context, in *WindowInput) []Assignment {
+	return p.pipeline().Assign(ctx, in)
 }
+
+// LastStats implements pipeline.StatsSource: per-stage timings of the most
+// recent Assign (the engine publishes them on its round-stats path).
+func (p *FoodMatch) LastStats() pipeline.Stats { return p.pipeline().LastStats() }
 
 // observeRank records where the assigned batch ranks among all batches by
 // network distance from the vehicle (Fig. 4(a)).
-func (p *FoodMatch) observeRank(in *WindowInput, batches []*model.Batch, bi, vj int) {
+func (p *FoodMatch) observeRank(in *pipeline.Input, batches []*model.Batch, bi, vj int) {
+	if p.RankObserver == nil { // no observer installed right now
+		return
+	}
 	if len(batches) < 2 {
 		p.RankObserver(0)
 		return
 	}
 	vs := in.Vehicles[vj]
-	d := in.SP(vs.Node, batches[bi].FirstPickupNode(), in.Now)
+	d := in.Router.Travel(vs.Node, batches[bi].FirstPickupNode(), in.Now)
 	closer := 0
 	for i, b := range batches {
 		if i == bi {
 			continue
 		}
-		if in.SP(vs.Node, b.FirstPickupNode(), in.Now) < d {
+		if in.Router.Travel(vs.Node, b.FirstPickupNode(), in.Now) < d {
 			closer++
 		}
 	}
@@ -169,3 +111,8 @@ func ConfigureVanillaKM(cfg *model.Config) *model.Config {
 	cfg.Angular = false
 	return cfg
 }
+
+var (
+	_ Policy               = (*FoodMatch)(nil)
+	_ pipeline.StatsSource = (*FoodMatch)(nil)
+)

@@ -1,94 +1,63 @@
-// Package policy implements the order-assignment strategies benchmarked in
-// the paper: FOODMATCH (Section IV) with its ablation switches, vanilla
-// Kuhn–Munkres matching, the Greedy baseline (Section III) and a
-// re-implementation of the Reyes et al. [5] strategy.
+// Package policy provides the order-assignment strategies benchmarked in
+// the paper as canned compositions of the pipeline stages: FOODMATCH
+// (Section IV) with its ablation switches, vanilla Kuhn–Munkres matching,
+// the Greedy baseline (Section III) and a re-implementation of the Reyes
+// et al. [5] strategy.
 //
-// A policy receives one accumulation window — the unassigned orders O(ℓ)
-// and the available vehicles V(ℓ) — and returns the set of (vehicle, batch,
-// route plan) assignments. The simulator owns order/vehicle lifecycle; the
-// policy is pure decision logic.
-//
-// # Concurrency contract
-//
-// A Policy instance is driven by one window loop at a time: Assign is never
-// called concurrently on the same instance, so implementations may keep
-// per-call scratch state without synchronisation. The online engine runs K
-// zone shards in parallel by constructing one instance per shard through a
-// factory (engine.Config.NewPolicy) — implementations must therefore not
-// share mutable package-level state across instances, and everything
-// reachable from WindowInput (graph, SP oracle, config) is read-only during
-// Assign. Observer callbacks (e.g. FoodMatch.RankObserver) are invoked on
-// the calling shard's goroutine and must synchronise internally if they
-// aggregate across shards.
+// The stage interfaces and the composition machinery live in
+// internal/pipeline; this package pins the four named operating points the
+// experiments sweep. Policy, WindowInput and Assignment are aliases of the
+// pipeline types, so custom compositions built with pipeline.New drop into
+// every driver (simulator, online engine, experiment harness) that accepts
+// a policy. See the pipeline package for the concurrency contract.
 package policy
 
 import (
-	"repro/internal/foodgraph"
-	"repro/internal/model"
-	"repro/internal/roadnet"
+	"repro/internal/pipeline"
 )
 
-// WindowInput is everything a policy may look at for one window.
-type WindowInput struct {
-	G  *roadnet.Graph
-	SP roadnet.SPFunc
-	// Now is the window-end clock (assignment time).
-	Now float64
-	// Orders is O(ℓ): unassigned orders plus — when the policy reshuffles —
-	// assigned-but-unpicked orders returned to the pool.
-	Orders []*model.Order
-	// Vehicles is V(ℓ): available vehicles with spare capacity. VehicleState
-	// reflects reshuffling: pooled pending orders do not appear in Keep.
-	Vehicles []*foodgraph.VehicleState
-	// Incumbent maps reshuffled orders to the vehicle they were assigned to
-	// before being pooled. While food is still cooking, many vehicles tie at
-	// near-zero marginal cost; policies use this to break such ties toward
-	// the incumbent instead of churning assignments every window.
-	Incumbent map[model.OrderID]model.VehicleID
-	Cfg       *model.Config
-}
+// WindowInput is everything a policy may look at for one window (alias of
+// pipeline.Input; the distance oracle is the injected Router).
+type WindowInput = pipeline.Input
 
 // Assignment is one policy decision: attach Orders to Vehicle and replace
-// its route plan with Plan (which also covers the vehicle's onboard and
-// kept orders).
-type Assignment struct {
-	Vehicle *model.Vehicle
-	Orders  []*model.Order
-	Plan    *model.RoutePlan
+// its route plan with Plan (alias of pipeline.Assignment).
+type Assignment = pipeline.Assignment
+
+// Policy is an assignment strategy (alias of pipeline.Policy). Instances
+// are confined to a single window loop (one simulator, or one engine zone
+// shard); see the pipeline package comment for the full concurrency
+// contract.
+type Policy = pipeline.Policy
+
+// NewGreedy returns the Greedy baseline of Section III: singleton batches
+// fed to the iterative minimum-marginal-cost matcher — no order-graph
+// clustering, no sparsification, no reshuffling. A vehicle may accumulate
+// several orders across matcher rounds (implicit batching, Example 5).
+func NewGreedy() *pipeline.Pipeline {
+	return pipeline.New(
+		pipeline.WithLabel("Greedy"),
+		pipeline.WithBatcher(pipeline.SingletonBatcher{}),
+		pipeline.WithSparsifier(nil),
+		pipeline.WithReshuffler(nil),
+		pipeline.WithMatcher(pipeline.GreedyMatcher{}),
+		pipeline.WithSingleOrderWhen(nil),
+	)
 }
 
-// Policy is an assignment strategy. Instances are confined to a single
-// window loop (one simulator, or one engine zone shard); see the package
-// comment for the full concurrency contract.
-type Policy interface {
-	// Name identifies the policy in reports.
-	Name() string
-	// Reshuffles reports whether assigned-but-unpicked orders should be
-	// returned to the pool each window (Section IV-D2).
-	Reshuffles() bool
-	// SingleOrderMode reports whether vehicles serve one order at a time
-	// under this policy and config. The paper's vanilla KM baseline cannot
-	// batch ("no two edges will be incident on the same node... hence,
-	// batching is not feasible", Section IV-A): a vehicle re-enters V(ℓ)
-	// only once empty. Greedy stacks orders explicitly (Example 5) and
-	// FOODMATCH serves multi-order batches, so both use capacity-based
-	// availability.
-	SingleOrderMode(cfg *model.Config) bool
-	// Assign decides the window's assignments.
-	Assign(in *WindowInput) []Assignment
-}
-
-// singletonBatches wraps each order in its own batch (used when batching is
-// disabled). Orders whose own delivery leg is unreachable get an infeasible
-// batch which no vehicle will accept.
-func singletonBatches(sp roadnet.SPFunc, now float64, orders []*model.Order) []*model.Batch {
-	batches := make([]*model.Batch, 0, len(orders))
-	for _, o := range orders {
-		plan := &model.RoutePlan{Stops: []model.Stop{
-			{Node: o.Restaurant, Order: o, Kind: model.Pickup},
-			{Node: o.Customer, Order: o, Kind: model.Dropoff},
-		}}
-		batches = append(batches, &model.Batch{Orders: []*model.Order{o}, Plan: plan})
-	}
-	return batches
+// NewReyes returns the Reyes et al. [5] baseline with the two
+// simplifications the paper criticises (Section I-A): same-restaurant-only
+// batching and straight-line Haversine costs at an assumed constant speed
+// (8.33 m/s). The returned *plans* are genuine road-network route plans —
+// the simulator executes reality; only the decision procedure is
+// distance-naive, which is exactly the deficiency Fig. 6(b) exposes.
+func NewReyes() *pipeline.Pipeline {
+	return pipeline.New(
+		pipeline.WithLabel("Reyes"),
+		pipeline.WithBatcher(pipeline.SameRestaurantBatcher{}),
+		pipeline.WithSparsifier(pipeline.HaversineSparsifier{}),
+		pipeline.WithReshuffler(nil),
+		pipeline.WithMatcher(pipeline.ReyesMatcher{}),
+		pipeline.WithSingleOrderWhen(nil),
+	)
 }

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -53,7 +54,7 @@ func vehicleAt(id model.VehicleID, node roadnet.NodeID) *foodgraph.VehicleState 
 }
 
 func windowInput(g *roadnet.Graph, sp roadnet.SPFunc, orders []*model.Order, vehicles []*foodgraph.VehicleState) *WindowInput {
-	return &WindowInput{G: g, SP: sp, Now: 0, Orders: orders, Vehicles: vehicles, Cfg: model.DefaultConfig()}
+	return &WindowInput{G: g, Router: sp, Now: 0, Orders: orders, Vehicles: vehicles, Cfg: model.DefaultConfig()}
 }
 
 // checkAssignments validates the structural sanity of a policy's output.
@@ -103,7 +104,7 @@ func TestFoodMatchAssignsAll(t *testing.T) {
 	}
 	vehicles := []*foodgraph.VehicleState{vehicleAt(1, 0), vehicleAt(2, 63), vehicleAt(3, 32)}
 	in := windowInput(g, sp, orders, vehicles)
-	asg := NewFoodMatch().Assign(in)
+	asg := NewFoodMatch().Assign(context.Background(), in)
 	checkAssignments(t, in, asg)
 	total := 0
 	for _, a := range asg {
@@ -117,11 +118,11 @@ func TestFoodMatchAssignsAll(t *testing.T) {
 func TestFoodMatchEmptyInputs(t *testing.T) {
 	g, sp := gridCity(4, 30)
 	p := NewFoodMatch()
-	if asg := p.Assign(windowInput(g, sp, nil, []*foodgraph.VehicleState{vehicleAt(1, 0)})); asg != nil {
+	if asg := p.Assign(context.Background(), windowInput(g, sp, nil, []*foodgraph.VehicleState{vehicleAt(1, 0)})); asg != nil {
 		t.Fatal("no orders must yield no assignments")
 	}
 	o := mkOrder(sp, 1, 1, 2, 60)
-	if asg := p.Assign(windowInput(g, sp, []*model.Order{o}, nil)); asg != nil {
+	if asg := p.Assign(context.Background(), windowInput(g, sp, []*model.Order{o}, nil)); asg != nil {
 		t.Fatal("no vehicles must yield no assignments")
 	}
 }
@@ -150,8 +151,8 @@ func TestFoodMatchBeatsGreedyOnCraftedInstance(t *testing.T) {
 		}
 		return total
 	}
-	gw := costOf(NewGreedy().Assign(in))
-	fm := costOf(NewFoodMatch().Assign(in))
+	gw := costOf(NewGreedy().Assign(context.Background(), in))
+	fm := costOf(NewFoodMatch().Assign(context.Background(), in))
 	if fm > gw+1e-9 {
 		t.Fatalf("FoodMatch total XDT %v exceeds Greedy %v", fm, gw)
 	}
@@ -165,7 +166,7 @@ func TestGreedyImplicitBatching(t *testing.T) {
 	o2 := mkOrder(sp, 2, 10, 12, 600)
 	v := vehicleAt(1, 2)
 	in := windowInput(g, sp, []*model.Order{o1, o2}, []*foodgraph.VehicleState{v})
-	asg := NewGreedy().Assign(in)
+	asg := NewGreedy().Assign(context.Background(), in)
 	checkAssignments(t, in, asg)
 	if len(asg) != 1 || len(asg[0].Orders) != 2 {
 		t.Fatalf("greedy should stack both orders on the single vehicle: %+v", asg)
@@ -180,7 +181,7 @@ func TestGreedyRespectsCapacity(t *testing.T) {
 	}
 	v := vehicleAt(1, 2)
 	in := windowInput(g, sp, orders, []*foodgraph.VehicleState{v})
-	asg := NewGreedy().Assign(in)
+	asg := NewGreedy().Assign(context.Background(), in)
 	checkAssignments(t, in, asg)
 	if len(asg) == 1 && len(asg[0].Orders) > in.Cfg.MaxO {
 		t.Fatalf("greedy exceeded MAXO: %d orders", len(asg[0].Orders))
@@ -193,7 +194,7 @@ func TestGreedyHonoursFirstMileCap(t *testing.T) {
 	v := vehicleAt(1, 0)
 	in := windowInput(g, sp, []*model.Order{o}, []*foodgraph.VehicleState{v})
 	in.Cfg.MaxFirstMile = 2700
-	if asg := NewGreedy().Assign(in); len(asg) != 0 {
+	if asg := NewGreedy().Assign(context.Background(), in); len(asg) != 0 {
 		t.Fatal("greedy assigned beyond the 45-minute first mile")
 	}
 }
@@ -208,7 +209,7 @@ func TestReyesSameRestaurantBatchingOnly(t *testing.T) {
 	o4 := mkOrder(sp, 4, 20, 53, 300)
 	vehicles := []*foodgraph.VehicleState{vehicleAt(1, 0), vehicleAt(2, 63), vehicleAt(3, 32)}
 	in := windowInput(g, sp, []*model.Order{o1, o2, o3, o4}, vehicles)
-	asg := NewReyes().Assign(in)
+	asg := NewReyes().Assign(context.Background(), in)
 	checkAssignments(t, in, asg)
 	byVehicle := make(map[model.VehicleID][]model.OrderID)
 	for _, a := range asg {
@@ -246,7 +247,7 @@ func TestRankObserver(t *testing.T) {
 	}
 	vehicles := []*foodgraph.VehicleState{vehicleAt(1, 0), vehicleAt(2, 63), vehicleAt(3, 32), vehicleAt(4, 7)}
 	in := windowInput(g, sp, orders, vehicles)
-	asg := p.Assign(in)
+	asg := p.Assign(context.Background(), in)
 	if len(asg) == 0 {
 		t.Fatal("no assignments")
 	}
@@ -267,7 +268,7 @@ func TestVanillaKMNoBatchingNoBFS(t *testing.T) {
 	o2 := mkOrder(sp, 2, 10, 51, 300)
 	in := windowInput(g, sp, []*model.Order{o1, o2}, []*foodgraph.VehicleState{vehicleAt(1, 0)})
 	in.Cfg = cfg
-	asg := NewVanillaKM().Assign(in)
+	asg := NewVanillaKM().Assign(context.Background(), in)
 	checkAssignments(t, in, asg)
 	// One vehicle, no batching: exactly one order assigned.
 	if len(asg) != 1 || len(asg[0].Orders) != 1 {

@@ -44,6 +44,12 @@ func (c *DistCache) Dist(from, to NodeID, t float64) float64 {
 	return c.row(from, Slot(t))[to]
 }
 
+// Travel implements Router (the bounded-SSSP backend of the unified
+// shortest-path substrate).
+func (c *DistCache) Travel(from, to NodeID, t float64) float64 {
+	return c.Dist(from, to, t)
+}
+
 // Row returns the full distance slice from `from` in the slot of t. The
 // slice is owned by the cache; callers must not mutate it.
 func (c *DistCache) Row(from NodeID, t float64) []float64 {

@@ -1,0 +1,117 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestRouterBackendsAgree checks that every Router backend returns the same
+// distances on random graphs: per-query Dijkstra, the unbounded bounded
+// router, an LRU-decorated Dijkstra, and the raw SPFunc adapter.
+func TestRouterBackendsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 60, 120)
+	dij := NewDijkstraRouter(g)
+	bounded := NewBoundedRouter(g, math.Inf(1))
+	lru := NewLRURouter(NewDijkstraRouter(g), 64)
+	raw := SPFunc(func(from, to NodeID, tt float64) float64 { return ShortestPath(g, from, to, tt) })
+
+	for q := 0; q < 200; q++ {
+		from := NodeID(rng.Intn(g.NumNodes()))
+		to := NodeID(rng.Intn(g.NumNodes()))
+		tt := float64(rng.Intn(24)) * 3600
+		want := raw.Travel(from, to, tt)
+		for name, r := range map[string]Router{"dijkstra": dij, "bounded": bounded, "lru": lru} {
+			got := r.Travel(from, to, tt)
+			if math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("%s(%d->%d @%v) = %v, want %v", name, from, to, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestBoundedRouterTruncates pins the bounded backend's contract: targets
+// beyond the expansion bound report +Inf (callers translate that into Ω).
+func TestBoundedRouterTruncates(t *testing.T) {
+	g := paperGraph(t)
+	full := NewDijkstraRouter(g)
+	d := full.Travel(0, 9, 0)
+	if math.IsInf(d, 1) {
+		t.Fatal("paper graph disconnected")
+	}
+	tight := NewBoundedRouter(g, d/2)
+	if got := tight.Travel(0, 9, 0); !math.IsInf(got, 1) {
+		t.Fatalf("bounded router beyond bound = %v, want +Inf", got)
+	}
+}
+
+// TestLRURouterMemoisesAndEvicts exercises hit accounting, the capacity
+// bound, and slot-keyed entries.
+func TestLRURouterMemoisesAndEvicts(t *testing.T) {
+	g := paperGraph(t)
+	lru := NewLRURouter(NewDijkstraRouter(g), 2)
+
+	a := lru.Travel(0, 5, 0)
+	if h, m := lru.Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first query: hits=%d misses=%d", h, m)
+	}
+	if b := lru.Travel(0, 5, 60); b != a { // same slot, same key
+		t.Fatalf("same-slot repeat = %v, want %v", b, a)
+	}
+	if h, _ := lru.Stats(); h != 1 {
+		t.Fatalf("same-slot repeat not a hit")
+	}
+	// A different slot is a different key.
+	lru.Travel(0, 5, 2*3600)
+	if _, m := lru.Stats(); m != 2 {
+		t.Fatalf("cross-slot query should miss")
+	}
+	// Capacity 2: inserting a third key evicts the least recently used.
+	lru.Travel(1, 5, 0)
+	if n := lru.Len(); n != 2 {
+		t.Fatalf("resident entries = %d, want 2", n)
+	}
+	lru.Reset()
+	if n := lru.Len(); n != 0 {
+		t.Fatalf("Reset left %d entries", n)
+	}
+	if h, m := lru.Stats(); h != 0 || m != 0 {
+		t.Fatalf("Reset left counters hits=%d misses=%d", h, m)
+	}
+}
+
+// TestConcurrentRouters hammers the concurrency-safe backends from many
+// goroutines (run with -race).
+func TestConcurrentRouters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 40, 80)
+	for name, r := range map[string]Router{
+		"dijkstra": NewDijkstraRouter(g),
+		"lru":      NewLRURouter(NewDijkstraRouter(g), 128),
+	} {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			ref := NewDijkstraRouter(g)
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					lr := rand.New(rand.NewSource(seed))
+					for q := 0; q < 50; q++ {
+						from := NodeID(lr.Intn(g.NumNodes()))
+						to := NodeID(lr.Intn(g.NumNodes()))
+						want := ref.Travel(from, to, 0)
+						if got := r.Travel(from, to, 0); got != want {
+							t.Errorf("%d->%d = %v, want %v", from, to, got, want)
+							return
+						}
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+		})
+	}
+}

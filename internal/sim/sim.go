@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -44,25 +45,32 @@ type Options struct {
 	// learned from five days of GPS pings and the sixth day is driven on
 	// reality (Section V-B); pair it with the gps package's SpeedLearner.
 	DecisionGraph *roadnet.Graph
+	// Router, when set, is the shortest-path backend the *policy* queries
+	// (hub labels, plain Dijkstra, an LRU decorator, …); nil defaults to a
+	// bounded-SSSP distance cache (SPBound) over the decision graph.
+	// Vehicle movement and SDT always stay on the true graph. The router is
+	// driven from the simulation goroutine only.
+	Router roadnet.Router
 }
 
 // Simulator replays one day of orders under a policy.
 type Simulator struct {
 	g *roadnet.Graph
-	// cache/sp answer metric queries (SDT) on the true graph; decCache/
-	// decSP answer the policy's queries, possibly on a learned graph.
-	cache    *roadnet.DistCache
-	sp       roadnet.SPFunc
-	decCache *roadnet.DistCache
-	decSP    roadnet.SPFunc
-	decG     *roadnet.Graph
-	pol      policy.Policy
-	cfg      *model.Config
-	opts     Options
-	orders   []*model.Order // sorted by PlacedAt
-	mover    *Mover
-	vrts     []*Motion
-	byID     map[model.VehicleID]*Motion
+	// cache/sp answer metric queries (SDT) on the true graph; decRouter
+	// answers the policy's queries, possibly on a learned graph (decCache
+	// is its backing store when the backend is the internal bounded cache).
+	cache     *roadnet.DistCache
+	sp        roadnet.SPFunc
+	decCache  *roadnet.DistCache
+	decRouter roadnet.Router
+	decG      *roadnet.Graph
+	pol       policy.Policy
+	cfg       *model.Config
+	opts      Options
+	orders    []*model.Order // sorted by PlacedAt
+	mover     *Mover
+	vrts      []*Motion
+	byID      map[model.VehicleID]*Motion
 
 	pool    []*model.Order // placed, unassigned
 	nextOrd int
@@ -99,15 +107,24 @@ func New(g *roadnet.Graph, orders []*model.Order, vehicles []*model.Vehicle, pol
 		orders:  sorted,
 		metrics: NewMetrics(cfg.MaxO),
 	}
-	s.decCache, s.decSP, s.decG = cache, s.sp, g
+	s.decCache, s.decG = cache, g
 	if opts.DecisionGraph != nil {
 		if opts.DecisionGraph.NumNodes() != g.NumNodes() {
 			return nil, fmt.Errorf("sim: decision graph has %d nodes, true graph %d",
 				opts.DecisionGraph.NumNodes(), g.NumNodes())
 		}
 		s.decG = opts.DecisionGraph
-		s.decCache = roadnet.NewDistCache(opts.DecisionGraph, opts.SPBound)
-		s.decSP = s.decCache.AsFunc()
+		if opts.Router == nil {
+			s.decCache = roadnet.NewDistCache(opts.DecisionGraph, opts.SPBound)
+		}
+	}
+	s.decRouter = s.decCache
+	if opts.Router != nil {
+		// Injected backend: the policy's distance substrate is the caller's
+		// (over the decision graph when one is set — the caller builds the
+		// router over whichever graph it wants the policy to see).
+		s.decRouter = opts.Router
+		s.decCache = nil
 	}
 	s.mover = NewMover(g, opts.Trace)
 	s.mover.Hooks = MoveHooks{
@@ -157,18 +174,33 @@ func (s *Simulator) Metrics() *Metrics { return s.metrics }
 
 // Run simulates [start, end) plus a drain phase and returns the metrics.
 func (s *Simulator) Run(start, end float64) *Metrics {
+	return s.RunContext(context.Background(), start, end)
+}
+
+// RunContext is Run with cancellation/deadline propagation: the context is
+// checked at every window boundary and threaded into every policy stage
+// call. On cancellation the loop stops early and the metrics account every
+// unfinished order as stranded — partial but internally consistent.
+func (s *Simulator) RunContext(ctx context.Context, start, end float64) *Metrics {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	now := start
 	drainEnd := end + s.opts.DrainCap
 	slot := roadnet.Slot(now)
-	for now < drainEnd {
+	for now < drainEnd && ctx.Err() == nil {
 		wEnd := now + s.cfg.Delta
 		// Weights change at slot boundaries; old-slot cache rows are never
 		// consulted again, so drop them to bound memory on long runs.
 		if ns := roadnet.Slot(now); ns != slot {
 			slot = ns
 			s.cache.Reset()
-			if s.decCache != s.cache {
+			if s.decCache != nil && s.decCache != s.cache {
 				s.decCache.Reset()
+			} else if s.decCache == nil {
+				if r, ok := s.decRouter.(roadnet.Resettable); ok {
+					r.Reset()
+				}
 			}
 		}
 		s.injectOrders(wEnd)
@@ -177,7 +209,7 @@ func (s *Simulator) Run(start, end float64) *Metrics {
 		}
 		s.clock = wEnd
 		s.rejectStale(wEnd)
-		s.window(wEnd)
+		s.window(ctx, wEnd)
 		now = wEnd
 		if now >= end && s.idle() {
 			break
@@ -258,12 +290,12 @@ func (s *Simulator) world() *RoundWorld {
 		Mover:   s.mover,
 		Cfg:     s.cfg,
 		Trace:   s.opts.Trace,
-		SPFor:   func(roadnet.NodeID) roadnet.SPFunc { return s.decSP },
+		SPFor:   func(roadnet.NodeID) roadnet.SPFunc { return s.decRouter.Travel },
 	}
 }
 
 // window performs the end-of-window assignment round at time now.
-func (s *Simulator) window(now float64) {
+func (s *Simulator) window(ctx context.Context, now float64) {
 	w := s.world()
 
 	// Build O(ℓ): the pool plus — when reshuffling — every vehicle's
@@ -308,7 +340,7 @@ func (s *Simulator) window(now float64) {
 
 	in := &policy.WindowInput{
 		G:         s.decG,
-		SP:        s.decSP,
+		Router:    s.decRouter,
 		Now:       now,
 		Orders:    orders,
 		Vehicles:  vss,
@@ -316,7 +348,7 @@ func (s *Simulator) window(now float64) {
 		Cfg:       s.cfg,
 	}
 	t0 := time.Now()
-	assignments := s.pol.Assign(in)
+	assignments := s.pol.Assign(ctx, in)
 	assignSec := time.Since(t0).Seconds()
 	s.recordWindow(now, assignSec)
 	s.opts.Trace.Emit(trace.Event{

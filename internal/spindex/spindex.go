@@ -201,10 +201,19 @@ func (ix *Index) Dist(u, v roadnet.NodeID, t float64) float64 {
 	return mergeQuery(si.bwd[u], si.fwd[v])
 }
 
+// Travel implements roadnet.Router: the index is the hub-label backend of
+// the unified shortest-path substrate, safe for concurrent use (slot builds
+// are internally synchronised).
+func (ix *Index) Travel(from, to roadnet.NodeID, t float64) float64 {
+	return ix.Dist(from, to, t)
+}
+
 // AsFunc adapts the index to the SPFunc oracle interface.
 func (ix *Index) AsFunc() roadnet.SPFunc {
 	return func(from, to roadnet.NodeID, t float64) float64 { return ix.Dist(from, to, t) }
 }
+
+var _ roadnet.Router = (*Index)(nil)
 
 // LabelStats reports the average and maximum label size for a built slot —
 // the usual quality measure of a hub labeling.
