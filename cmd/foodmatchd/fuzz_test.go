@@ -1,0 +1,71 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// acceptable is the full set of statuses a hostile payload may produce:
+// accepted (it happened to be valid), rejected, or shed under backpressure.
+// Anything else — or a panic — is a bug.
+func acceptable(code int) bool {
+	switch code {
+	case http.StatusAccepted, http.StatusBadRequest, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// FuzzOrderDecode throws arbitrary bytes at POST /orders. The decoder and
+// validation layer must map every input to a clean HTTP status — never a
+// panic, never an order with non-finite fields reaching the engine.
+func FuzzOrderDecode(f *testing.F) {
+	f.Add(`{"restaurant_node":1,"customer_node":2,"items":2,"prep_sec":480}`)
+	f.Add(`{"restaurant":{"lat":12.9,"lon":77.5},"customer":{"lat":12.91,"lon":77.51}}`)
+	f.Add(`{"restaurant_node":-1}`)
+	f.Add(`{"restaurant_node":1,"customer_node":2,"placed_at":-1e308}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`[1,2,3]`)
+	h := getHarness(f)
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/orders", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.srv.ServeHTTP(rr, req)
+		if !acceptable(rr.Code) {
+			t.Fatalf("POST /orders %q -> %d", body, rr.Code)
+		}
+	})
+}
+
+// FuzzPingDecode throws arbitrary bytes at the ping endpoint (and fuzzes
+// the vehicle id path segment too). With a learner attached this also
+// fuzzes the raw-ping admission gate: garbage must never reach the HMM
+// matcher as NaN coordinates.
+func FuzzPingDecode(f *testing.F) {
+	f.Add("1", `{"node":3}`)
+	f.Add("1", `{"at":{"lat":12.9,"lon":77.5}}`)
+	f.Add("1", `{"active_from":64800}`)
+	f.Add("999999", `{"node":3}`)
+	f.Add("x", `{}`)
+	f.Add("-1", `{"at":{"lat":1e999,"lon":0}}`)
+	h := getHarness(f)
+	f.Fuzz(func(t *testing.T, id, body string) {
+		if id == "" {
+			t.Skip()
+		}
+		// Escape like a real client: arbitrary bytes are legal in a path
+		// segment once percent-encoded.
+		req := httptest.NewRequest("POST", "/vehicles/"+url.PathEscape(id)+"/ping", strings.NewReader(body))
+		rr := httptest.NewRecorder()
+		h.srv.ServeHTTP(rr, req)
+		// 404/301 are the mux's own answers to ids that de-sugar the path
+		// ("." and ".." segments redirect, unroutable paths 404).
+		if !acceptable(rr.Code) && rr.Code != http.StatusNotFound && rr.Code != http.StatusMovedPermanently {
+			t.Fatalf("POST /vehicles/%s/ping %q -> %d", id, body, rr.Code)
+		}
+	})
+}

@@ -12,6 +12,14 @@
 //	     -d '{"restaurant_node":12,"customer_node":400,"items":2,"prep_sec":540}'
 //	curl -s -X POST localhost:8080/vehicles/1/ping -d '{"node":37}'
 //	curl -sN localhost:8080/assignments     # NDJSON decision stream
+//	curl -s localhost:8080/roadnet | jq .   # weight epoch, slot, learner stats
+//
+// With -learn the daemon runs the live dynamic road network: vehicle
+// traffic streams into a per-slot speed learner and every -refresh
+// simulation seconds the learned weights are published as a new router
+// epoch. Pair it with -scenario rain:1.3 (or rush:1.5) to make reality
+// diverge from the graph the dispatcher initially believes and watch the
+// epochs close the gap.
 //
 // The engine clock starts at -start hours (default the dinner peak) and
 // advances ∆ simulation seconds every ∆/timescale wall seconds, so demos
@@ -46,6 +54,10 @@ func main() {
 		fleetFrac = flag.Float64("fleet", 1.0, "fraction of the city fleet to register")
 		startHour = flag.Float64("start", 18, "simulation clock start, hours since midnight")
 		timeScale = flag.Float64("timescale", 60, "simulation seconds per wall second")
+		scenario  = flag.String("scenario", "none", "true-traffic perturbation: none|rain:<mult>|rush:<factor>[,...]")
+		learn     = flag.Bool("learn", false, "learn per-slot edge weights from live traffic and hot-swap routers")
+		refresh   = flag.Float64("refresh", 900, "simulation seconds between weight-epoch publishes")
+		minSamp   = flag.Int("minsamples", 3, "observations required before a learned cell is published")
 	)
 	flag.Parse()
 
@@ -63,8 +75,20 @@ func main() {
 	if *polName == "km" {
 		foodmatch.ConfigureVanillaKM(cfg)
 	}
-	fleet := city.Fleet(*fleetFrac, cfg.MaxO, *seed)
-	eng, err := foodmatch.NewEngine(city.G, fleet, foodmatch.EngineConfig{
+
+	// The true city may run a scenario (rain, extra dinner rush) the
+	// assignment plane is not told about: decisions start on the dry
+	// preset graph and — with -learn — converge onto reality through the
+	// GPS loop, visible as advancing epochs on GET /roadnet.
+	sc, err := foodmatch.ParseScenario(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	trueG := city.G
+	if !sc.Zero() {
+		trueG = sc.Apply(city.G)
+	}
+	ecfg := foodmatch.EngineConfig{
 		Pipeline: cfg,
 		NewPolicy: func() foodmatch.Policy {
 			p, _ := foodmatch.PolicyByName(*polName)
@@ -72,7 +96,24 @@ func main() {
 		},
 		Shards:    *shards,
 		QueueSize: *queue,
-	})
+	}
+	if !sc.Zero() {
+		// The dispatcher must not get oracle knowledge of the scenario:
+		// decisions start on the dry preset graph with or without -learn
+		// (without it, they simply stay stale).
+		ecfg.DecisionGraph = city.G
+	}
+	var learner *foodmatch.StreamLearner
+	if *learn {
+		learner = foodmatch.NewStreamLearner(trueG, foodmatch.StreamLearnerOptions{})
+		ecfg.DecisionGraph = city.G
+		ecfg.Learner = learner
+		ecfg.WeightRefreshSec = *refresh
+		ecfg.MinSamples = *minSamp
+	}
+
+	fleet := city.Fleet(*fleetFrac, cfg.MaxO, *seed)
+	eng, err := foodmatch.NewEngine(trueG, fleet, ecfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,10 +126,10 @@ func main() {
 		fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: NewServer(eng, city)}
+	srv := &http.Server{Addr: *addr, Handler: NewServer(eng, city, ServerOptions{Learner: learner, Scenario: sc.Name})}
 	go func() {
-		log.Printf("foodmatchd: %s @ %.0f nodes, %d vehicles, %d shards, ∆=%.0fs, %s on %s",
-			*cityName, float64(city.G.NumNodes()), len(fleet), *shards, cfg.Delta, *polName, *addr)
+		log.Printf("foodmatchd: %s @ %.0f nodes, %d vehicles, %d shards, ∆=%.0fs, %s on %s (scenario=%s learn=%v)",
+			*cityName, float64(city.G.NumNodes()), len(fleet), *shards, cfg.Delta, *polName, *addr, sc.Name, *learn)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}

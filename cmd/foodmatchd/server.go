@@ -18,22 +18,35 @@ import (
 //	POST /vehicles/{id}/ping  vehicle location/shift update
 //	GET  /assignments         NDJSON stream of decisions + round stats
 //	GET  /metrics             engine metrics snapshot
+//	GET  /roadnet             dynamic road network status (epoch, slot, learner)
 //	GET  /healthz             liveness
 type Server struct {
 	eng    *foodmatch.Engine
 	city   *foodmatch.City
+	opts   ServerOptions
 	nextID atomic.Int64
 	mux    *http.ServeMux
 }
 
+// ServerOptions carries the optional live-traffic wiring.
+type ServerOptions struct {
+	// Learner, when set, additionally receives raw lat/lon pings (the HMM
+	// map-matching plane); node-snapped pings reach it through the engine.
+	Learner *foodmatch.StreamLearner
+	// Scenario names the true-graph perturbation the daemon was started
+	// with (echoed on /roadnet).
+	Scenario string
+}
+
 // NewServer wires the handlers around an engine. city provides coordinate
 // snapping for lat/lon payloads (restaurants, customers, pings).
-func NewServer(eng *foodmatch.Engine, city *foodmatch.City) *Server {
-	s := &Server{eng: eng, city: city, mux: http.NewServeMux()}
+func NewServer(eng *foodmatch.Engine, city *foodmatch.City, opts ServerOptions) *Server {
+	s := &Server{eng: eng, city: city, opts: opts, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /orders", s.handleOrder)
 	s.mux.HandleFunc("POST /vehicles/{id}/ping", s.handlePing)
 	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /roadnet", s.handleRoadnet)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -71,6 +84,31 @@ type orderResponse struct {
 	PlacedAt float64 `json:"placed_at"`
 }
 
+// finite reports whether every argument is a finite float — the admission
+// gate that keeps NaN/Inf payloads out of the learner, the FoodGraph and
+// the engine's order pool.
+func finite(fs ...float64) bool {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLatLon validates a coordinate payload: finite and inside the WGS-84
+// envelope. (The nearest-node snap would silently fold garbage coordinates
+// onto an arbitrary road node otherwise — or poison the HMM matcher.)
+func checkLatLon(pt *latLon) error {
+	if !finite(pt.Lat, pt.Lon) {
+		return errors.New("coordinates must be finite")
+	}
+	if pt.Lat < -90 || pt.Lat > 90 || pt.Lon < -180 || pt.Lon > 180 {
+		return fmt.Errorf("coordinates (%g, %g) outside lat [-90,90] / lon [-180,180]", pt.Lat, pt.Lon)
+	}
+	return nil
+}
+
 func (s *Server) resolveNode(node *int64, pt *latLon) (foodmatch.NodeID, error) {
 	switch {
 	case node != nil:
@@ -81,6 +119,9 @@ func (s *Server) resolveNode(node *int64, pt *latLon) (foodmatch.NodeID, error) 
 		}
 		return foodmatch.NodeID(*node), nil
 	case pt != nil:
+		if err := checkLatLon(pt); err != nil {
+			return 0, err
+		}
 		return s.city.NearestNode(foodmatch.Point{Lat: pt.Lat, Lon: pt.Lon}), nil
 	default:
 		return 0, errors.New("need a node id or a lat/lon")
@@ -103,7 +144,27 @@ func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "customer: %v", err)
 		return
 	}
-	if req.Items <= 0 {
+	if !finite(req.PrepSec, req.PlacedAt) {
+		httpError(w, http.StatusBadRequest, "prep_sec and placed_at must be finite")
+		return
+	}
+	if horizon := s.eng.Clock() + 7*86_400; req.PlacedAt > horizon {
+		// The engine parks future orders until their window; an absurd
+		// placement time would pin them in memory forever. The horizon is
+		// relative to the engine clock — long -timescale runs push the
+		// clock far past any absolute bound.
+		httpError(w, http.StatusBadRequest, "placed_at %g beyond the scheduling horizon (clock+7d = %g)", req.PlacedAt, horizon)
+		return
+	}
+	if req.PrepSec > 6*3600 {
+		httpError(w, http.StatusBadRequest, "prep_sec %g exceeds the 6 h ceiling", req.PrepSec)
+		return
+	}
+	if req.Items < 0 || req.Items > 1000 {
+		httpError(w, http.StatusBadRequest, "items %d outside [0, 1000]", req.Items)
+		return
+	}
+	if req.Items == 0 {
 		req.Items = 1
 	}
 	if req.PrepSec <= 0 {
@@ -158,13 +219,33 @@ func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
 	if req.ActiveFrom != nil || req.ActiveTo != nil {
 		from, to := math.NaN(), math.NaN() // NaN = leave unchanged
 		if req.ActiveFrom != nil {
+			if !finite(*req.ActiveFrom) {
+				// An explicit NaN/Inf would silently alias the internal
+				// "leave unchanged" sentinel (or poison shift comparisons);
+				// the API spells "unchanged" by omitting the field.
+				httpError(w, http.StatusBadRequest, "active_from must be finite")
+				return
+			}
 			from = *req.ActiveFrom
 		}
 		if req.ActiveTo != nil {
+			if !finite(*req.ActiveTo) {
+				httpError(w, http.StatusBadRequest, "active_to must be finite")
+				return
+			}
 			to = *req.ActiveTo
 		}
 		if err := s.eng.SetVehicleShift(vid, from, to); err != nil {
 			pingError(w, err)
+			return
+		}
+	}
+	if req.At != nil {
+		// Validate coordinates whenever they are present — even when a
+		// node id is also given and resolveNode would not look at them —
+		// because they still feed the learner's map-matching plane below.
+		if err := checkLatLon(req.At); err != nil {
+			httpError(w, http.StatusBadRequest, "position: %v", err)
 			return
 		}
 	}
@@ -178,8 +259,30 @@ func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
 			pingError(w, err)
 			return
 		}
+		if s.opts.Learner != nil && req.At != nil {
+			// Raw coordinates additionally feed the map-matching plane of
+			// the speed learner (validated above; Clock is the lock-free
+			// atomic mirror, cheap per ping).
+			s.opts.Learner.ObserveRaw(id, s.eng.Clock(),
+				foodmatch.Point{Lat: req.At.Lat, Lon: req.At.Lon})
+		}
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// roadnetResponse wraps the engine's dynamic-road-network status with the
+// daemon's scenario tag.
+type roadnetResponse struct {
+	foodmatch.EngineRoadnetStatus
+	Scenario string `json:"scenario,omitempty"`
+}
+
+func (s *Server) handleRoadnet(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(roadnetResponse{
+		EngineRoadnetStatus: s.eng.Roadnet(),
+		Scenario:            s.opts.Scenario,
+	})
 }
 
 func pingError(w http.ResponseWriter, err error) {

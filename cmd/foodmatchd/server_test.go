@@ -32,7 +32,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(NewServer(eng, city))
+	ts := httptest.NewServer(NewServer(eng, city, ServerOptions{}))
 	defer ts.Close()
 
 	// Attach a streaming consumer before any round runs.

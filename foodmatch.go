@@ -379,6 +379,64 @@ type (
 	SpeedLearner = gps.SpeedLearner
 )
 
+// Dynamic road network re-exports: the live traffic plane that learns
+// per-slot edge weights from vehicle movement and hot-swaps routers onto
+// epoch-versioned snapshots (see internal/roadnet, internal/gps and the
+// README's "Dynamic road network" section).
+type (
+	// SlotWeights is a sparse per-edge per-slot learned travel-time table;
+	// apply it with Graph.Reweighted.
+	SlotWeights = roadnet.SlotWeights
+	// RoadSnapshot is one immutable weight epoch (epoch, graph, provenance).
+	RoadSnapshot = roadnet.Snapshot
+	// SwapRouter is the epoch-versioned Router: lock-free snapshot reads on
+	// the query path, atomic hot-swap on publish.
+	SwapRouter = roadnet.SwapRouter
+	// StreamLearner is the online speed learner fed by live vehicle
+	// observations (exact edge traversals, node pings, raw GPS chunks).
+	StreamLearner = gps.StreamLearner
+	// StreamLearnerOptions tunes the streaming learner.
+	StreamLearnerOptions = gps.StreamOptions
+	// StreamLearnerStats is a learner throughput snapshot.
+	StreamLearnerStats = gps.StreamStats
+	// SwapHubLabels is the epoch-versioned hub-label index: rebuilds run
+	// asynchronously per slot while the previous epoch keeps serving.
+	SwapHubLabels = spindex.SwapIndex
+	// Scenario perturbs a city's true travel-time profile (rain, rush).
+	Scenario = workload.Scenario
+	// EngineRoadnetStatus is the engine's dynamic-road-network status
+	// (epoch, slot, learner throughput) served by foodmatchd's /roadnet.
+	EngineRoadnetStatus = engine.RoadnetStatus
+)
+
+// NewSlotWeights returns an empty learned-weight table.
+func NewSlotWeights() *SlotWeights { return roadnet.NewSlotWeights() }
+
+// NewSwapRouter returns an epoch-versioned Router over the base graph; each
+// published epoch gets an inner backend from newRouter.
+func NewSwapRouter(base *Graph, newRouter func(*Graph) Router) *SwapRouter {
+	return roadnet.NewSwapRouter(base, newRouter)
+}
+
+// NewStreamLearner returns an empty streaming speed learner over g (safe
+// for concurrent use; pass as EngineConfig.Learner or SimOptions.Learner).
+func NewStreamLearner(g *Graph, opt StreamLearnerOptions) *StreamLearner {
+	return gps.NewStreamLearner(g, opt)
+}
+
+// NewSwapHubLabels returns an epoch-versioned hub-label index over g.
+func NewSwapHubLabels(g *Graph) *SwapHubLabels { return spindex.NewSwapIndex(g) }
+
+// RainScenario returns a uniform all-day slowdown scenario.
+func RainScenario(mult float64) Scenario { return workload.Rain(mult) }
+
+// DinnerRushScenario slows the 18:00–22:00 window by factor.
+func DinnerRushScenario(factor float64) Scenario { return workload.DinnerRush(factor) }
+
+// ParseScenario parses "none", "rain:<mult>", "rush:<factor>" or a
+// comma-joined combination.
+func ParseScenario(s string) (Scenario, error) { return workload.ParseScenario(s) }
+
 // SynthesizePings emits noisy GPS observations along a drive.
 func SynthesizePings(g *Graph, d GPSDrive, intervalSec, sigmaM float64, rng *rand.Rand) []GPSPing {
 	return gps.Synthesize(g, d, intervalSec, sigmaM, rng)

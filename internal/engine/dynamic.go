@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/gps"
+	"repro/internal/roadnet"
+)
+
+// dynamicState is the engine side of the live traffic plane: bookkeeping
+// for the periodic weight publishes that turn the streaming learner's
+// estimates into router epochs. Guarded by its own mutex so a forced
+// RefreshWeights never has to wait out a round holding the world lock —
+// that is what makes genuinely mid-round epoch swaps possible (and safe:
+// shard rounds pin their epoch via SwapRouter.Acquire).
+type dynamicState struct {
+	learner    *gps.StreamLearner
+	refresh    float64
+	minSamples int
+
+	mu           sync.Mutex
+	epoch        uint64
+	lastT        float64 // sim clock of the last publish attempt
+	publishes    int64
+	learnedEdges int
+	learnedCells int
+}
+
+// maybeRefreshWeights publishes a new weight epoch when the refresh period
+// has elapsed; called once per round with the round clock.
+func (e *Engine) maybeRefreshWeights(now float64) {
+	if e.dyn == nil {
+		return
+	}
+	e.dyn.mu.Lock()
+	defer e.dyn.mu.Unlock()
+	if now-e.dyn.lastT < e.dyn.refresh {
+		return
+	}
+	e.publishWeightsLocked(now)
+}
+
+// RefreshWeights forces an immediate weight publish at the current engine
+// clock, regardless of the refresh period. It returns the served epoch and
+// whether a *new* epoch was published (false when the engine is static or
+// the learner has no cells above MinSamples yet). Safe to call from any
+// goroutine, including concurrently with running rounds: shard queries keep
+// hitting their pinned epoch until the next round acquires the new one.
+func (e *Engine) RefreshWeights() (uint64, bool) {
+	if e.dyn == nil {
+		return 0, false
+	}
+	e.dyn.mu.Lock()
+	defer e.dyn.mu.Unlock()
+	before := e.dyn.epoch
+	after := e.publishWeightsLocked(math.Float64frombits(e.clockBits.Load()))
+	return after, after > before
+}
+
+// publishWeightsLocked materialises the learner's current estimates over
+// the decision graph and swaps every zone shard onto the new epoch. Called
+// with dyn.mu held. Returns the served epoch; publishing is skipped while
+// the learner has nothing above the sample floor.
+func (e *Engine) publishWeightsLocked(now float64) uint64 {
+	d := e.dyn
+	d.lastT = now
+	w := d.learner.Weights(d.minSamples)
+	if w.Cells() == 0 {
+		return d.epoch
+	}
+	g2 := e.decG.Reweighted(w)
+	d.epoch++
+	snap := roadnet.Snapshot{
+		Epoch:        d.epoch,
+		Graph:        g2,
+		LearnedEdges: w.Edges(),
+		LearnedCells: w.Cells(),
+		PublishedAt:  now,
+	}
+	for _, sr := range e.shards {
+		sr.router.Publish(snap)
+	}
+	d.publishes++
+	d.learnedEdges = w.Edges()
+	d.learnedCells = w.Cells()
+	return d.epoch
+}
+
+// currentEpoch reports the weight epoch the engine currently serves (0 for
+// a static road network).
+func (e *Engine) currentEpoch() uint64 {
+	if e.dyn == nil {
+		return 0
+	}
+	e.dyn.mu.Lock()
+	defer e.dyn.mu.Unlock()
+	return e.dyn.epoch
+}
+
+// RoadnetStatus is a point-in-time view of the dynamic road network plane,
+// served by foodmatchd's GET /roadnet.
+type RoadnetStatus struct {
+	// Dynamic reports whether a learner is attached; a static engine
+	// serves epoch 0 forever.
+	Dynamic bool `json:"dynamic"`
+	// Epoch is the current weight epoch; Slot the current hourly slot.
+	Epoch uint64  `json:"epoch"`
+	Slot  int     `json:"slot"`
+	Clock float64 `json:"clock"`
+	// LearnedEdges / LearnedCells describe the last published epoch.
+	LearnedEdges int `json:"learned_edges"`
+	LearnedCells int `json:"learned_cells"`
+	// Publishes counts epochs ever published; LastPublish is the sim clock
+	// of the most recent publish attempt (-1 before the first).
+	Publishes   int64   `json:"publishes"`
+	LastPublish float64 `json:"last_publish"`
+	RefreshSec  float64 `json:"refresh_sec"`
+	MinSamples  int     `json:"min_samples"`
+	// Learner is the streaming learner's throughput (nil when static).
+	Learner *gps.StreamStats `json:"learner,omitempty"`
+}
+
+// Roadnet snapshots the dynamic road network plane. Safe to call from any
+// goroutine, concurrently with rounds and publishes.
+func (e *Engine) Roadnet() RoadnetStatus {
+	clock := math.Float64frombits(e.clockBits.Load())
+	st := RoadnetStatus{
+		Clock: clock,
+		Slot:  roadnet.Slot(clock),
+	}
+	if e.dyn == nil {
+		return st
+	}
+	e.dyn.mu.Lock()
+	st.Dynamic = true
+	st.Epoch = e.dyn.epoch
+	st.LearnedEdges = e.dyn.learnedEdges
+	st.LearnedCells = e.dyn.learnedCells
+	st.Publishes = e.dyn.publishes
+	st.LastPublish = e.dyn.lastT
+	if math.IsInf(st.LastPublish, -1) {
+		st.LastPublish = -1 // lastT's internal sentinel is not JSON-encodable
+	}
+	st.RefreshSec = e.dyn.refresh
+	st.MinSamples = e.dyn.minSamples
+	e.dyn.mu.Unlock()
+	ls := e.dyn.learner.Stats()
+	st.Learner = &ls
+	return st
+}

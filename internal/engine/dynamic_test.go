@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gps"
+	"repro/internal/roadnet"
+	"repro/internal/workload"
+)
+
+// TestEngineDynamicWeightsLearnAndSwap runs the full live loop: the true
+// city is slowed by a uniform "rain" multiplier the decision graph knows
+// nothing about; driving on the true graph feeds the streaming learner;
+// periodic publishes swap every shard onto learned epochs. By the end the
+// engine must have published epochs, stamped them into round stats
+// monotonically, and learned weights that match the *true* (rained-on)
+// β rather than the stale decision prior.
+func TestEngineDynamicWeightsLearnAndSwap(t *testing.T) {
+	city := testCityB
+	const rain = 1.6
+	trueG := city.G.ScaleSlotMultipliers(func(int) float64 { return rain })
+	learner := gps.NewStreamLearner(trueG, gps.StreamOptions{})
+
+	start, end := 18.0*3600, 19.0*3600
+	orders := workload.OrderStreamWindow(city, 1, start, end)
+	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
+	e, err := New(trueG, fleet, Config{
+		Pipeline:         testConfig(),
+		Shards:           2,
+		QueueSize:        len(orders) + 16,
+		DecisionGraph:    city.G,
+		Learner:          learner,
+		WeightRefreshSec: 300,
+		MinSamples:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	delta := e.cfg.Pipeline.Delta
+	next := 0
+	lastEpoch := uint64(0)
+	for now := start + delta; now < end+7200; now += delta {
+		for next < len(orders) && orders[next].PlacedAt < now {
+			if err := e.SubmitOrder(orders[next]); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		stats := e.Step(now)
+		if stats.Epoch < lastEpoch {
+			t.Fatalf("round epoch went backwards: %d after %d", stats.Epoch, lastEpoch)
+		}
+		lastEpoch = stats.Epoch
+		if now >= end && next == len(orders) && e.Idle() {
+			break
+		}
+	}
+
+	st := e.Roadnet()
+	if !st.Dynamic {
+		t.Fatal("dynamic engine reports static road network")
+	}
+	if st.Epoch == 0 || st.Publishes == 0 {
+		t.Fatalf("no weight epoch published: %+v", st)
+	}
+	if st.Learner == nil || st.Learner.Samples == 0 {
+		t.Fatalf("learner saw no samples: %+v", st.Learner)
+	}
+	if st.LearnedCells == 0 {
+		t.Fatalf("published epoch carries no learned cells: %+v", st)
+	}
+	if lastEpoch == 0 {
+		t.Fatal("no round ever ran under a learned epoch")
+	}
+	snap := e.Snapshot()
+	if snap.WeightEpoch != st.Epoch || snap.WeightPublishes != st.Publishes {
+		t.Fatalf("metrics/roadnet disagree: %d/%d vs %d/%d",
+			snap.WeightEpoch, snap.WeightPublishes, st.Epoch, st.Publishes)
+	}
+
+	// Every shard serves the newest epoch, and its graph carries weights
+	// matching the TRUE β on learned cells (mover traversals are exact).
+	w := learner.Weights(1)
+	if w.Cells() == 0 {
+		t.Fatal("learner exports no cells")
+	}
+	for _, sr := range e.shards {
+		shSnap, _ := sr.router.Acquire()
+		if shSnap.Epoch != st.Epoch {
+			t.Fatalf("shard %d serves epoch %d, engine %d", sr.id, shSnap.Epoch, st.Epoch)
+		}
+		checked := 0
+		for u := 0; u < trueG.NumNodes() && checked < 50; u++ {
+			tEdges := trueG.OutEdges(roadnet.NodeID(u))
+			sEdges := shSnap.Graph.OutEdges(roadnet.NodeID(u))
+			for i := range tEdges {
+				for s := 0; s < roadnet.SlotsPerDay; s++ {
+					if _, ok := w.Get(roadnet.NodeID(u), tEdges[i].To, s); !ok {
+						continue
+					}
+					trueBeta := trueG.EdgeTimeSlot(tEdges[i], s)
+					served := shSnap.Graph.EdgeTimeSlot(sEdges[i], s)
+					if math.Abs(served-trueBeta) > 1e-6*trueBeta+1e-9 {
+						t.Fatalf("learned cell %d->%d slot %d serves %v, true β %v",
+							u, tEdges[i].To, s, served, trueBeta)
+					}
+					checked++
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no learned cell found to verify")
+		}
+	}
+}
+
+// TestRefreshWeights covers the forced-publish path: static engines refuse,
+// dynamic engines publish exactly when the learner has admissible cells.
+func TestRefreshWeights(t *testing.T) {
+	city := testCityB
+	fleet := city.Fleet(0.2, 3, 1)
+
+	static, err := New(city.G, fleet, Config{Pipeline: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep, ok := static.RefreshWeights(); ep != 0 || ok {
+		t.Fatalf("static engine published epoch %d (%v)", ep, ok)
+	}
+	if st := static.Roadnet(); st.Dynamic || st.Epoch != 0 {
+		t.Fatalf("static roadnet status %+v", st)
+	}
+
+	learner := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	dyn, err := New(city.G, fleet, Config{Pipeline: testConfig(), Learner: learner, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing learned yet: refresh runs but publishes no epoch.
+	if ep, ok := dyn.RefreshWeights(); ep != 0 || ok {
+		t.Fatalf("empty learner published epoch %d (%v)", ep, ok)
+	}
+	var u roadnet.NodeID
+	e0 := city.G.OutEdges(0)[0]
+	learner.ObserveEdge(u, e0.To, 12*3600, 123)
+	if ep, ok := dyn.RefreshWeights(); ep != 1 || !ok {
+		t.Fatalf("refresh after a sample: epoch %d (%v), want 1 (true)", ep, ok)
+	}
+	// Published epoch is visible on every shard immediately.
+	for _, sr := range dyn.shards {
+		if sr.router.Epoch() != 1 {
+			t.Fatalf("shard %d epoch %d after forced refresh", sr.id, sr.router.Epoch())
+		}
+	}
+	if ep, ok := dyn.RefreshWeights(); !ok || ep != 2 {
+		// A second refresh with the same cells still publishes a fresh
+		// epoch (estimates may have moved; the engine does not diff).
+		t.Fatalf("second refresh: epoch %d (%v)", ep, ok)
+	}
+}

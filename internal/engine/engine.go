@@ -25,8 +25,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/gps"
 	"repro/internal/model"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
@@ -77,6 +79,28 @@ type Config struct {
 	// Trace receives the engine event stream (nil = discard). The sink must
 	// be safe for concurrent use: shards emit from their own goroutines.
 	Trace trace.Sink
+
+	// DecisionGraph, when set, is the road network the assignment pipeline
+	// *believes*: every shard Router and pipeline stage runs over it, while
+	// vehicle movement and SDT admission stay on the true graph — the
+	// online analogue of sim.Options.DecisionGraph and the paper's protocol
+	// of learning weights on past days and driving on reality. Must share
+	// the true graph's topology. Nil = the true graph.
+	DecisionGraph *roadnet.Graph
+	// Learner, when set, turns on the live traffic plane: every finished
+	// edge traversal streams into it (the mover's Edge hook — the
+	// simulated analogue of driver GPS pings), node-snapped vehicle pings
+	// feed it at drain time, and every WeightRefreshSec of simulation time
+	// the engine materialises the learned estimates over the decision
+	// graph and hot-swaps each zone shard's Router onto the new epoch.
+	Learner *gps.StreamLearner
+	// WeightRefreshSec is the simulation-time period between weight-epoch
+	// publishes; 0 defaults to 900 (one publish per quarter hour).
+	WeightRefreshSec float64
+	// MinSamples withholds learned cells with fewer observations from a
+	// published epoch (they fall back to the decision graph's prior);
+	// 0 defaults to 3.
+	MinSamples int
 }
 
 // vehiclePing is one queued location/status update.
@@ -88,18 +112,23 @@ type vehiclePing struct {
 }
 
 // shardRt is the per-shard runtime: its own policy instance and its own
-// Router so concurrent rounds never contend.
+// epoch-swapped Router so concurrent rounds never contend and weight
+// publishes never block queries.
 type shardRt struct {
 	id     int
 	pol    policy.Policy
-	router roadnet.Router
+	router *roadnet.SwapRouter
 	slot   int // slot the router's memoised rows belong to
 }
 
 // Engine is the online dispatcher. All exported methods are safe for
 // concurrent use.
 type Engine struct {
-	g      *roadnet.Graph
+	g *roadnet.Graph
+	// decG is the decision plane's base graph (what epoch 0 serves);
+	// see Config.DecisionGraph.
+	decG   *roadnet.Graph
+	dyn    *dynamicState // nil = static road network
 	cfg    Config
 	sh     *sharder
 	mover  *sim.Mover
@@ -121,6 +150,10 @@ type Engine struct {
 	clock    float64
 	slot     int
 	sdtCache *roadnet.DistCache // answers SDT queries at admission
+
+	// clockBits mirrors clock for lock-free readers (RefreshWeights and
+	// Roadnet must not wait out a round holding mu).
+	clockBits atomic.Uint64
 
 	// statMu guards counters written by movement hooks (which run on
 	// several worker goroutines) and read by Snapshot.
@@ -172,9 +205,23 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 			return roadnet.NewBoundedRouter(g, bound)
 		}
 	}
+	decG := cfg.DecisionGraph
+	if decG == nil {
+		decG = g
+	} else if decG.NumNodes() != g.NumNodes() {
+		return nil, fmt.Errorf("engine: decision graph has %d nodes, true graph %d",
+			decG.NumNodes(), g.NumNodes())
+	}
+	if cfg.WeightRefreshSec <= 0 {
+		cfg.WeightRefreshSec = 900
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 3
+	}
 
 	e := &Engine{
 		g:        g,
+		decG:     decG,
 		cfg:      cfg,
 		sh:       newSharder(g, cfg.Shards),
 		pol:      cfg.NewPolicy(),
@@ -184,11 +231,19 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 		sdtCache: roadnet.NewDistCache(g, cfg.SPBound),
 		slot:     -1,
 	}
+	if cfg.Learner != nil {
+		e.dyn = &dynamicState{
+			learner:    cfg.Learner,
+			refresh:    cfg.WeightRefreshSec,
+			minSamples: cfg.MinSamples,
+			lastT:      math.Inf(-1),
+		}
+	}
 	for s := 0; s < cfg.Shards; s++ {
 		e.shards = append(e.shards, &shardRt{
 			id:     s,
 			pol:    cfg.NewPolicy(),
-			router: cfg.NewRouter(g),
+			router: roadnet.NewSwapRouter(decG, cfg.NewRouter),
 			slot:   -1,
 		})
 	}
@@ -215,6 +270,15 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 			e.stats.stranded++
 			e.statMu.Unlock()
 		},
+	}
+	if cfg.Learner != nil {
+		// Finished edge traversals are the engine's GPS plane: each one is
+		// a perfectly map-matched sample of the *true* graph's β. The hook
+		// runs on the movement worker pool; the learner synchronises
+		// internally.
+		e.mover.Hooks.Edge = func(_ *model.Vehicle, from, to roadnet.NodeID, tEnter, sec float64) {
+			cfg.Learner.ObserveEdge(from, to, tEnter, sec)
+		}
 	}
 	for _, v := range fleet {
 		if v.Node < 0 || int(v.Node) >= g.NumNodes() {
@@ -306,10 +370,9 @@ func (e *Engine) VehicleIDs() []model.VehicleID {
 }
 
 // Clock returns the engine's simulation clock (the end of the last round).
+// Lock-free: reads the atomic clock mirror, so it never waits out a round.
 func (e *Engine) Clock() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.clock
+	return math.Float64frombits(e.clockBits.Load())
 }
 
 // Idle reports whether no work remains anywhere: ingestion queues drained,
@@ -360,6 +423,7 @@ func (e *Engine) StartContext(ctx context.Context, startSim, timeScale float64) 
 	}
 	e.mu.Lock()
 	e.clock = startSim
+	e.clockBits.Store(math.Float64bits(startSim))
 	e.mu.Unlock()
 	e.stopCh = make(chan struct{})
 	e.doneCh = make(chan struct{})

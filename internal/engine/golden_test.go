@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// updateGolden regenerates the committed golden fixtures:
+//
+//	go test ./internal/engine/ -run TestGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden trace fixtures")
+
+// goldenReplay drives the CityB dinner-peak order slice through a 1-shard
+// engine with the static road network (no learner) and renders every
+// assignment decision and rejection as one canonical line. One shard and
+// Step-driven time make the run fully deterministic, so the rendered trace
+// is byte-stable across machines.
+func goldenReplay(t *testing.T) string {
+	t.Helper()
+	city := testCityB
+	start, end := 18.0*3600, 18.5*3600
+	orders := workload.OrderStreamWindow(city, 1, start, end)
+	if len(orders) == 0 {
+		t.Fatal("golden: no orders in the dinner slice")
+	}
+	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
+	e, err := New(city.G, fleet, Config{
+		Pipeline:  testConfig(),
+		Shards:    1,
+		QueueSize: len(orders) + 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.Subscribe(4*len(orders) + 4096)
+	defer sub.Cancel()
+
+	delta := e.cfg.Pipeline.Delta
+	next := 0
+	drainEnd := end + 7200
+	for now := start + delta; now < drainEnd; now += delta {
+		for next < len(orders) && orders[next].PlacedAt < now {
+			if err := e.SubmitOrder(orders[next]); err != nil {
+				t.Fatalf("submit order %d: %v", orders[next].ID, err)
+			}
+			next++
+		}
+		e.Step(now)
+		if now >= end && next == len(orders) && e.Idle() {
+			break
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("golden: subscription dropped %d events; raise the buffer", sub.Dropped())
+	}
+
+	var b strings.Builder
+	for {
+		select {
+		case ev := <-sub.C:
+			switch {
+			case ev.Decision != nil:
+				d := ev.Decision
+				ids := make([]string, len(d.Orders))
+				for i, id := range d.Orders {
+					ids[i] = fmt.Sprintf("%d", id)
+				}
+				fmt.Fprintf(&b, "assign t=%.0f v=%d orders=%s reshuffled=%t\n",
+					d.T, d.Vehicle, strings.Join(ids, ","), d.Reassigned)
+			case ev.Rejection != nil:
+				fmt.Fprintf(&b, "reject t=%.0f order=%d\n", ev.Rejection.T, ev.Rejection.Order)
+			}
+		default:
+			return b.String()
+		}
+	}
+}
+
+// TestGoldenTraceCityBDinner pins the engine's assignment decisions on the
+// CityB dinner-peak replay byte-for-byte. PR 1 and PR 2 each claimed
+// decision-identical refactors; this fixture is that claim as a test — any
+// change to batching, matching, routing or the round loop that shifts even
+// one decision shows up as a fixture diff. Regenerate deliberately with
+// -update-golden when a behaviour change is intended.
+func TestGoldenTraceCityBDinner(t *testing.T) {
+	got := goldenReplay(t)
+	path := filepath.Join("testdata", "golden_cityb_dinner.trace")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden: wrote %d bytes to %s", len(got), path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden fixture missing (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if gotLines[i] != wantLines[i] {
+				t.Fatalf("golden trace diverges at line %d:\n got: %s\nwant: %s\n(%d got lines vs %d want lines)",
+					i+1, gotLines[i], wantLines[i], len(gotLines), len(wantLines))
+			}
+		}
+		t.Fatalf("golden trace length diverges: %d got lines vs %d want lines", len(gotLines), len(wantLines))
+	}
+}

@@ -38,6 +38,9 @@ type ShardRoundStats struct {
 	Vehicles    int     `json:"vehicles"`
 	Assignments int     `json:"assignments"`
 	AssignSec   float64 `json:"assign_sec"`
+	// Epoch is the weight epoch the shard's round pinned (0 when the
+	// shard was skipped or the road network is static).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Pipeline is the zone's per-stage breakdown (nil when the zone was
 	// skipped this round or its policy does not record stage stats).
 	Pipeline *PipelineStats `json:"pipeline,omitempty"`
@@ -47,6 +50,9 @@ type ShardRoundStats struct {
 type RoundStats struct {
 	// T is the simulation clock the round closed at.
 	T float64 `json:"t"`
+	// Epoch is the road-network weight epoch the round ran under (the
+	// newest epoch any shard pinned; 0 = static base weights).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// PoolSize is |O(ℓ)|: pooled plus reshuffled orders matched this round.
 	PoolSize int `json:"pool"`
 	// PoolCarried is how many orders stayed unassigned into the next round.
@@ -80,6 +86,10 @@ type RoundStats struct {
 type Metrics struct {
 	Clock  float64 `json:"clock"`
 	Shards int     `json:"shards"`
+	// WeightEpoch / WeightPublishes summarise the dynamic road network
+	// plane (both 0 for a static engine; see Engine.Roadnet for detail).
+	WeightEpoch     uint64 `json:"weight_epoch,omitempty"`
+	WeightPublishes int64  `json:"weight_publishes,omitempty"`
 
 	// Order lifecycle totals.
 	OrdersIngested int64 `json:"orders_ingested"`
@@ -143,6 +153,12 @@ func (e *Engine) Snapshot() Metrics {
 	}
 	if c.rounds > 0 {
 		m.RoundSecMean = c.roundSecTotal / float64(c.rounds)
+	}
+	if e.dyn != nil {
+		e.dyn.mu.Lock()
+		m.WeightEpoch = e.dyn.epoch
+		m.WeightPublishes = e.dyn.publishes
+		e.dyn.mu.Unlock()
 	}
 	e.mu.Lock()
 	m.Clock = e.clock

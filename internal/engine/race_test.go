@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gps"
+	"repro/internal/model"
+	"repro/internal/roadnet"
+	"repro/internal/workload"
+)
+
+// TestEngineConcurrentIngestAndSwap is the engine's -race gauntlet: the
+// real-time window clock runs under StartContext while producer goroutines
+// hammer order submission and vehicle pings, a traffic goroutine forces
+// mid-round weight-epoch swaps, and reader goroutines poll every metrics
+// surface. No assertion beyond "the race detector stays quiet and the
+// engine makes progress" — which is exactly the contract the lock-free
+// snapshot plane must honour.
+func TestEngineConcurrentIngestAndSwap(t *testing.T) {
+	city := testCityB
+	learner := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
+	start := 19.0 * 3600
+	orders := workload.OrderStreamWindow(city, 1, start, start+1800)
+	if len(orders) == 0 {
+		t.Skip("no orders in slice")
+	}
+	e, err := New(city.G, fleet, Config{
+		Pipeline:         testConfig(),
+		Shards:           4,
+		QueueSize:        64, // small on purpose: exercise backpressure
+		Learner:          learner,
+		WeightRefreshSec: 120,
+		MinSamples:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := e.VehicleIDs()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := e.StartContext(ctx, start, 30000); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Order producers (ErrQueueFull is expected backpressure, not failure).
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; ; i += 2 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o := orders[i%len(orders)]
+				_ = e.SubmitOrder(&model.Order{
+					ID:         model.OrderID(int(o.ID) + i*100000),
+					Restaurant: o.Restaurant, Customer: o.Customer,
+					Items: o.Items, Prep: o.Prep, AssignedTo: -1,
+				})
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(p)
+	}
+
+	// Ping producers: relocations + shift updates feed drainPings and the
+	// learner's ObserveNode plane.
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ids[i%len(ids)]
+				_ = e.PingVehicle(id, roadnet.NodeID(i%city.G.NumNodes()))
+				if i%17 == 0 {
+					_ = e.SetVehicleShift(id, start, start+4*3600)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(p)
+	}
+
+	// Traffic plane: forced mid-round epoch swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			learner.ObserveEdge(roadnet.NodeID(i%16), city.G.OutEdges(roadnet.NodeID(i % 16))[0].To,
+				start+float64(i), 30)
+			e.RefreshWeights()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Readers over every concurrent surface.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sub := e.Subscribe(64)
+		defer sub.Cancel()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-sub.C:
+			default:
+				_ = e.Snapshot()
+				_ = e.Roadnet()
+				_ = e.Clock()
+				_ = e.Idle()
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for e.Snapshot().Rounds < 8 {
+		select {
+		case <-deadline:
+			t.Fatal("engine made no progress under concurrent load")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	wg.Wait()
+	e.Stop()
+
+	snap := e.Snapshot()
+	if snap.Rounds < 8 {
+		t.Fatalf("rounds %d after stop", snap.Rounds)
+	}
+	if st := e.Roadnet(); !st.Dynamic {
+		t.Fatal("dynamic plane lost")
+	}
+}
+
+// TestEngineStepConcurrentRefresh drives deterministic Steps while another
+// goroutine forces weight publishes — the mid-round swap path with no
+// real-time clock involved (fast enough for -race on every CI run).
+func TestEngineStepConcurrentRefresh(t *testing.T) {
+	city := testCityB
+	learner := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	fleet := city.Fleet(0.5, testConfig().MaxO, 1)
+	start := 19.0 * 3600
+	orders := workload.OrderStreamWindow(city, 1, start, start+900)
+	e, err := New(city.G, fleet, Config{
+		Pipeline: testConfig(), Shards: 2,
+		QueueSize: len(orders) + 16,
+		Learner:   learner, WeightRefreshSec: 1e12, MinSamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			learner.ObserveEdge(roadnet.NodeID(i%8), city.G.OutEdges(roadnet.NodeID(i % 8))[0].To,
+				start+float64(i%600), 25)
+			e.RefreshWeights()
+		}
+	}()
+	next := 0
+	delta := e.cfg.Pipeline.Delta
+	for now := start + delta; now < start+3600; now += delta {
+		for next < len(orders) && orders[next].PlacedAt < now {
+			if err := e.SubmitOrder(orders[next]); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		e.Step(now)
+	}
+	close(stop)
+	wg.Wait()
+	if ep := e.Roadnet().Epoch; ep == 0 {
+		t.Fatal("no epoch published during concurrent refresh")
+	}
+}

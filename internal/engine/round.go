@@ -40,7 +40,7 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	if now < e.clock {
 		now = e.clock // the clock never runs backwards
 	}
-	e.drainPings()
+	e.drainPings(now)
 	e.drainOrders(now)
 
 	// Slot boundary: weights changed, memoised distance rows are stale.
@@ -51,6 +51,10 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 
 	e.advanceAll(e.clock, now)
 	e.clock = now
+	e.clockBits.Store(math.Float64bits(now))
+	// Weight-refresh due? Publish a new epoch before matching so this
+	// round's decisions already see it.
+	e.maybeRefreshWeights(now)
 	rejected := e.rejectStale(now)
 
 	stats := e.assignRound(ctx, now)
@@ -129,7 +133,10 @@ func (e *Engine) admitFuture(now float64, arrived bool) {
 
 // drainPings applies queued vehicle updates. Pings relocate only idle
 // vehicles: while a plan is live, position comes from simulated movement.
-func (e *Engine) drainPings() {
+// When the live traffic plane is on, every location ping also streams into
+// the speed learner (stamped with the round clock — the drain is the first
+// instant the engine observes it).
+func (e *Engine) drainPings(now float64) {
 	for {
 		select {
 		case p := <-e.pingCh:
@@ -144,6 +151,9 @@ func (e *Engine) drainPings() {
 				mo.V.ActiveTo = p.activeTo
 			}
 			if p.node != roadnet.Invalid {
+				if e.dyn != nil {
+					e.dyn.learner.ObserveNode(int64(p.id), now, p.node)
+				}
 				e.mover.Relocate(mo, p.node)
 			}
 		default:
@@ -212,6 +222,7 @@ type shardWork struct {
 	vehicles []*foodgraph.VehicleState
 	res      []policy.Assignment
 	sec      float64
+	epoch    uint64          // weight epoch the shard's round was pinned to
 	pstats   *pipeline.Stats // non-nil iff the shard ran and records stats
 }
 
@@ -220,7 +231,7 @@ type shardWork struct {
 // vehicle and pool state belong to this round until it returns.
 func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 	cfg := e.cfg.Pipeline
-	stats := RoundStats{T: now, Shards: make([]ShardRoundStats, len(e.shards))}
+	stats := RoundStats{T: now, Epoch: e.currentEpoch(), Shards: make([]ShardRoundStats, len(e.shards))}
 	w := &sim.RoundWorld{
 		ByID:    e.byID,
 		Motions: e.motions,
@@ -283,16 +294,23 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 		wg.Add(1)
 		go func(sr *shardRt, w *shardWork) {
 			defer wg.Done()
+			// Pin the current weight epoch for the whole round: the
+			// snapshot's graph and Router stay mutually consistent even if
+			// a weight publish lands mid-round (the next round picks the
+			// new epoch up), and the per-query hot path pays no atomic
+			// load at all.
+			snap, router := sr.router.Acquire()
+			w.epoch = snap.Epoch
 			if sr.slot != e.slot {
 				sr.slot = e.slot
-				if r, ok := sr.router.(roadnet.Resettable); ok {
+				if r, ok := router.(roadnet.Resettable); ok {
 					r.Reset()
 				}
 			}
 			t0 := time.Now()
 			w.res = sr.pol.Assign(ctx, &policy.WindowInput{
-				G:         e.g,
-				Router:    sr.router,
+				G:         snap.Graph,
+				Router:    router,
 				Now:       now,
 				Orders:    w.orders,
 				Vehicles:  w.vehicles,
@@ -321,7 +339,11 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 			Vehicles:    len(sw.vehicles),
 			Assignments: len(sw.res),
 			AssignSec:   sw.sec,
+			Epoch:       sw.epoch,
 			Pipeline:    sw.pstats,
+		}
+		if sw.epoch > stats.Epoch {
+			stats.Epoch = sw.epoch
 		}
 		if sw.pstats != nil {
 			stats.Pipeline.Accumulate(*sw.pstats)

@@ -1,0 +1,140 @@
+package gps
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// fuzzGraph is the shared map-matching substrate; built once — fuzzing
+// rebuilds would dominate the iteration budget.
+var fuzzGraph = func() *roadnet.Graph {
+	b := roadnet.NewBuilder()
+	const dim = 5
+	origin := geo.Point{Lat: 12.90, Lon: 77.50}
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			b.AddNode(geo.Offset(origin, float64(r)*180, float64(c)*180))
+		}
+	}
+	id := func(r, c int) roadnet.NodeID { return roadnet.NodeID(r*dim + c) }
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			if c+1 < dim {
+				b.AddEdge(id(r, c), id(r, c+1), 180, 30, 0)
+				b.AddEdge(id(r, c+1), id(r, c), 180, 30, 0)
+			}
+			if r+1 < dim {
+				b.AddEdge(id(r, c), id(r+1, c), 180, 30, 0)
+				b.AddEdge(id(r+1, c), id(r, c), 180, 30, 0)
+			}
+		}
+	}
+	return b.MustBuild()
+}()
+
+// decodePings turns fuzz bytes into a ping sequence: 12 bytes per ping —
+// 4 for a time offset, 4+4 for lat/lon offsets around the graph's extent.
+// The decoder intentionally produces hostile values (huge offsets, zero
+// and backwards time steps) while staying deterministic.
+func decodePings(data []byte) []Ping {
+	var pings []Ping
+	origin := geo.Point{Lat: 12.90, Lon: 77.50}
+	for len(data) >= 12 && len(pings) < 64 {
+		dt := binary.LittleEndian.Uint32(data[0:4])
+		dLat := int32(binary.LittleEndian.Uint32(data[4:8]))
+		dLon := int32(binary.LittleEndian.Uint32(data[8:12]))
+		data = data[12:]
+		t := float64(dt % 172_800)
+		pings = append(pings, Ping{
+			T: t,
+			Pos: geo.Point{
+				Lat: origin.Lat + float64(dLat%10_000)/100_000,
+				Lon: origin.Lon + float64(dLon%10_000)/100_000,
+			},
+		})
+	}
+	return pings
+}
+
+// FuzzMatch feeds arbitrary ping sequences through the HMM map-matcher: it
+// must never panic, and when it reports ok the matched path must be sane
+// (one in-range node per ping).
+func FuzzMatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	// A plausible straight-line trail.
+	seed := make([]byte, 0, 12*6)
+	for i := 0; i < 6; i++ {
+		var rec [12]byte
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(36000+30*i))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(160*i))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(10*i))
+		seed = append(seed, rec[:]...)
+	}
+	f.Add(seed)
+
+	g := fuzzGraph
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pings := decodePings(data)
+		m := NewMatcher(g, DefaultMatchOptions())
+		matched, ok := m.Match(pings)
+		if !ok {
+			return
+		}
+		if len(matched) != len(pings) {
+			t.Fatalf("matched %d nodes for %d pings", len(matched), len(pings))
+		}
+		for i, node := range matched {
+			if node < 0 || int(node) >= g.NumNodes() {
+				t.Fatalf("ping %d matched out-of-range node %d", i, node)
+			}
+		}
+	})
+}
+
+// FuzzStreamLearner drives the full streaming surface with arbitrary
+// observations: whatever arrives, the learner must neither panic nor let a
+// non-finite or non-positive estimate into an exported weight table.
+func FuzzStreamLearner(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	g := fuzzGraph
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := NewStreamLearner(g, StreamOptions{ChunkSize: 4})
+		for len(data) >= 12 {
+			kind := data[0] % 3
+			vid := int64(data[1] % 4)
+			tRaw := binary.LittleEndian.Uint32(data[2:6])
+			a := binary.LittleEndian.Uint32(data[6:10])
+			bb := binary.LittleEndian.Uint16(data[10:12])
+			data = data[12:]
+			tt := math.Float64frombits(uint64(tRaw) << 20) // often NaN/Inf/denormal
+			switch kind {
+			case 0:
+				l.ObserveEdge(roadnet.NodeID(int32(a)), roadnet.NodeID(int32(bb)), tt, float64(int16(bb)))
+			case 1:
+				l.ObserveNode(vid, tt, roadnet.NodeID(int32(a%64)-4))
+			case 2:
+				l.ObserveRaw(vid, float64(tRaw%86400), geo.Point{
+					Lat: 12.9 + float64(int32(a)%1000)/50_000,
+					Lon: 77.5 + float64(int32(bb))/50_000,
+				})
+			}
+		}
+		w := l.Weights(1)
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, e := range g.OutEdges(roadnet.NodeID(u)) {
+				for s := 0; s < roadnet.SlotsPerDay; s++ {
+					if sec, ok := w.Get(roadnet.NodeID(u), e.To, s); ok {
+						if math.IsNaN(sec) || math.IsInf(sec, 0) || sec <= 0 {
+							t.Fatalf("poisoned weight %v on edge %d->%d slot %d", sec, u, e.To, s)
+						}
+					}
+				}
+			}
+		}
+	})
+}

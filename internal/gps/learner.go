@@ -31,30 +31,38 @@ func NewSpeedLearner(g *roadnet.Graph) *SpeedLearner {
 	return l
 }
 
-func edgeKey(u, v roadnet.NodeID) int64 { return int64(u)<<32 | int64(uint32(v)) }
+func edgeKey(u, v roadnet.NodeID) int64 { return roadnet.EdgeKey(u, v) }
 
 // ObserveDrive records a ground-truth-timed traversal (typically the
 // matched trajectory re-timed by ping timestamps): consecutive node pairs
 // that are actual edges contribute a travel-time sample to the slot in
-// which the edge was entered.
-func (l *SpeedLearner) ObserveDrive(nodes []roadnet.NodeID, times []float64) {
-	for i := 0; i+1 < len(nodes); i++ {
+// which the edge was entered. Returns the number of samples admitted —
+// malformed segments (non-edges, non-positive or implausible durations,
+// NaN timestamps) are skipped, never recorded.
+func (l *SpeedLearner) ObserveDrive(nodes []roadnet.NodeID, times []float64) int {
+	n := 0
+	for i := 0; i+1 < len(nodes) && i+1 < len(times); i++ {
 		u, v := nodes[i], nodes[i+1]
 		if u == v {
+			continue
+		}
+		if u < 0 || int(u) >= l.g.NumNodes() || v < 0 || int(v) >= l.g.NumNodes() {
 			continue
 		}
 		if !l.hasEdge(u, v) {
 			continue
 		}
 		dt := times[i+1] - times[i]
-		if dt <= 0 || dt > 3600 {
+		if math.IsNaN(times[i]) || math.IsNaN(dt) || dt <= 0 || dt > 3600 {
 			continue // implausible sample
 		}
 		slot := roadnet.Slot(times[i])
 		k := edgeKey(u, v)
 		l.sum[slot][k] += dt
 		l.cnt[slot][k]++
+		n++
 	}
+	return n
 }
 
 func (l *SpeedLearner) hasEdge(u, v roadnet.NodeID) bool {
@@ -79,6 +87,31 @@ func (l *SpeedLearner) Estimate(u, v roadnet.NodeID, slot int, fallback float64)
 		return l.sum[slot][k] / float64(c)
 	}
 	return fallback
+}
+
+// Weights exports the learned estimates as a sparse roadnet.SlotWeights
+// table: one cell per (edge, slot) with at least minSamples observations,
+// everything else left to the consuming graph's prior. This is the live
+// pipeline's publish format — cheap to build, cheap to apply with
+// Graph.Reweighted — where LearnedGraph below is the offline batch form.
+func (l *SpeedLearner) Weights(minSamples int) *roadnet.SlotWeights {
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	w := roadnet.NewSlotWeights()
+	for slot := 0; slot < roadnet.SlotsPerDay; slot++ {
+		for k, c := range l.cnt[slot] {
+			if c < minSamples {
+				continue
+			}
+			u, v := roadnet.EdgeKeyNodes(k)
+			// Set rejects non-finite/non-positive means; ObserveDrive's
+			// admission filter makes that unreachable, but the guard keeps
+			// a poisoned accumulator out of a published epoch regardless.
+			_ = w.Set(u, v, slot, l.sum[slot][k]/float64(c))
+		}
+	}
+	return w
 }
 
 // LearnedGraph materialises a new road network whose edge weights are the

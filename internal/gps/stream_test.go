@@ -1,0 +1,154 @@
+package gps
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// streamTestGraph builds a small strongly-connected grid.
+func streamTestGraph(tb testing.TB) *roadnet.Graph {
+	tb.Helper()
+	b := roadnet.NewBuilder()
+	const dim = 6
+	origin := geo.Point{Lat: 12.90, Lon: 77.50}
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			b.AddNode(geo.Offset(origin, float64(r)*200, float64(c)*200))
+		}
+	}
+	id := func(r, c int) roadnet.NodeID { return roadnet.NodeID(r*dim + c) }
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			if c+1 < dim {
+				b.AddEdge(id(r, c), id(r, c+1), 200, 40, 0)
+				b.AddEdge(id(r, c+1), id(r, c), 200, 40, 0)
+			}
+			if r+1 < dim {
+				b.AddEdge(id(r, c), id(r+1, c), 200, 40, 0)
+				b.AddEdge(id(r+1, c), id(r, c), 200, 40, 0)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestStreamLearnerObserveEdge(t *testing.T) {
+	g := streamTestGraph(t)
+	l := NewStreamLearner(g, StreamOptions{})
+	l.ObserveEdge(0, 1, 10*3600, 55)
+	l.ObserveEdge(0, 1, 10*3600+100, 65)
+	if got := l.Samples(0, 1, 10); got != 2 {
+		t.Fatalf("samples = %d want 2", got)
+	}
+	w := l.Weights(1)
+	sec, ok := w.Get(0, 1, 10)
+	if !ok || math.Abs(sec-60) > 1e-9 {
+		t.Fatalf("learned weight %v,%v want 60", sec, ok)
+	}
+	// Poisoned inputs never become samples.
+	l.ObserveEdge(0, 1, math.NaN(), 50)
+	l.ObserveEdge(0, 1, 10*3600, math.Inf(1))
+	l.ObserveEdge(0, 1, 10*3600, -5)
+	l.ObserveEdge(0, 99999, 10*3600, 50)
+	if got := l.Samples(0, 1, 10); got != 2 {
+		t.Fatalf("samples after poison = %d want 2", got)
+	}
+	st := l.Stats()
+	if st.Dropped == 0 || st.Samples != 2 {
+		t.Fatalf("stats %+v: want dropped>0, samples=2", st)
+	}
+}
+
+func TestStreamLearnerObserveNodeInterpolates(t *testing.T) {
+	g := streamTestGraph(t)
+	l := NewStreamLearner(g, StreamOptions{})
+	// Two pings three hops apart (0 -> 3 along the first row), 150 s apart:
+	// each 40 s modelled edge should receive 50 s.
+	l.ObserveNode(7, 12*3600, 0)
+	l.ObserveNode(7, 12*3600+150, 3)
+	w := l.Weights(1)
+	for _, pair := range [][2]roadnet.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		sec, ok := w.Get(pair[0], pair[1], 12)
+		if !ok {
+			t.Fatalf("edge %v not learned", pair)
+		}
+		if math.Abs(sec-50) > 1e-6 {
+			t.Fatalf("edge %v learned %v want 50", pair, sec)
+		}
+	}
+	// A gap past MaxGapSec is dropped.
+	l2 := NewStreamLearner(g, StreamOptions{MaxGapSec: 60})
+	l2.ObserveNode(1, 1000, 0)
+	l2.ObserveNode(1, 2000, 3)
+	if got := l2.Weights(1).Cells(); got != 0 {
+		t.Fatalf("over-gap pair learned %d cells", got)
+	}
+}
+
+func TestStreamLearnerObserveRawMatchesChunks(t *testing.T) {
+	g := streamTestGraph(t)
+	rng := rand.New(rand.NewSource(7))
+	// Ground truth drive along the first row, 40 s per edge.
+	nodes := []roadnet.NodeID{0, 1, 2, 3, 4, 5}
+	times := make([]float64, len(nodes))
+	for i := range times {
+		times[i] = 13*3600 + float64(i)*40
+	}
+	pings := Synthesize(g, Drive{Nodes: nodes, Times: times}, 10, 5, rng)
+	l := NewStreamLearner(g, StreamOptions{ChunkSize: len(pings)})
+	for _, p := range pings {
+		l.ObserveRaw(42, p.T, p.Pos)
+	}
+	st := l.Stats()
+	if st.Matched == 0 {
+		t.Fatalf("no chunk matched (stats %+v)", st)
+	}
+	if st.Samples == 0 || st.Cells == 0 {
+		t.Fatalf("raw pipeline learned nothing (stats %+v)", st)
+	}
+	// NaN positions are rejected at admission.
+	before := l.Stats().Dropped
+	l.ObserveRaw(42, 13*3600, geo.Point{Lat: math.NaN(), Lon: 77.5})
+	if got := l.Stats().Dropped; got != before+1 {
+		t.Fatalf("NaN position not dropped (%d -> %d)", before, got)
+	}
+}
+
+// TestStreamLearnerConcurrent hammers all three observation planes plus
+// Weights() from many goroutines; run under -race in CI.
+func TestStreamLearnerConcurrent(t *testing.T) {
+	g := streamTestGraph(t)
+	l := NewStreamLearner(g, StreamOptions{ChunkSize: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 3 {
+				case 0:
+					l.ObserveEdge(roadnet.NodeID(i%6), roadnet.NodeID(i%6+1), float64(i), 40)
+				case 1:
+					l.ObserveNode(int64(w), float64(i*60), roadnet.NodeID(i%g.NumNodes()))
+				case 2:
+					l.ObserveRaw(int64(100+w), float64(i*10), g.Point(roadnet.NodeID(i%g.NumNodes())))
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = l.Weights(1)
+			_ = l.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+}

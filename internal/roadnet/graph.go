@@ -46,7 +46,7 @@ type Edge struct {
 	To      NodeID
 	LenM    float32 // segment length in metres
 	BaseSec float32 // free-flow traversal time in seconds
-	Zone    uint8   // congestion zone selecting the slot multiplier row
+	Zone    uint32  // congestion zone selecting the slot multiplier row
 }
 
 // Graph is a compact (CSR) directed road network. Construct with
@@ -104,7 +104,7 @@ func (g *Graph) MaxBeta(t float64) float64 { return g.maxBeta[Slot(t)] }
 func (g *Graph) NumZones() int { return len(g.zoneMult) }
 
 // ZoneMultiplier returns the congestion multiplier for a zone and slot.
-func (g *Graph) ZoneMultiplier(zone uint8, slot int) float64 {
+func (g *Graph) ZoneMultiplier(zone uint32, slot int) float64 {
 	return g.zoneMult[zone][slot]
 }
 
@@ -151,13 +151,15 @@ func (b *Builder) AddNode(p geo.Point) NodeID {
 }
 
 // AddZone registers a congestion-multiplier row and returns its zone id.
-func (b *Builder) AddZone(mult [SlotsPerDay]float64) uint8 {
+// Zone ids are 32-bit so per-edge congestion profiles (one zone per edge, as
+// the GPS speed learner produces) fit on city-scale graphs.
+func (b *Builder) AddZone(mult [SlotsPerDay]float64) uint32 {
 	b.zones = append(b.zones, mult)
-	return uint8(len(b.zones) - 1)
+	return uint32(len(b.zones) - 1)
 }
 
 // AddEdge appends a directed edge from u to v.
-func (b *Builder) AddEdge(u, v NodeID, lenM, baseSec float64, zone uint8) {
+func (b *Builder) AddEdge(u, v NodeID, lenM, baseSec float64, zone uint32) {
 	b.from = append(b.from, u)
 	b.edges = append(b.edges, Edge{To: v, LenM: float32(lenM), BaseSec: float32(baseSec), Zone: zone})
 }

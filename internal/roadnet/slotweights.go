@@ -1,0 +1,203 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// SlotWeights is a sparse per-edge per-slot travel-time table: the learned
+// β(e, slot) of Section V-A, decoupled from any Graph instance so one table
+// can reweight several graphs (or successive epochs of the same graph).
+// Cells are keyed by the edge's (from, to) node pair; a zero cell means "no
+// estimate — fall back to the graph's prior weight for that slot".
+//
+// A SlotWeights is a value under construction: build it single-threaded (or
+// externally synchronised), then treat it as immutable once handed to
+// Reweighted. The gps.SpeedLearner produces one per publish under its own
+// lock.
+type SlotWeights struct {
+	cells map[int64]*[SlotsPerDay]float64
+	n     int // set (edge, slot) cell count
+}
+
+// NewSlotWeights returns an empty table.
+func NewSlotWeights() *SlotWeights {
+	return &SlotWeights{cells: make(map[int64]*[SlotsPerDay]float64)}
+}
+
+// EdgeKey packs an edge's (from, to) node pair into one map key — the
+// shared key format of the learner's accumulators and SlotWeights cells.
+func EdgeKey(u, v NodeID) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// EdgeKeyNodes unpacks an EdgeKey.
+func EdgeKeyNodes(k int64) (u, v NodeID) { return NodeID(k >> 32), NodeID(uint32(k)) }
+
+// Set records a learned traversal time in seconds for edge u→v in a slot.
+// Non-finite or non-positive times and out-of-range slots are rejected —
+// one poisoned sample must not corrupt a whole published epoch.
+func (w *SlotWeights) Set(u, v NodeID, slot int, sec float64) error {
+	if slot < 0 || slot >= SlotsPerDay {
+		return fmt.Errorf("roadnet: slot %d out of range", slot)
+	}
+	if math.IsNaN(sec) || math.IsInf(sec, 0) || sec <= 0 {
+		return fmt.Errorf("roadnet: invalid weight %v for edge %d->%d slot %d", sec, u, v, slot)
+	}
+	row := w.cells[EdgeKey(u, v)]
+	if row == nil {
+		row = new([SlotsPerDay]float64)
+		w.cells[EdgeKey(u, v)] = row
+	}
+	if row[slot] == 0 {
+		w.n++
+	}
+	row[slot] = sec
+	return nil
+}
+
+// Get returns the learned time for an edge and slot, reporting whether a
+// cell is set.
+func (w *SlotWeights) Get(u, v NodeID, slot int) (float64, bool) {
+	if w == nil || slot < 0 || slot >= SlotsPerDay {
+		return 0, false
+	}
+	if row := w.cells[EdgeKey(u, v)]; row != nil && row[slot] > 0 {
+		return row[slot], true
+	}
+	return 0, false
+}
+
+// Cells returns the number of set (edge, slot) cells.
+func (w *SlotWeights) Cells() int {
+	if w == nil {
+		return 0
+	}
+	return w.n
+}
+
+// Edges returns the number of edges with at least one set cell.
+func (w *SlotWeights) Edges() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.cells)
+}
+
+// row exposes the raw slot row for Reweighted (nil when absent).
+func (w *SlotWeights) row(u, v NodeID) *[SlotsPerDay]float64 {
+	if w == nil {
+		return nil
+	}
+	return w.cells[EdgeKey(u, v)]
+}
+
+// Reweighted returns a new Graph that shares g's topology (node coordinates
+// and CSR layout) but whose per-edge per-slot weights are overridden by w
+// wherever it has cells; unset cells keep g's β for that slot — the sparse
+// fallback that lets a thin stream of GPS samples refine only the edges it
+// has actually observed. Edges with any override get a dedicated congestion
+// zone, so the override is exact per (edge, slot).
+//
+// The rebuild is cheap — O(|E|·slots) with no Dijkstra and no re-validation
+// — which is what makes frequent epoch publishes viable: the engine calls
+// this every weight refresh and hot-swaps routers onto the result.
+func (g *Graph) Reweighted(w *SlotWeights) *Graph {
+	n := g.NumNodes()
+	ng := &Graph{
+		pts:  g.pts,
+		off:  g.off,
+		roff: g.roff,
+		edg:  make([]Edge, len(g.edg)),
+		redg: make([]Edge, len(g.redg)),
+	}
+	copy(ng.edg, g.edg)
+	ng.zoneMult = make([][SlotsPerDay]float64, len(g.zoneMult), len(g.zoneMult)+w.Edges())
+	copy(ng.zoneMult, g.zoneMult)
+
+	for u := 0; u < n; u++ {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			e := &ng.edg[ei]
+			row := w.row(NodeID(u), e.To)
+			if row == nil {
+				continue
+			}
+			base := float64(e.BaseSec)
+			var mult [SlotsPerDay]float64
+			for s := 0; s < SlotsPerDay; s++ {
+				if row[s] > 0 {
+					mult[s] = row[s] / base
+				} else {
+					mult[s] = g.zoneMult[e.Zone][s] // prior profile fallback
+				}
+			}
+			e.Zone = uint32(len(ng.zoneMult))
+			ng.zoneMult = append(ng.zoneMult, mult)
+		}
+	}
+
+	// Rebuild the reverse CSR from the reweighted forward edges so both
+	// views carry identical attributes. Iteration in forward-CSR order is
+	// deterministic; within-list ordering may differ from Builder.Build's
+	// insertion order, which no consumer depends on (reverse traversal only
+	// relaxes distances).
+	cursor := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			e := ng.edg[ei]
+			rev := e
+			rev.To = NodeID(u)
+			ng.redg[g.roff[e.To]+cursor[e.To]] = rev
+			cursor[e.To]++
+		}
+	}
+
+	for slot := 0; slot < SlotsPerDay; slot++ {
+		mx := 0.0
+		for i := range ng.edg {
+			if bt := ng.EdgeTimeSlot(ng.edg[i], slot); bt > mx {
+				mx = bt
+			}
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		ng.maxBeta[slot] = mx
+	}
+	return ng
+}
+
+// ScaleSlotMultipliers returns a graph sharing g's full edge storage whose
+// congestion-multiplier rows are scaled by f(slot) — the cheap transform
+// behind scenario weather/rush profiles (a uniform slowdown touches every
+// zone the same way, so only the zone table and β maxima change).
+func (g *Graph) ScaleSlotMultipliers(f func(slot int) float64) *Graph {
+	ng := &Graph{
+		pts:      g.pts,
+		off:      g.off,
+		edg:      g.edg,
+		roff:     g.roff,
+		redg:     g.redg,
+		zoneMult: make([][SlotsPerDay]float64, len(g.zoneMult)),
+	}
+	for z := range g.zoneMult {
+		for s := 0; s < SlotsPerDay; s++ {
+			scale := f(s)
+			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+				scale = 1
+			}
+			ng.zoneMult[z][s] = g.zoneMult[z][s] * scale
+		}
+	}
+	for slot := 0; slot < SlotsPerDay; slot++ {
+		mx := 0.0
+		for i := range ng.edg {
+			if bt := ng.EdgeTimeSlot(ng.edg[i], slot); bt > mx {
+				mx = bt
+			}
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		ng.maxBeta[slot] = mx
+	}
+	return ng
+}

@@ -1,0 +1,180 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// weightsTestGraph builds a 4-node directed cycle with distinct base times
+// and a congestion zone on one edge.
+func weightsTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	pts := []geo.Point{
+		{Lat: 12.90, Lon: 77.50},
+		{Lat: 12.91, Lon: 77.50},
+		{Lat: 12.91, Lon: 77.51},
+		{Lat: 12.90, Lon: 77.51},
+	}
+	for _, p := range pts {
+		b.AddNode(p)
+	}
+	var peak [SlotsPerDay]float64
+	for s := range peak {
+		peak[s] = 1
+	}
+	peak[18], peak[19] = 2.0, 2.0
+	z := b.AddZone(peak)
+	b.AddEdge(0, 1, 1000, 100, 0)
+	b.AddEdge(1, 2, 1000, 200, z)
+	b.AddEdge(2, 3, 1000, 300, 0)
+	b.AddEdge(3, 0, 1000, 400, 0)
+	return b.MustBuild()
+}
+
+func TestSlotWeightsSetValidation(t *testing.T) {
+	w := NewSlotWeights()
+	if err := w.Set(0, 1, 3, 120); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -5} {
+		if err := w.Set(0, 1, 3, bad); err == nil {
+			t.Fatalf("Set accepted invalid weight %v", bad)
+		}
+	}
+	if err := w.Set(0, 1, -1, 120); err == nil {
+		t.Fatal("Set accepted negative slot")
+	}
+	if err := w.Set(0, 1, SlotsPerDay, 120); err == nil {
+		t.Fatal("Set accepted out-of-range slot")
+	}
+	if w.Cells() != 1 || w.Edges() != 1 {
+		t.Fatalf("cells=%d edges=%d after one valid set", w.Cells(), w.Edges())
+	}
+	// Overwriting a cell does not double-count it.
+	if err := w.Set(0, 1, 3, 150); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cells() != 1 {
+		t.Fatalf("cells=%d after overwrite, want 1", w.Cells())
+	}
+	if got, ok := w.Get(0, 1, 3); !ok || got != 150 {
+		t.Fatalf("Get = %v,%v want 150,true", got, ok)
+	}
+}
+
+func TestReweightedOverridesAndFallsBack(t *testing.T) {
+	g := weightsTestGraph(t)
+	w := NewSlotWeights()
+	// Override edge 1->2 (zoned) in slot 18 only and edge 2->3 in slot 3.
+	if err := w.Set(1, 2, 18, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set(2, 3, 3, 111); err != nil {
+		t.Fatal(err)
+	}
+	ng := g.Reweighted(w)
+
+	edgeTime := func(gr *Graph, u, v NodeID, slot int) float64 {
+		for _, e := range gr.OutEdges(u) {
+			if e.To == v {
+				return gr.EdgeTimeSlot(e, slot)
+			}
+		}
+		t.Fatalf("edge %d->%d missing", u, v)
+		return 0
+	}
+
+	if got := edgeTime(ng, 1, 2, 18); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("overridden cell: %v want 250", got)
+	}
+	// Unset slot on an overridden edge keeps the prior profile (zone peak
+	// multiplier 2.0 over base 200 in slot 19).
+	if got := edgeTime(ng, 1, 2, 19); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("prior fallback on overridden edge: %v want 400", got)
+	}
+	if got := edgeTime(ng, 2, 3, 3); math.Abs(got-111) > 1e-9 {
+		t.Fatalf("overridden cell: %v want 111", got)
+	}
+	// Untouched edges keep every slot exactly.
+	for s := 0; s < SlotsPerDay; s++ {
+		if got, want := edgeTime(ng, 0, 1, s), edgeTime(g, 0, 1, s); got != want {
+			t.Fatalf("untouched edge slot %d: %v want %v", s, got, want)
+		}
+		if got, want := edgeTime(ng, 3, 0, s), edgeTime(g, 3, 0, s); got != want {
+			t.Fatalf("untouched edge slot %d: %v want %v", s, got, want)
+		}
+	}
+	// The source graph is untouched.
+	if got := edgeTime(g, 1, 2, 18); math.Abs(got-400) > 1e-9 {
+		t.Fatalf("source graph mutated: %v want 400", got)
+	}
+	// Reverse adjacency mirrors the overridden attributes.
+	found := false
+	for _, e := range ng.InEdges(2) {
+		if e.To == 1 {
+			found = true
+			if got := ng.EdgeTimeSlot(e, 18); math.Abs(got-250) > 1e-9 {
+				t.Fatalf("reverse edge weight %v want 250", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("reverse edge 1->2 missing after reweight")
+	}
+	// maxBeta recomputed for the overridden profile.
+	if got := ng.MaxBeta(3.5 * 3600); got < 400 {
+		t.Fatalf("maxBeta slot 3 = %v, want >= 400", got)
+	}
+}
+
+// TestReweightedShortestPathsShift checks the end-to-end effect: a learned
+// slowdown on one edge reroutes/retimes shortest paths in that slot only.
+func TestReweightedShortestPathsShift(t *testing.T) {
+	g := weightsTestGraph(t)
+	w := NewSlotWeights()
+	if err := w.Set(0, 1, 6, 5000); err != nil { // off-peak slot, huge slowdown
+		t.Fatal(err)
+	}
+	ng := g.Reweighted(w)
+	tAt := 6.5 * 3600
+	before := ShortestPath(g, 0, 1, tAt)
+	after := ShortestPath(ng, 0, 1, tAt)
+	if after <= before {
+		t.Fatalf("slowdown not visible: before %v after %v", before, after)
+	}
+	// Other slots unchanged.
+	otherT := 10.5 * 3600
+	if b, a := ShortestPath(g, 0, 1, otherT), ShortestPath(ng, 0, 1, otherT); a != b {
+		t.Fatalf("unrelated slot changed: before %v after %v", b, a)
+	}
+}
+
+func TestScaleSlotMultipliers(t *testing.T) {
+	g := weightsTestGraph(t)
+	rain := g.ScaleSlotMultipliers(func(int) float64 { return 1.5 })
+	for _, e := range g.OutEdges(0) {
+		for s := 0; s < SlotsPerDay; s++ {
+			want := g.EdgeTimeSlot(e, s) * 1.5
+			var got float64
+			for _, ne := range rain.OutEdges(0) {
+				if ne.To == e.To {
+					got = rain.EdgeTimeSlot(ne, s)
+				}
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("slot %d: %v want %v", s, got, want)
+			}
+		}
+	}
+	if got, want := rain.MaxBeta(18.5*3600), g.MaxBeta(18.5*3600)*1.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("maxBeta not rescaled: %v want %v", got, want)
+	}
+	// Invalid scale factors are ignored (treated as 1).
+	same := g.ScaleSlotMultipliers(func(int) float64 { return math.NaN() })
+	if got, want := same.ZoneMultiplier(0, 12), g.ZoneMultiplier(0, 12); got != want {
+		t.Fatalf("NaN scale applied: %v want %v", got, want)
+	}
+}

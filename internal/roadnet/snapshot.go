@@ -1,0 +1,115 @@
+package roadnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is one immutable published view of the dynamic road network: a
+// reweighted Graph stamped with a monotonically increasing epoch. Snapshots
+// are how the live traffic plane reaches the assignment plane — the GPS
+// speed learner periodically materialises its estimates into a graph, the
+// engine wraps it in a Snapshot, and every zone shard's SwapRouter hot-swaps
+// onto it without ever blocking an in-flight query.
+type Snapshot struct {
+	// Epoch versions the weight set; 0 is the static base graph.
+	Epoch uint64
+	// Graph carries the epoch's weights (topology identical to the base).
+	Graph *Graph
+	// LearnedEdges / LearnedCells count the (edge) and (edge, slot) cells
+	// the epoch overrides — provenance for /roadnet metrics.
+	LearnedEdges, LearnedCells int
+	// PublishedAt is the simulation clock of the publish.
+	PublishedAt float64
+}
+
+// swapState pairs a snapshot with the Router built over its graph; the pair
+// is immutable once stored, so one atomic pointer load yields a consistent
+// (graph, router) view.
+type swapState struct {
+	snap  Snapshot
+	inner Router
+}
+
+// SwapRouter is the epoch-versioned Router of the dynamic road network. The
+// query path is lock-free: Travel performs one atomic pointer load and
+// delegates to the inner Router built for the current epoch; Publish builds
+// the next epoch's inner Router off to the side and installs it with one
+// atomic store. Queries racing a publish see either the old epoch or the
+// new one — never a torn state — and the old inner Router stays valid for
+// callers that pinned it with Acquire.
+//
+// Concurrency: Travel/Acquire/Epoch are safe from any goroutine. The inner
+// Router's own concurrency contract still applies to whoever queries it —
+// the engine keeps one SwapRouter per zone shard so a non-concurrent
+// backend (DistCache) is only ever driven by one goroutine at a time.
+type SwapRouter struct {
+	newRouter func(*Graph) Router
+	cur       atomic.Pointer[swapState]
+	pubMu     sync.Mutex // serialises Publish bookkeeping
+}
+
+// NewSwapRouter returns a SwapRouter serving epoch 0 over the base graph,
+// with inner Routers built by newRouter (one per published epoch).
+func NewSwapRouter(base *Graph, newRouter func(*Graph) Router) *SwapRouter {
+	r := &SwapRouter{newRouter: newRouter}
+	r.cur.Store(&swapState{
+		snap:  Snapshot{Epoch: 0, Graph: base},
+		inner: newRouter(base),
+	})
+	return r
+}
+
+// Travel implements Router: one atomic load, then the current epoch's
+// backend.
+func (r *SwapRouter) Travel(from, to NodeID, t float64) float64 {
+	return r.cur.Load().inner.Travel(from, to, t)
+}
+
+// Acquire pins the current epoch: the returned snapshot and Router stay
+// consistent with each other for as long as the caller holds them, even
+// across a concurrent Publish. Assignment rounds acquire once and route the
+// whole round through the pinned pair — zero per-query overhead and no
+// mixed-epoch rounds.
+func (r *SwapRouter) Acquire() (Snapshot, Router) {
+	st := r.cur.Load()
+	return st.snap, st.inner
+}
+
+// Publish installs a new epoch: it builds the inner Router for snap.Graph
+// (off the query path) and atomically swaps it in. Epochs are strictly
+// monotonic — a snapshot whose epoch does not exceed the current one is
+// rejected (returns false), which makes concurrent publishers safe: the
+// freshest epoch wins and stale rebuilds are dropped.
+func (r *SwapRouter) Publish(snap Snapshot) bool {
+	if snap.Graph == nil {
+		return false
+	}
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+	if snap.Epoch <= r.cur.Load().snap.Epoch {
+		return false
+	}
+	r.cur.Store(&swapState{snap: snap, inner: r.newRouter(snap.Graph)})
+	return true
+}
+
+// Epoch returns the currently served epoch.
+func (r *SwapRouter) Epoch() uint64 { return r.cur.Load().snap.Epoch }
+
+// Snapshot returns the currently served snapshot.
+func (r *SwapRouter) Snapshot() Snapshot { return r.cur.Load().snap }
+
+// Reset implements Resettable: forwards to the current epoch's backend when
+// it memoises state (slot-boundary resets reach through the swap layer).
+func (r *SwapRouter) Reset() {
+	if in, ok := r.cur.Load().inner.(Resettable); ok {
+		in.Reset()
+	}
+}
+
+// Interface conformance.
+var (
+	_ Router     = (*SwapRouter)(nil)
+	_ Resettable = (*SwapRouter)(nil)
+)

@@ -19,10 +19,13 @@ type Motion struct {
 	// currently being driven towards.
 	path []roadnet.NodeID
 	// edgeRemaining/edgeTotal/edgeLenM describe progress on the edge
-	// V.Node -> path[0].
+	// V.Node -> path[0]; edgeFrom/edgeEnterT record where and when the
+	// vehicle entered it (for the Edge hook's traversal report).
 	edgeRemaining float64
 	edgeTotal     float64
 	edgeLenM      float64
+	edgeFrom      roadnet.NodeID
+	edgeEnterT    float64
 }
 
 // NewMotion wraps a vehicle in a fresh (parked) movement state.
@@ -57,6 +60,12 @@ type MoveHooks struct {
 	// Strand is called when an order's route became unreachable and the
 	// order was abandoned.
 	Strand func(o *model.Order)
+	// Edge is called when a vehicle finishes traversing a road segment
+	// from -> to, entered at tEnter and taking sec seconds of simulated
+	// time. This is the movement plane's GPS analogue — a perfectly
+	// map-matched trajectory segment — and is what feeds the online speed
+	// learner of the dynamic road network.
+	Edge func(v *model.Vehicle, from, to roadnet.NodeID, tEnter, sec float64)
 }
 
 // Mover advances vehicles through simulated time on a road network: it
@@ -129,6 +138,8 @@ func (m *Mover) Advance(mo *Motion, t0, t1 float64) {
 			mo.edgeTotal = m.G.EdgeTime(e, t)
 			mo.edgeRemaining = mo.edgeTotal
 			mo.edgeLenM = float64(e.LenM)
+			mo.edgeFrom = v.Node
+			mo.edgeEnterT = t
 			v.EdgeTo = mo.path[0]
 		}
 
@@ -142,6 +153,14 @@ func (m *Mover) Advance(mo *Motion, t0, t1 float64) {
 			mo.edgeRemaining = 0
 			v.EdgeTo = roadnet.Invalid
 			v.EdgeProgress = 0
+			if m.Hooks.Edge != nil {
+				// Report the time spent *driving* the segment (edgeTotal),
+				// not t-edgeEnterT: a reshuffle can freeze a vehicle
+				// mid-edge with an empty plan, and the idle gap until its
+				// next assignment is not traffic. The slot is attributed at
+				// entry, matching the β(e, t) the edge was priced at.
+				m.Hooks.Edge(v, mo.edgeFrom, v.Node, mo.edgeEnterT, mo.edgeTotal)
+			}
 		} else {
 			m.accrueDistance(v, mo.edgeLenM*dt/mo.edgeTotal, t1)
 			mo.edgeRemaining -= dt

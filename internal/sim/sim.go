@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/foodgraph"
+	"repro/internal/gps"
 	"repro/internal/model"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
@@ -51,6 +52,12 @@ type Options struct {
 	// Vehicle movement and SDT always stay on the true graph. The router is
 	// driven from the simulation goroutine only.
 	Router roadnet.Router
+	// Learner, when set, receives every finished edge traversal on the
+	// true graph (via the mover's Edge hook) — the offline form of the
+	// Section V-A learn-from-driving loop. Run a day, export
+	// Learner.Weights, reweight a graph, and replay the next day with it
+	// as DecisionGraph.
+	Learner *gps.StreamLearner
 }
 
 // Simulator replays one day of orders under a policy.
@@ -153,6 +160,11 @@ func New(g *roadnet.Graph, orders []*model.Order, vehicles []*model.Vehicle, pol
 			m.SlotLoadDistM[slot] += float64(load) * meters
 		},
 		Strand: func(*model.Order) { s.metrics.Stranded++ },
+	}
+	if opts.Learner != nil {
+		s.mover.Hooks.Edge = func(_ *model.Vehicle, from, to roadnet.NodeID, tEnter, sec float64) {
+			opts.Learner.ObserveEdge(from, to, tEnter, sec)
+		}
 	}
 	s.byID = make(map[model.VehicleID]*Motion, len(vehicles))
 	for _, v := range vehicles {

@@ -11,7 +11,7 @@ import (
 
 func randomGraph(rng *rand.Rand, n, extra int, timeDep bool) *roadnet.Graph {
 	b := roadnet.NewBuilder()
-	var zone uint8
+	var zone uint32
 	if timeDep {
 		var mult [roadnet.SlotsPerDay]float64
 		for i := range mult {

@@ -1,0 +1,99 @@
+package spindex
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/roadnet"
+)
+
+// swapIdx pairs an epoch with the Index serving it.
+type swapIdx struct {
+	epoch uint64
+	ix    *Index
+}
+
+// SwapIndex is the hub-label backend of the dynamic road network: an
+// epoch-versioned Index whose rebuilds run off the query path. A hub-label
+// index is expensive to construct — pruned Dijkstras from every vertex, per
+// slot — so unlike the cheap DistCache the engine rebuilds synchronously at
+// each epoch swap, a new hub labeling is built asynchronously, slot by
+// slot, while queries keep hitting the previous epoch's labels. Only when
+// the requested slots are fully built does the new index swap in (one
+// atomic store); a publish that is superseded by a newer epoch mid-build is
+// abandoned rather than swapped, so the served epoch is monotonic.
+//
+// Queries (Travel/Dist) are safe from any goroutine; Publish may be called
+// concurrently with queries and with other publishes.
+type SwapIndex struct {
+	cur atomic.Pointer[swapIdx]
+	mu  sync.Mutex // guards swap-in ordering decisions
+	wg  sync.WaitGroup
+}
+
+// NewSwapIndex returns a SwapIndex serving epoch 0 over g. Slots of the
+// epoch-0 index build lazily on first query, exactly like a plain Index;
+// pre-build with Publish or Index.BuildSlot when query latency matters.
+func NewSwapIndex(g *roadnet.Graph) *SwapIndex {
+	s := &SwapIndex{}
+	s.cur.Store(&swapIdx{epoch: 0, ix: New(g)})
+	return s
+}
+
+// Epoch returns the epoch currently answering queries.
+func (s *SwapIndex) Epoch() uint64 { return s.cur.Load().epoch }
+
+// Index returns the Index currently answering queries.
+func (s *SwapIndex) Index() *Index { return s.cur.Load().ix }
+
+// Dist answers SP(u,v,t) from the current epoch's labels.
+func (s *SwapIndex) Dist(u, v roadnet.NodeID, t float64) float64 {
+	return s.cur.Load().ix.Dist(u, v, t)
+}
+
+// Travel implements roadnet.Router.
+func (s *SwapIndex) Travel(from, to roadnet.NodeID, t float64) float64 {
+	return s.cur.Load().ix.Dist(from, to, t)
+}
+
+// Publish starts an asynchronous rebuild for a new weight epoch: a fresh
+// Index over g whose labels for the given slots are built in a background
+// goroutine (no slots = nothing pre-built, labels build lazily after the
+// swap). The returned channel closes when the build finishes — whether the
+// index swapped in or was abandoned because a newer epoch landed first; the
+// previous epoch serves every query in between. Queries for slots outside
+// the pre-built set pay the usual lazy build cost after the swap.
+func (s *SwapIndex) Publish(epoch uint64, g *roadnet.Graph, slots ...int) <-chan struct{} {
+	done := make(chan struct{})
+	if g == nil || epoch <= s.Epoch() {
+		close(done)
+		return done
+	}
+	s.wg.Add(1)
+	go func() {
+		defer close(done)
+		defer s.wg.Done()
+		ix := New(g)
+		for _, slot := range slots {
+			if slot < 0 || slot >= roadnet.SlotsPerDay {
+				continue
+			}
+			if epoch <= s.Epoch() {
+				return // superseded mid-build; stop wasting the CPU
+			}
+			ix.BuildSlot(slot)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cur := s.cur.Load(); epoch > cur.epoch {
+			s.cur.Store(&swapIdx{epoch: epoch, ix: ix})
+		}
+	}()
+	return done
+}
+
+// Wait blocks until every in-flight build has finished (tests and orderly
+// shutdown).
+func (s *SwapIndex) Wait() { s.wg.Wait() }
+
+var _ roadnet.Router = (*SwapIndex)(nil)

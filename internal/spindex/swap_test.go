@@ -1,0 +1,157 @@
+package spindex
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// swapTestGraph builds a small two-way grid.
+func swapTestGraph(tb testing.TB) *roadnet.Graph {
+	tb.Helper()
+	b := roadnet.NewBuilder()
+	const dim = 5
+	origin := geo.Point{Lat: 12.90, Lon: 77.50}
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			b.AddNode(geo.Offset(origin, float64(r)*200, float64(c)*200))
+		}
+	}
+	id := func(r, c int) roadnet.NodeID { return roadnet.NodeID(r*dim + c) }
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			if c+1 < dim {
+				b.AddEdge(id(r, c), id(r, c+1), 200, 50, 0)
+				b.AddEdge(id(r, c+1), id(r, c), 200, 50, 0)
+			}
+			if r+1 < dim {
+				b.AddEdge(id(r, c), id(r+1, c), 200, 50, 0)
+				b.AddEdge(id(r+1, c), id(r, c), 200, 50, 0)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestSwapIndexServesOldEpochUntilBuilt(t *testing.T) {
+	g := swapTestGraph(t)
+	s := NewSwapIndex(g)
+	tAt := 10.5 * 3600
+	slot := roadnet.Slot(tAt)
+	base := s.Dist(0, 24, tAt)
+	if math.IsInf(base, 1) {
+		t.Fatal("base graph disconnected in test")
+	}
+
+	w := roadnet.NewSlotWeights()
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range g.OutEdges(roadnet.NodeID(u)) {
+			if err := w.Set(roadnet.NodeID(u), e.To, slot, 500); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	slowed := g.Reweighted(w)
+
+	done := s.Publish(1, slowed, slot)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publish build never finished")
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch after build %d want 1", s.Epoch())
+	}
+	after := s.Dist(0, 24, tAt)
+	if after <= base {
+		t.Fatalf("new epoch invisible: %v <= %v", after, base)
+	}
+	if want := roadnet.ShortestPath(slowed, 0, 24, tAt); math.Abs(after-want) > 1e-6 {
+		t.Fatalf("hub labels diverge from Dijkstra on new epoch: %v want %v", after, want)
+	}
+
+	// Stale publish: rejected immediately.
+	select {
+	case <-s.Publish(1, g, slot):
+	case <-time.After(time.Second):
+		t.Fatal("stale publish did not resolve immediately")
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("stale publish moved epoch to %d", s.Epoch())
+	}
+	if s.Publish(2, nil, slot); s.Epoch() != 1 {
+		t.Fatal("nil graph publish moved the epoch")
+	}
+}
+
+// TestSwapIndexConcurrentPublish queries continuously while several epochs
+// publish concurrently; every answer must match some published epoch's
+// exact distance, and the final epoch must be the newest. Run under -race.
+func TestSwapIndexConcurrentPublish(t *testing.T) {
+	g := swapTestGraph(t)
+	tAt := 9.25 * 3600
+	slot := roadnet.Slot(tAt)
+
+	graphs := []*roadnet.Graph{g}
+	valid := map[float64]bool{roadnet.ShortestPath(g, 0, 24, tAt): true}
+	for i := 1; i <= 4; i++ {
+		w := roadnet.NewSlotWeights()
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, e := range g.OutEdges(roadnet.NodeID(u)) {
+				if err := w.Set(roadnet.NodeID(u), e.To, slot, 50+float64(i)*25); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ng := g.Reweighted(w)
+		graphs = append(graphs, ng)
+		valid[roadnet.ShortestPath(ng, 0, 24, tAt)] = true
+	}
+
+	s := NewSwapIndex(g)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d := s.Dist(0, 24, tAt); !valid[d] {
+					select {
+					case errs <- "distance from no published epoch":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	var dones []<-chan struct{}
+	for i := 1; i < len(graphs); i++ {
+		dones = append(dones, s.Publish(uint64(i), graphs[i], slot))
+	}
+	for _, d := range dones {
+		<-d
+	}
+	close(stop)
+	wg.Wait()
+	s.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if got := s.Epoch(); got != uint64(len(graphs)-1) {
+		t.Fatalf("final epoch %d want %d", got, len(graphs)-1)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/roadnet"
+)
+
+// Scenario perturbs a city's *true* travel-time profile — the live-traffic
+// conditions the decision plane has to discover through GPS learning
+// rather than being told. Applying a scenario produces a new road network
+// (the "reality" graph the simulator moves vehicles on / the engine is
+// built over), while policies keep planning on the unperturbed graph until
+// the speed learner closes the gap.
+type Scenario struct {
+	Name string
+	// RainMultiplier scales every slot's congestion multiplier uniformly;
+	// 1 (or 0) = dry. Light rain ≈ 1.15, a proper downpour ≈ 1.4+.
+	RainMultiplier float64
+	// RushFactor additionally scales the slots in [RushFromHour,
+	// RushToHour); 1 (or 0) = no extra rush.
+	RushFactor               float64
+	RushFromHour, RushToHour int
+}
+
+// Rain returns a uniform all-day slowdown scenario.
+func Rain(mult float64) Scenario {
+	return Scenario{Name: fmt.Sprintf("rain:%g", mult), RainMultiplier: mult}
+}
+
+// DinnerRush returns a scenario slowing the dinner window (18:00–22:00) by
+// the given factor — the Fig. 6(a) peak turned up past what the preset's
+// congestion zones already encode.
+func DinnerRush(factor float64) Scenario {
+	return Scenario{
+		Name:       fmt.Sprintf("rush:%g", factor),
+		RushFactor: factor, RushFromHour: 18, RushToHour: 22,
+	}
+}
+
+// Multiplier returns the scenario's combined slot scale factor.
+func (sc Scenario) Multiplier(slot int) float64 {
+	m := 1.0
+	if sc.RainMultiplier > 0 {
+		m *= sc.RainMultiplier
+	}
+	if sc.RushFactor > 0 && slot >= sc.RushFromHour && slot < sc.RushToHour {
+		m *= sc.RushFactor
+	}
+	return m
+}
+
+// Apply materialises the scenario over a road network: a new graph sharing
+// g's edges whose congestion rows are scaled per slot.
+func (sc Scenario) Apply(g *roadnet.Graph) *roadnet.Graph {
+	return g.ScaleSlotMultipliers(sc.Multiplier)
+}
+
+// Zero reports whether the scenario leaves the graph untouched.
+func (sc Scenario) Zero() bool {
+	return (sc.RainMultiplier == 0 || sc.RainMultiplier == 1) &&
+		(sc.RushFactor == 0 || sc.RushFactor == 1)
+}
+
+// ParseScenario parses the CLI scenario syntax: "none", "rain:<mult>",
+// "rush:<factor>", or a comma-joined combination ("rain:1.3,rush:1.5").
+func ParseScenario(s string) (Scenario, error) {
+	sc := Scenario{Name: s}
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		sc.Name = "none"
+		return sc, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kind, arg, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return sc, fmt.Errorf("workload: scenario %q: want kind:value", part)
+		}
+		val, err := strconv.ParseFloat(arg, 64)
+		if err != nil || val <= 0 {
+			return sc, fmt.Errorf("workload: scenario %q: bad factor %q", part, arg)
+		}
+		switch kind {
+		case "rain":
+			sc.RainMultiplier = val
+		case "rush":
+			sc.RushFactor = val
+			sc.RushFromHour, sc.RushToHour = 18, 22
+		default:
+			return sc, fmt.Errorf("workload: unknown scenario kind %q (want rain|rush)", kind)
+		}
+	}
+	return sc, nil
+}

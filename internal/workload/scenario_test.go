@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestScenarioMultipliers(t *testing.T) {
+	rain := Rain(1.3)
+	for s := 0; s < roadnet.SlotsPerDay; s++ {
+		if got := rain.Multiplier(s); math.Abs(got-1.3) > 1e-12 {
+			t.Fatalf("rain slot %d: %v", s, got)
+		}
+	}
+	rush := DinnerRush(1.5)
+	if got := rush.Multiplier(19); got != 1.5 {
+		t.Fatalf("rush dinner slot: %v", got)
+	}
+	if got := rush.Multiplier(10); got != 1.0 {
+		t.Fatalf("rush off-peak slot: %v", got)
+	}
+	if !(Scenario{}).Zero() || Rain(1.3).Zero() {
+		t.Fatal("Zero() misclassifies")
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		wantErr bool
+		slot19  float64
+	}{
+		{"none", false, 1},
+		{"", false, 1},
+		{"rain:1.3", false, 1.3},
+		{"rush:2", false, 2},
+		{"rain:1.5,rush:2", false, 3},
+		{"snow:2", true, 0},
+		{"rain", true, 0},
+		{"rain:zero", true, 0},
+		{"rain:-1", true, 0},
+	} {
+		sc, err := ParseScenario(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("%q: no error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got := sc.Multiplier(19); math.Abs(got-tc.slot19) > 1e-12 {
+			t.Fatalf("%q: slot-19 multiplier %v want %v", tc.in, got, tc.slot19)
+		}
+	}
+}
+
+func TestScenarioApplySlowsTravel(t *testing.T) {
+	city := MustPreset("CityA", DefaultScale, 1)
+	rainG := Rain(1.4).Apply(city.G)
+	tAt := 19.5 * 3600
+	from, to := roadnet.NodeID(0), roadnet.NodeID(city.G.NumNodes()-1)
+	base := roadnet.ShortestPath(city.G, from, to, tAt)
+	wet := roadnet.ShortestPath(rainG, from, to, tAt)
+	if !(wet > base) {
+		t.Fatalf("rain did not slow travel: %v vs %v", wet, base)
+	}
+	if ratio := wet / base; math.Abs(ratio-1.4) > 0.05 {
+		// Uniform scaling within a slot scales every path by the factor
+		// (up to slot-boundary crossings).
+		t.Fatalf("rain ratio %v want ~1.4", ratio)
+	}
+	// Dinner rush leaves the morning untouched.
+	rushG := DinnerRush(1.5).Apply(city.G)
+	mAt := 10.5 * 3600
+	if b, r := roadnet.ShortestPath(city.G, from, to, mAt), roadnet.ShortestPath(rushG, from, to, mAt); b != r {
+		t.Fatalf("rush changed the morning: %v vs %v", b, r)
+	}
+}
