@@ -1,7 +1,8 @@
 // Command experiments regenerates the tables and figures of the paper's
 // evaluation (Section V). Each experiment id corresponds to a figure or
 // table; multi-panel figures regenerate together because they share
-// simulation runs.
+// simulation runs. The -protocol flag runs multi-day evaluation protocols
+// instead of single-replay experiments.
 //
 // Examples:
 //
@@ -9,6 +10,8 @@
 //	experiments -exp F6cde
 //	experiments -exp all -scale 0.02 -from 18 -to 22
 //	experiments -exp F7bcde -csv out/
+//	experiments -protocol learn5test1 -city CityB -scenarios 'rain:1.6;rush:1.8'
+//	experiments -protocol learn5test1 -policies foodmatch,greedy -json
 package main
 
 import (
@@ -24,19 +27,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list available experiment ids")
-		scale   = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
-		fromH   = flag.Float64("from", 18, "simulation start hour")
-		toH     = flag.Float64("to", 22, "simulation end hour")
-		budget  = flag.Float64("budget", 0, "compute budget seconds for the overflow experiments")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON Lines (one table per line) instead of aligned text")
+		exp      = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list available experiment ids")
+		scale    = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		fromH    = flag.Float64("from", 18, "simulation start hour")
+		toH      = flag.Float64("to", 22, "simulation end hour")
+		budget   = flag.Float64("budget", 0, "compute budget seconds for the overflow experiments")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON Lines (one table per line) instead of aligned text")
+		protocol = flag.String("protocol", "", "multi-day protocol to run (learn5test1)")
+		city     = flag.String("city", "CityB", "protocol city preset")
+		policies = flag.String("policies", "foodmatch", "protocol policies (comma-separated)")
+		scens    = flag.String("scenarios", "rain:1.6;rush:1.8", "protocol scenarios (';'-separated scenario syntax)")
+		ldays    = flag.Int("learndays", 5, "protocol learning days before the held-out test day")
+		slaMin   = flag.Float64("sla", 45, "protocol SLA threshold in minutes")
+		minSamp  = flag.Int("minsamples", 2, "protocol minimum samples per exported weight cell")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *protocol == "") {
 		fmt.Println("available experiments (paper artefact -> id):")
 		fmt.Println("  T2      Table II   dataset summary")
 		fmt.Println("  F4a     Fig 4(a)   percentile-rank CDF of assigned batches")
@@ -59,6 +69,11 @@ func main() {
 		fmt.Println("  X5      (extra)    exact vs heuristic route planner (MAXO>3)")
 		fmt.Println("  X6      (extra)    time-dependent congestion ablation")
 		fmt.Println("  all     everything above")
+		fmt.Println()
+		fmt.Println("protocols (-protocol, Section V-B evaluation):")
+		fmt.Println("  learn5test1   learn weights over N days, replay a held-out test day under")
+		fmt.Println("                stale/learned/oracle weights; reports XDT, SLA violations and")
+		fmt.Println("                the recovery ratio per scenario")
 		return
 	}
 
@@ -90,6 +105,43 @@ func main() {
 		}
 	}
 
+	if *protocol != "" {
+		if !strings.EqualFold(*protocol, "learn5test1") {
+			fatal(fmt.Errorf("unknown protocol %q (want learn5test1)", *protocol))
+		}
+		opt := foodmatch.ProtocolOptions{
+			City:       *city,
+			Policies:   splitList(*policies),
+			LearnDays:  *ldays,
+			SLASec:     *slaMin * 60,
+			MinSamples: *minSamp,
+		}
+		// Scenarios split on ';' only: ',' joins kinds within one scenario
+		// ("rain:1.3,rush:1.5").
+		for _, s := range splitOn(*scens, ';') {
+			sc, err := foodmatch.ParseScenario(s)
+			if err != nil {
+				fatal(err)
+			}
+			opt.Scenarios = append(opt.Scenarios, sc)
+		}
+		t0 := time.Now()
+		tables, err := foodmatch.RunLearn5Test1Tables(st, opt)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+		progress := os.Stdout
+		if *jsonOut {
+			progress = os.Stderr
+		}
+		fmt.Fprintf(progress, "-- learn%dtest1 (%s) completed in %v --\n",
+			opt.LearnDays, *city, time.Since(t0).Round(time.Second))
+		return
+	}
+
 	ids := []string{*exp}
 	if strings.EqualFold(*exp, "all") {
 		ids = foodmatch.ExperimentIDs()
@@ -110,6 +162,20 @@ func main() {
 		}
 		fmt.Fprintf(progress, "-- %s regenerated in %v --\n\n", id, time.Since(t0).Round(time.Second))
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string { return splitOn(s, ',') }
+
+// splitOn splits on one separator rune, trimming and dropping empties.
+func splitOn(s string, sep rune) []string {
+	var out []string
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == sep }) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

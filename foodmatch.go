@@ -48,6 +48,7 @@
 package foodmatch
 
 import (
+	"io"
 	"math/rand"
 
 	"repro/internal/engine"
@@ -333,6 +334,68 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // experiment drivers (∆ per city, KFactor scaled to the fleet).
 func ExperimentConfig(cityName string, scale float64) *Config {
 	return experiments.ConfigForScale(cityName, scale)
+}
+
+// Multi-day evaluation protocol re-exports (the paper's 5-day-learn /
+// 1-day-test protocol of Section V-B).
+type (
+	// ProtocolOptions tunes the learn5test1 driver (city, policies,
+	// scenarios, learning days, SLA threshold).
+	ProtocolOptions = experiments.ProtocolOptions
+	// ProtocolRun is one (scenario, policy) protocol outcome: test-day
+	// metrics under the stale/learned/oracle weight regimes.
+	ProtocolRun = experiments.ProtocolRun
+	// ProtocolRegime indexes ProtocolRun.Metrics.
+	ProtocolRegime = experiments.ProtocolRegime
+	// DayPlan describes one day of a multi-day replay.
+	DayPlan = workload.DayPlan
+	// DaySchedule is a deterministic multi-day replay plan.
+	DaySchedule = workload.DaySchedule
+)
+
+// The test-day weight regimes.
+const (
+	RegimeStale   = experiments.RegimeStale
+	RegimeLearned = experiments.RegimeLearned
+	RegimeOracle  = experiments.RegimeOracle
+)
+
+// RunLearn5Test1 executes the multi-day protocol and returns the structured
+// per-cell results: weights are learned over the schedule's learning days
+// (fleet churn and scenario-coupled demand surges included), exported to
+// their JSON checkpoint form, re-imported, and the held-out test day is
+// replayed once per policy per weight regime.
+func RunLearn5Test1(st ExperimentSetup, opt ProtocolOptions) ([]*ProtocolRun, error) {
+	return experiments.RunLearn5Test1(st, opt)
+}
+
+// RunLearn5Test1Tables is RunLearn5Test1 rendered as one table per scenario
+// (XDT per regime, SLA violations, recovery ratio).
+func RunLearn5Test1Tables(st ExperimentSetup, opt ProtocolOptions) ([]*ExperimentTable, error) {
+	return experiments.Learn5Test1(st, opt)
+}
+
+// NewDaySchedule builds the canonical learnN+test1 schedule: learnDays
+// learning days plus one held-out test day under one scenario, per-day
+// order/fleet seeds derived from seed.
+func NewDaySchedule(c *City, sc Scenario, learnDays int, seed int64) DaySchedule {
+	return workload.Learn5Test1(c, sc, learnDays, seed)
+}
+
+// ReadSlotWeights loads a weight table serialised with SlotWeights.WriteJSON
+// (validated cell by cell).
+func ReadSlotWeights(r io.Reader) (*SlotWeights, error) {
+	return roadnet.ReadSlotWeightsJSON(r)
+}
+
+// NewHubLabelRouter returns an EngineConfig.NewRouter factory for the
+// hub-label backend: per-slot labels rebuild asynchronously on every weight
+// epoch publish while a bounded-SSSP cache answers, the next slot
+// pre-building ahead of the replay clock (23 wraps to 0 at midnight).
+// syncBuild makes replays deterministic at the cost of per-slot build
+// stalls.
+func NewHubLabelRouter(spBound float64, syncBuild bool) func(*Graph) Router {
+	return engine.NewHubLabelRouter(spBound, syncBuild)
 }
 
 // Online dispatch engine re-exports: the concurrent, zone-sharded service

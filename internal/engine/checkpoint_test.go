@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gps"
+	"repro/internal/roadnet"
+)
+
+// TestEngineWeightCheckpointRestore pins the engine's weight persistence
+// loop: learn, checkpoint, restore into a fresh engine, and the restored
+// engine both serves a published epoch immediately and re-exports an
+// identical checkpoint.
+func TestEngineWeightCheckpointRestore(t *testing.T) {
+	city := testCityB
+	fleet := city.Fleet(0.2, 3, 1)
+
+	learner := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	day1, err := New(city.G, fleet, Config{Pipeline: testConfig(), Learner: learner, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := city.G.OutEdges(0)[0]
+	e1 := city.G.OutEdges(1)[0]
+	learner.ObserveEdge(0, e0.To, 19*3600, 111)
+	learner.ObserveEdge(0, e0.To, 19*3600+60, 129)
+	learner.ObserveEdge(1, e1.To, 86390, 55) // slot 23, just before midnight
+
+	var ckpt bytes.Buffer
+	if err := day1.CheckpointWeights(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	saved := ckpt.String()
+	if saved == "" {
+		t.Fatal("empty checkpoint")
+	}
+
+	fresh := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	day2, err := New(city.G, city.Fleet(0.2, 3, 2), Config{Pipeline: testConfig(), Learner: fresh, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, published, err := day2.RestoreWeights(strings.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || !published {
+		t.Fatalf("restore published epoch %d (%v), want 1 (true)", epoch, published)
+	}
+	// Every shard serves the restored knowledge: the learned mean of the
+	// slot-19 cell, and the slot-23 cell written just before midnight.
+	for _, sr := range day2.shards {
+		snap, _ := sr.router.Acquire()
+		if snap.Epoch != 1 {
+			t.Fatalf("shard %d serves epoch %d after restore", sr.id, snap.Epoch)
+		}
+		served := snap.Graph.EdgeTimeSlot(snap.Graph.OutEdges(0)[0], 19)
+		if math.Abs(served-120) > 1e-9 {
+			t.Fatalf("restored slot-19 cell serves %v, want 120", served)
+		}
+		if got := snap.Graph.EdgeTimeSlot(snap.Graph.OutEdges(1)[0], 23); math.Abs(got-55) > 1e-9 {
+			t.Fatalf("restored slot-23 cell serves %v, want 55", got)
+		}
+	}
+	// The restored learner checkpoints back to identical bytes.
+	var again bytes.Buffer
+	if err := day2.CheckpointWeights(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != saved {
+		t.Fatalf("checkpoint round trip not byte-stable:\n%s\nvs\n%s", again.String(), saved)
+	}
+
+	// A checkpoint whose cells are all below the MinSamples floor restores
+	// the learner but publishes nothing — and says so.
+	sparse := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	day3, err := New(city.G, city.Fleet(0.2, 3, 3), Config{Pipeline: testConfig(), Learner: sparse, MinSamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, published, err = day3.RestoreWeights(strings.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if published || epoch != 0 {
+		t.Fatalf("sparse restore claims a publish (epoch %d, %v)", epoch, published)
+	}
+}
+
+// TestEngineImportWeights covers the bootstrap path: an externally learned
+// table becomes a served epoch without touching the learner.
+func TestEngineImportWeights(t *testing.T) {
+	city := testCityB
+	fleet := city.Fleet(0.2, 3, 1)
+	learner := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	e, err := New(city.G, fleet, Config{Pipeline: testConfig(), Learner: learner, MinSamples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.ImportWeights(roadnet.NewSlotWeights()); err == nil {
+		t.Fatal("empty table imported")
+	}
+
+	w := roadnet.NewSlotWeights()
+	e0 := city.G.OutEdges(0)[0]
+	if err := w.Set(0, e0.To, 20, 321); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := e.ImportWeights(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("import published epoch %d, want 1", epoch)
+	}
+	for _, sr := range e.shards {
+		snap, _ := sr.router.Acquire()
+		if got := snap.Graph.EdgeTimeSlot(snap.Graph.OutEdges(0)[0], 20); math.Abs(got-321) > 1e-9 {
+			t.Fatalf("imported cell serves %v, want 321", got)
+		}
+	}
+	if st := e.Roadnet(); st.Epoch != 1 || st.LearnedCells != 1 || st.Publishes != 1 {
+		t.Fatalf("roadnet status after import: %+v", st)
+	}
+	// The learner stayed untouched.
+	if learner.Weights(1).Cells() != 0 {
+		t.Fatal("import leaked into the learner")
+	}
+}
+
+// TestCheckpointHooksStaticEngine pins the error contract on engines
+// without a dynamic plane.
+func TestCheckpointHooksStaticEngine(t *testing.T) {
+	city := testCityB
+	e, err := New(city.G, city.Fleet(0.2, 3, 1), Config{Pipeline: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.CheckpointWeights(&buf); !errors.Is(err, ErrStaticRoadnet) {
+		t.Fatalf("checkpoint on static engine: %v", err)
+	}
+	if _, _, err := e.RestoreWeights(strings.NewReader("{}")); !errors.Is(err, ErrStaticRoadnet) {
+		t.Fatalf("restore on static engine: %v", err)
+	}
+	if _, err := e.ImportWeights(roadnet.NewSlotWeights()); !errors.Is(err, ErrStaticRoadnet) {
+		t.Fatalf("import on static engine: %v", err)
+	}
+}

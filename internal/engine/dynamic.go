@@ -1,12 +1,18 @@
 package engine
 
 import (
+	"errors"
+	"io"
 	"math"
 	"sync"
 
 	"repro/internal/gps"
 	"repro/internal/roadnet"
 )
+
+// ErrStaticRoadnet is returned by the weight checkpoint hooks when the
+// engine runs without a learner (no dynamic plane to checkpoint or restore).
+var ErrStaticRoadnet = errors.New("engine: static road network (no learner configured)")
 
 // dynamicState is the engine side of the live traffic plane: bookkeeping
 // for the periodic weight publishes that turn the streaming learner's
@@ -85,6 +91,71 @@ func (e *Engine) publishWeightsLocked(now float64) uint64 {
 	d.learnedEdges = w.Edges()
 	d.learnedCells = w.Cells()
 	return d.epoch
+}
+
+// CheckpointWeights writes the streaming learner's accumulated travel-time
+// state (deterministic JSON) — the engine side of multi-day weight
+// persistence. Checkpoint after a learning day, feed the bytes to a fresh
+// engine's RestoreWeights the next day (or after a restart) and the learner
+// resumes averaging exactly where it stopped. Safe to call from any
+// goroutine, concurrently with rounds and publishes.
+func (e *Engine) CheckpointWeights(w io.Writer) error {
+	if e.dyn == nil {
+		return ErrStaticRoadnet
+	}
+	return e.dyn.learner.SaveState(w)
+}
+
+// RestoreWeights merges a CheckpointWeights document into the engine's
+// learner and forces an immediate epoch publish, so the restored knowledge
+// reaches every zone shard's router before the next round instead of
+// waiting out a refresh period. Returns the served epoch and whether a new
+// epoch was actually published — false when every restored cell is still
+// below the engine's MinSamples floor, in which case shards keep serving
+// their current weights until further observations tip a cell over.
+func (e *Engine) RestoreWeights(r io.Reader) (uint64, bool, error) {
+	if e.dyn == nil {
+		return 0, false, ErrStaticRoadnet
+	}
+	if err := e.dyn.learner.LoadState(r); err != nil {
+		return 0, false, err
+	}
+	epoch, published := e.RefreshWeights()
+	return epoch, published, nil
+}
+
+// ImportWeights publishes an externally learned weight table as a fresh
+// epoch on every zone shard — bootstrapping decisions from persisted
+// weights without feeding the learner. Note the learner's own periodic
+// publishes replace imported epochs wholesale; when the engine should keep
+// accumulating on top of the imported knowledge, restore the learner state
+// with RestoreWeights instead.
+func (e *Engine) ImportWeights(w *roadnet.SlotWeights) (uint64, error) {
+	if e.dyn == nil {
+		return 0, ErrStaticRoadnet
+	}
+	if w == nil || w.Cells() == 0 {
+		return 0, errors.New("engine: no weight cells to import")
+	}
+	e.dyn.mu.Lock()
+	defer e.dyn.mu.Unlock()
+	d := e.dyn
+	g2 := e.decG.Reweighted(w)
+	d.epoch++
+	snap := roadnet.Snapshot{
+		Epoch:        d.epoch,
+		Graph:        g2,
+		LearnedEdges: w.Edges(),
+		LearnedCells: w.Cells(),
+		PublishedAt:  math.Float64frombits(e.clockBits.Load()),
+	}
+	for _, sr := range e.shards {
+		sr.router.Publish(snap)
+	}
+	d.publishes++
+	d.learnedEdges = w.Edges()
+	d.learnedCells = w.Cells()
+	return d.epoch, nil
 }
 
 // currentEpoch reports the weight epoch the engine currently serves (0 for

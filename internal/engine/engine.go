@@ -33,8 +33,33 @@ import (
 	"repro/internal/policy"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
+	"repro/internal/spindex"
 	"repro/internal/trace"
 )
+
+// NewHubLabelRouter returns a Config.NewRouter factory for the hub-label
+// backend: each zone shard (and each published weight epoch — SwapRouter
+// rebuilds through the same factory) gets a spindex.AsyncRouter whose
+// per-slot labels build in the background while a bounded-SSSP cache
+// answers in the meantime. spBound caps that fallback's expansions in
+// seconds; 0 defaults to 2×DefaultConfig().MaxFirstMile — when the engine
+// runs a non-default Pipeline.MaxFirstMile, pass its SPBound explicitly so
+// the fallback's reachability horizon matches the rest of the engine. The
+// first query of a slot also pre-builds the next slot — wrapping 23 → 0 at
+// midnight — so label builds stay ahead of the replay clock.
+//
+// syncBuild builds labels synchronously on first touch instead: replays
+// become deterministic (no fallback-to-label switchover mid-window) at the
+// cost of one build stall per (epoch, slot).
+func NewHubLabelRouter(spBound float64, syncBuild bool) func(*roadnet.Graph) roadnet.Router {
+	return func(g *roadnet.Graph) roadnet.Router {
+		bound := spBound
+		if bound <= 0 {
+			bound = 2 * model.DefaultConfig().MaxFirstMile
+		}
+		return spindex.NewAsyncRouter(g, roadnet.NewBoundedRouter(g, bound), syncBuild)
+	}
+}
 
 // Errors surfaced to producers. A full queue is backpressure, not failure:
 // callers decide whether to retry, shed, or block.

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/gps"
 	"repro/internal/workload"
 )
 
@@ -82,6 +83,90 @@ func goldenReplay(t *testing.T) string {
 	}
 }
 
+// goldenLearnerReplay drives the same CityB dinner slice through the
+// *dynamic* plane: the true city is slowed by rain the decision graph does
+// not know, the streaming learner ingests every finished edge traversal,
+// and weight epochs publish mid-replay, hot-swapping the shard router. One
+// shard and Workers=1 make the run fully deterministic — vehicle movement
+// (and so the learner's float accumulation order) is sequential, epochs
+// publish at fixed round boundaries, and Reweighted is a pure function of
+// the learned table — so decisions, rejections AND epoch transitions pin
+// byte-for-byte.
+func goldenLearnerReplay(t *testing.T) string {
+	t.Helper()
+	city := testCityB
+	start, end := 18.0*3600, 18.5*3600
+	trueG := workload.Rain(1.4).Apply(city.G)
+	learner := gps.NewStreamLearner(trueG, gps.StreamOptions{})
+	orders := workload.OrderStreamWindow(city, 1, start, end)
+	if len(orders) == 0 {
+		t.Fatal("golden: no orders in the dinner slice")
+	}
+	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
+	e, err := New(trueG, fleet, Config{
+		Pipeline:         testConfig(),
+		Shards:           1,
+		Workers:          1,
+		QueueSize:        len(orders) + 16,
+		DecisionGraph:    city.G,
+		Learner:          learner,
+		WeightRefreshSec: 600,
+		MinSamples:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.Subscribe(8*len(orders) + 8192)
+	defer sub.Cancel()
+
+	delta := e.cfg.Pipeline.Delta
+	next := 0
+	drainEnd := end + 7200
+	for now := start + delta; now < drainEnd; now += delta {
+		for next < len(orders) && orders[next].PlacedAt < now {
+			if err := e.SubmitOrder(orders[next]); err != nil {
+				t.Fatalf("submit order %d: %v", orders[next].ID, err)
+			}
+			next++
+		}
+		e.Step(now)
+		if now >= end && next == len(orders) && e.Idle() {
+			break
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("golden: subscription dropped %d events; raise the buffer", sub.Dropped())
+	}
+
+	var b strings.Builder
+	epoch := uint64(0)
+	for {
+		select {
+		case ev := <-sub.C:
+			switch {
+			case ev.Decision != nil:
+				d := ev.Decision
+				ids := make([]string, len(d.Orders))
+				for i, id := range d.Orders {
+					ids[i] = fmt.Sprintf("%d", id)
+				}
+				fmt.Fprintf(&b, "assign t=%.0f v=%d orders=%s reshuffled=%t\n",
+					d.T, d.Vehicle, strings.Join(ids, ","), d.Reassigned)
+			case ev.Rejection != nil:
+				fmt.Fprintf(&b, "reject t=%.0f order=%d\n", ev.Rejection.T, ev.Rejection.Order)
+			case ev.Round != nil && ev.Round.Epoch != epoch:
+				epoch = ev.Round.Epoch
+				fmt.Fprintf(&b, "epoch t=%.0f e=%d\n", ev.Round.T, epoch)
+			}
+		default:
+			if epoch == 0 {
+				t.Fatal("golden learner replay never swapped a weight epoch — the fixture is not exercising the dynamic plane")
+			}
+			return b.String()
+		}
+	}
+}
+
 // TestGoldenTraceCityBDinner pins the engine's assignment decisions on the
 // CityB dinner-peak replay byte-for-byte. PR 1 and PR 2 each claimed
 // decision-identical refactors; this fixture is that claim as a test — any
@@ -89,8 +174,24 @@ func goldenReplay(t *testing.T) string {
 // one decision shows up as a fixture diff. Regenerate deliberately with
 // -update-golden when a behaviour change is intended.
 func TestGoldenTraceCityBDinner(t *testing.T) {
-	got := goldenReplay(t)
-	path := filepath.Join("testdata", "golden_cityb_dinner.trace")
+	checkGolden(t, goldenReplay(t), "golden_cityb_dinner.trace")
+}
+
+// TestGoldenTraceCityBDinnerLearner pins the *dynamic* plane the same way:
+// the learner-enabled replay's decisions, rejections and mid-replay epoch
+// swaps are byte-stable. Any change to the learner's admission rules, the
+// weight-publish cadence, Reweighted, or the swap layer that shifts one
+// decision or one epoch boundary shows up as a fixture diff. Regenerate
+// deliberately with -update-golden when a behaviour change is intended.
+func TestGoldenTraceCityBDinnerLearner(t *testing.T) {
+	checkGolden(t, goldenLearnerReplay(t), "golden_cityb_dinner_learner.trace")
+}
+
+// checkGolden compares a rendered trace against (or, with -update-golden,
+// rewrites) a committed fixture.
+func checkGolden(t *testing.T, got, file string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)

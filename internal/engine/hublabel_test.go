@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/gps"
+	"repro/internal/roadnet"
+	"repro/internal/spindex"
+	"repro/internal/workload"
+)
+
+// TestEngineHubLabelRouterMatchesDijkstra pins the first-class hub-label
+// NewRouter choice against the exact per-query Dijkstra backend: hub labels
+// are an exact method, so a sync-built replay must assign and reject
+// exactly like the Dijkstra replay, decision for decision.
+func TestEngineHubLabelRouterMatchesDijkstra(t *testing.T) {
+	city := testCityB
+	start, end := 18.0*3600, 18.5*3600
+
+	runWith := func(newRouter func(*roadnet.Graph) roadnet.Router) *Engine {
+		orders := workload.OrderStreamWindow(city, 1, start, end)
+		fleet := city.Fleet(1.0, testConfig().MaxO, 1)
+		e, _ := replay(t, city, orders, fleet, Config{
+			Pipeline:  testConfig(),
+			Shards:    1,
+			NewRouter: newRouter,
+		}, start, end)
+		return e
+	}
+
+	dij := runWith(func(g *roadnet.Graph) roadnet.Router { return roadnet.NewDijkstraRouter(g) })
+	hub := runWith(NewHubLabelRouter(0, true))
+
+	ds, hs := dij.Snapshot(), hub.Snapshot()
+	if ds.Assigned != hs.Assigned || ds.Rejected != hs.Rejected || ds.Delivered != hs.Delivered {
+		t.Fatalf("hub-label replay diverges from Dijkstra: assigned %d/%d rejected %d/%d delivered %d/%d",
+			hs.Assigned, ds.Assigned, hs.Rejected, ds.Rejected, hs.Delivered, ds.Delivered)
+	}
+	if hs.Assigned == 0 {
+		t.Fatal("degenerate replay: nothing assigned")
+	}
+}
+
+// TestEngineHubLabelRouterEpochRebuild covers the dynamic plane with the
+// hub-label choice: every weight-epoch publish rebuilds a fresh AsyncRouter
+// through SwapRouter, labels build off the query path (bounded-cache
+// fallback meanwhile), and the replay keeps assigning across the swaps.
+func TestEngineHubLabelRouterEpochRebuild(t *testing.T) {
+	city := testCityB
+	const rain = 1.5
+	trueG := city.G.ScaleSlotMultipliers(func(int) float64 { return rain })
+	learner := gps.NewStreamLearner(trueG, gps.StreamOptions{})
+
+	start, end := 18.0*3600, 19.0*3600
+	orders := workload.OrderStreamWindow(city, 1, start, end)
+	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
+	e, err := New(trueG, fleet, Config{
+		Pipeline:         testConfig(),
+		Shards:           2,
+		QueueSize:        len(orders) + 16,
+		DecisionGraph:    city.G,
+		Learner:          learner,
+		WeightRefreshSec: 300,
+		MinSamples:       1,
+		NewRouter:        NewHubLabelRouter(0, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := e.cfg.Pipeline.Delta
+	next := 0
+	for now := start + delta; now < end+7200; now += delta {
+		for next < len(orders) && orders[next].PlacedAt < now {
+			if err := e.SubmitOrder(orders[next]); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		e.Step(now)
+		if now >= end && next == len(orders) && e.Idle() {
+			break
+		}
+	}
+	st := e.Roadnet()
+	if st.Epoch == 0 {
+		t.Fatalf("no epoch published under the hub-label router: %+v", st)
+	}
+	if e.Snapshot().Assigned == 0 {
+		t.Fatal("nothing assigned across epoch swaps")
+	}
+	// Each shard's current epoch serves an AsyncRouter built over the
+	// published graph; after Wait its touched slots answer from labels.
+	for _, sr := range e.shards {
+		snap, router := sr.router.Acquire()
+		ar, ok := router.(*spindex.AsyncRouter)
+		if !ok {
+			t.Fatalf("shard %d inner router is %T, want *spindex.AsyncRouter", sr.id, router)
+		}
+		if snap.Epoch != st.Epoch {
+			t.Fatalf("shard %d pinned epoch %d, engine %d", sr.id, snap.Epoch, st.Epoch)
+		}
+		ar.Wait()
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// smallProtocolSetup keeps the acceptance tests fast: City A (the small
+// Table II city), three learning days, a two-hour dinner window.
+func smallProtocolSetup() (Setup, ProtocolOptions) {
+	st := DefaultSetup()
+	st.StartHour, st.EndHour = 18, 20
+	return st, ProtocolOptions{
+		City:      "CityA",
+		LearnDays: 3,
+		Scenarios: []workload.Scenario{workload.Rain(1.6), workload.DinnerRush(1.8)},
+	}
+}
+
+// TestLearn5Test1Recovery is the protocol's acceptance check: on every
+// scenario the learned-weight test day lands strictly between the stale
+// and oracle regimes — the scenario must hurt (oracle < stale), and the
+// weights learned across the replayed days must recover a real fraction of
+// that gap (recovery ratio > 0) without beating the truth.
+func TestLearn5Test1Recovery(t *testing.T) {
+	st, opt := smallProtocolSetup()
+	runs, err := RunLearn5Test1(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("want 2 protocol cells, got %d", len(runs))
+	}
+	for _, pr := range runs {
+		stale := pr.ObjectiveHours(RegimeStale)
+		learned := pr.ObjectiveHours(RegimeLearned)
+		oracle := pr.ObjectiveHours(RegimeOracle)
+		t.Logf("%s: obj stale=%.2fh learned=%.2fh oracle=%.2fh recovery=%.3f meanXDT=%.1f/%.1f/%.1fmin (cells=%d samples=%d)",
+			pr.Scenario.Name, stale, learned, oracle, pr.RecoveryRatio(),
+			pr.MeanXDTMin(RegimeStale), pr.MeanXDTMin(RegimeLearned), pr.MeanXDTMin(RegimeOracle),
+			pr.LearnedCells, pr.LearnerSamples)
+		if pr.Metrics[RegimeStale].Delivered == 0 || pr.Metrics[RegimeLearned].Delivered == 0 {
+			t.Fatalf("%s: degenerate test day", pr.Scenario.Name)
+		}
+		if !(oracle < stale) {
+			t.Fatalf("%s: scenario opened no objective gap (oracle %.2f, stale %.2f)", pr.Scenario.Name, oracle, stale)
+		}
+		if !(learned < stale) || !(learned > oracle) {
+			t.Fatalf("%s: learned objective %.2fh not strictly between oracle %.2fh and stale %.2fh",
+				pr.Scenario.Name, learned, oracle, stale)
+		}
+		if r := pr.RecoveryRatio(); math.IsNaN(r) || r <= 0 || r >= 1 {
+			t.Fatalf("%s: recovery ratio %v out of (0, 1)", pr.Scenario.Name, r)
+		}
+		// Mean per-order XDT tells the same story without composition bias.
+		if !(pr.MeanXDTMin(RegimeLearned) < pr.MeanXDTMin(RegimeStale)) {
+			t.Fatalf("%s: learned mean XDT %.2f not below stale %.2f", pr.Scenario.Name,
+				pr.MeanXDTMin(RegimeLearned), pr.MeanXDTMin(RegimeStale))
+		}
+		if pr.LearnedCells == 0 || pr.CheckpointBytes == 0 {
+			t.Fatalf("%s: no learned weights persisted (%d cells, %d bytes)",
+				pr.Scenario.Name, pr.LearnedCells, pr.CheckpointBytes)
+		}
+		// Service levels should not get worse when weights get better.
+		if pr.Metrics[RegimeLearned].SLAViolations > pr.Metrics[RegimeStale].SLAViolations {
+			t.Fatalf("%s: learned weights raised SLA violations (%d > %d)", pr.Scenario.Name,
+				pr.Metrics[RegimeLearned].SLAViolations, pr.Metrics[RegimeStale].SLAViolations)
+		}
+	}
+}
+
+// TestLearn5Test1Deterministic pins the persistence loop: the whole
+// protocol — learning days, weight export, re-import, test-day replay — is
+// a pure function of (setup, options). Two runs must agree to the byte.
+func TestLearn5Test1Deterministic(t *testing.T) {
+	st, opt := smallProtocolSetup()
+	opt.Scenarios = opt.Scenarios[:1]
+	a, err := RunLearn5Test1(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLearn5Test1(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		pa, pb := a[i], b[i]
+		if pa.LearnedCells != pb.LearnedCells || pa.CheckpointBytes != pb.CheckpointBytes ||
+			pa.LearnerSamples != pb.LearnerSamples {
+			t.Fatalf("learning phase not deterministic: %+v vs %+v", pa, pb)
+		}
+		for r := range pa.Metrics {
+			ma, mb := pa.Metrics[r], pb.Metrics[r]
+			if ma.XDTSec != mb.XDTSec || ma.Delivered != mb.Delivered ||
+				ma.Rejected != mb.Rejected || ma.SLAViolations != mb.SLAViolations {
+				t.Fatalf("regime %s replay not deterministic: xdt %v/%v delivered %d/%d rejected %d/%d sla %d/%d",
+					ProtocolRegime(r), ma.XDTSec, mb.XDTSec, ma.Delivered, mb.Delivered,
+					ma.Rejected, mb.Rejected, ma.SLAViolations, mb.SLAViolations)
+			}
+		}
+	}
+}
+
+// TestLearn5Test1Tables checks the rendered artefact: one table per
+// scenario with the full column set, JSONL-encodable, and a recovery cell
+// that is a real number.
+func TestLearn5Test1Tables(t *testing.T) {
+	st, opt := smallProtocolSetup()
+	tables, err := Learn5Test1(st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	for _, tab := range tables {
+		if !strings.HasPrefix(tab.ID, "L5T1-") {
+			t.Fatalf("table id %q", tab.ID)
+		}
+		if len(tab.Columns) != 10 || len(tab.Rows) != 1 {
+			t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+		}
+		rec := tab.Rows[0].Values[3]
+		if math.IsNaN(rec) || rec <= 0 {
+			t.Fatalf("%s: recovery cell %v", tab.ID, rec)
+		}
+		if _, err := tab.JSON(); err != nil {
+			t.Fatalf("%s: JSON render: %v", tab.ID, err)
+		}
+		out := tab.Render()
+		for _, want := range []string{"obj-stale(h)", "obj-learned(h)", "recovery", "xdt-learned(m)", "sla-learned"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: rendered table missing %q:\n%s", tab.ID, want, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package gps
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// TestMidnightRolloverAttribution pins slot attribution across the 23 → 0
+// boundary on a continuous multi-day clock: observations entered just
+// before midnight belong to slot 23, observations entered after midnight —
+// on any later day — belong to slot 0, and a node-ping pair straddling
+// midnight splits its interpolated segments between the two slots instead
+// of smearing everything into one.
+func TestMidnightRolloverAttribution(t *testing.T) {
+	g := stateChainGraph(4)
+	l := NewStreamLearner(g, StreamOptions{})
+	l.ObserveEdge(0, 1, 86390, 20)             // 23:59:50 day 1 → slot 23
+	l.ObserveEdge(1, 2, 86410, 30)             // 00:00:10 day 2 → slot 0
+	l.ObserveEdge(2, 3, 2*86400+100, 40)       // 00:01:40 day 3 → slot 0
+	l.ObserveEdge(0, 1, 5*86400+23.5*3600, 25) // 23:30 day 6 → slot 23
+	for _, tc := range []struct {
+		u, v roadnet.NodeID
+		slot int
+		want int
+	}{
+		{0, 1, 23, 2}, {0, 1, 0, 0},
+		{1, 2, 0, 1}, {1, 2, 23, 0},
+		{2, 3, 0, 1},
+	} {
+		if got := l.Samples(tc.u, tc.v, tc.slot); got != tc.want {
+			t.Errorf("samples %d->%d slot %d = %d, want %d", tc.u, tc.v, tc.slot, got, tc.want)
+		}
+	}
+
+	// A node-ping pair straddling midnight: 100 s over two 50 s edges, the
+	// first entered in slot 23, the second in slot 0.
+	l2 := NewStreamLearner(g, StreamOptions{})
+	l2.ObserveNode(1, 86380, 0)
+	l2.ObserveNode(1, 86480, 2)
+	if got := l2.Samples(0, 1, 23); got != 1 {
+		t.Errorf("straddling pair: first edge slot 23 samples = %d, want 1", got)
+	}
+	if got := l2.Samples(1, 2, 0); got != 1 {
+		t.Errorf("straddling pair: second edge slot 0 samples = %d, want 1", got)
+	}
+	if got := l2.Samples(1, 2, 23); got != 0 {
+		t.Errorf("straddling pair smeared second edge into slot 23 (%d samples)", got)
+	}
+}
+
+// TestEndDayStopsCrossDayPhantoms is the midnight-rollover regression for
+// per-day replay clocks: vehicle ids are reused across daily rosters, so
+// without EndDay a trail left at 23:40 by yesterday's rider pairs with a
+// late-evening ping from today's (different) rider at a plausible-looking
+// 300 s gap and interpolates a traversal that never happened — phantom
+// samples smeared into the late-night slots. EndDay discards the trails and
+// keeps the estimates.
+func TestEndDayStopsCrossDayPhantoms(t *testing.T) {
+	g := stateChainGraph(4)
+
+	// Without EndDay: the phantom lands in slot 23.
+	dirty := NewStreamLearner(g, StreamOptions{})
+	dirty.ObserveNode(7, 85200, 0) // yesterday 23:40, rider parked at node 0
+	dirty.ObserveNode(7, 85500, 2) // "today" 23:45 (clock reset), new rider at node 2
+	if got := dirty.Samples(0, 1, 23) + dirty.Samples(1, 2, 23); got == 0 {
+		t.Fatal("expected the unflushed trail to produce phantom slot-23 samples (did the admission rules change?)")
+	}
+
+	// With EndDay between days: no phantoms, and real estimates survive.
+	l := NewStreamLearner(g, StreamOptions{})
+	l.ObserveEdge(2, 3, 21*3600, 45) // genuine day-1 sample
+	l.ObserveNode(7, 85200, 0)       // day-1 trail
+	l.EndDay()
+	l.ObserveNode(7, 85500, 2) // day-2 first ping: starts a fresh trail
+	if got := l.Samples(0, 1, 23) + l.Samples(1, 2, 23); got != 0 {
+		t.Fatalf("EndDay did not stop cross-day phantom samples (%d)", got)
+	}
+	if got := l.Samples(2, 3, 21); got != 1 {
+		t.Fatalf("EndDay dropped learned estimates (slot-21 samples = %d, want 1)", got)
+	}
+	// The fresh trail still works within day 2.
+	l.ObserveNode(7, 85600, 3)
+	if got := l.Samples(2, 3, 23); got != 1 {
+		t.Fatalf("post-EndDay trail broken: slot-23 samples = %d, want 1", got)
+	}
+
+	// Raw-chunk trails are flushed too.
+	lr := NewStreamLearner(g, StreamOptions{ChunkSize: 4})
+	lr.ObserveRaw(9, 86000, g.Point(0))
+	lr.ObserveRaw(9, 86020, g.Point(1))
+	lr.EndDay()
+	// Day 2 restarts at a smaller clock; a surviving buffer would reject
+	// these as out-of-order and restart mid-chunk.
+	for i := 0; i < 4; i++ {
+		lr.ObserveRaw(9, 100+float64(i)*20, g.Point(roadnet.NodeID(i)))
+	}
+	if st := lr.Stats(); st.Matched+st.Unmatched == 0 {
+		t.Fatal("post-EndDay raw chunk never reached the matcher")
+	}
+}

@@ -3,6 +3,7 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // SlotWeights is a sparse per-edge per-slot travel-time table: the learned
@@ -80,6 +81,29 @@ func (w *SlotWeights) Edges() int {
 		return 0
 	}
 	return len(w.cells)
+}
+
+// Range calls f for every set (edge, slot) cell in deterministic order
+// (edges by packed key ascending, slots ascending) — deterministic so that
+// float aggregations over the cells reproduce bit-for-bit across runs.
+func (w *SlotWeights) Range(f func(u, v NodeID, slot int, sec float64)) {
+	if w == nil {
+		return
+	}
+	keys := make([]int64, 0, len(w.cells))
+	for k := range w.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		u, v := EdgeKeyNodes(k)
+		row := w.cells[k]
+		for s := 0; s < SlotsPerDay; s++ {
+			if row[s] > 0 {
+				f(u, v, s, row[s])
+			}
+		}
+	}
 }
 
 // row exposes the raw slot row for Reweighted (nil when absent).

@@ -1,0 +1,107 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// slotWeightsJSON is the wire form of a SlotWeights table: one record per
+// edge with its set slots, edges sorted by (from, to) and slots ascending,
+// so the same table always serialises to the same bytes — what lets tests
+// pin a weight checkpoint and lets a diff of two checkpoints mean something.
+type slotWeightsJSON struct {
+	Version int             `json:"version"`
+	Cells   int             `json:"cells"`
+	Edges   []slotEdgeCells `json:"edges"`
+}
+
+type slotEdgeCells struct {
+	From NodeID    `json:"from"`
+	To   NodeID    `json:"to"`
+	Slot []int     `json:"slot"`
+	Sec  []float64 `json:"sec"`
+}
+
+// slotWeightsVersion guards the checkpoint format.
+const slotWeightsVersion = 1
+
+// MarshalJSON serialises the table deterministically (sorted edges, sorted
+// slots — Range's iteration order, so serialised bytes and Range-based
+// aggregations can never disagree about cell order).
+func (w *SlotWeights) MarshalJSON() ([]byte, error) {
+	out := slotWeightsJSON{Version: slotWeightsVersion, Cells: w.Cells()}
+	w.Range(func(u, v NodeID, slot int, sec float64) {
+		n := len(out.Edges)
+		if n == 0 || out.Edges[n-1].From != u || out.Edges[n-1].To != v {
+			out.Edges = append(out.Edges, slotEdgeCells{From: u, To: v})
+			n++
+		}
+		out.Edges[n-1].Slot = append(out.Edges[n-1].Slot, slot)
+		out.Edges[n-1].Sec = append(out.Edges[n-1].Sec, sec)
+	})
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON loads a table serialised by MarshalJSON, validating every
+// cell through Set — a checkpoint from an untrusted or corrupted source
+// cannot inject NaN/Inf/non-positive weights or out-of-range slots. The
+// decode is atomic: cells land in a scratch table first, so a corrupt
+// checkpoint cannot half-apply into a table already holding cells.
+func (w *SlotWeights) UnmarshalJSON(data []byte) error {
+	var in slotWeightsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("roadnet: slot weights: %w", err)
+	}
+	if in.Version != slotWeightsVersion {
+		return fmt.Errorf("roadnet: slot weights version %d (want %d)", in.Version, slotWeightsVersion)
+	}
+	tmp := NewSlotWeights()
+	for _, ec := range in.Edges {
+		if len(ec.Slot) != len(ec.Sec) {
+			return fmt.Errorf("roadnet: slot weights edge %d->%d: %d slots vs %d values",
+				ec.From, ec.To, len(ec.Slot), len(ec.Sec))
+		}
+		for i, s := range ec.Slot {
+			if err := tmp.Set(ec.From, ec.To, s, ec.Sec[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if in.Cells != tmp.Cells() {
+		return fmt.Errorf("roadnet: slot weights checkpoint claims %d cells, decoded %d", in.Cells, tmp.Cells())
+	}
+	if w.cells == nil {
+		w.cells = make(map[int64]*[SlotsPerDay]float64)
+	}
+	tmp.Range(func(u, v NodeID, slot int, sec float64) {
+		_ = w.Set(u, v, slot, sec) // validated above; Set cannot fail here
+	})
+	return nil
+}
+
+// WriteJSON streams the table's deterministic JSON form, newline-terminated
+// (one checkpoint per line composes with JSONL logs).
+func (w *SlotWeights) WriteJSON(out io.Writer) error {
+	b, err := w.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = out.Write(b)
+	return err
+}
+
+// ReadSlotWeightsJSON loads one table written by WriteJSON (or any
+// MarshalJSON payload).
+func ReadSlotWeightsJSON(in io.Reader) (*SlotWeights, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	w := NewSlotWeights()
+	if err := w.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

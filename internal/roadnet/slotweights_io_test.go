@@ -1,0 +1,121 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSlotWeightsJSONRoundTrip(t *testing.T) {
+	w := NewSlotWeights()
+	// Include the midnight-rollover slots explicitly: cells written from a
+	// multi-day replay clock (t ≥ 86400) land in slot 23 and slot 0 and must
+	// survive the checkpoint unchanged.
+	if err := w.Set(3, 7, Slot(86390), 55.5); err != nil { // 23:59:50 → slot 23
+		t.Fatal(err)
+	}
+	if err := w.Set(3, 7, Slot(86410), 44.25); err != nil { // day 2, 00:00:10 → slot 0
+		t.Fatal(err)
+	}
+	if err := w.Set(1, 2, 12, 123.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set(1<<20, 9, 5, 9.75); err != nil { // large node ids pack fine
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSlotWeightsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells() != w.Cells() || got.Edges() != w.Edges() {
+		t.Fatalf("round trip: %d/%d cells/edges, want %d/%d", got.Cells(), got.Edges(), w.Cells(), w.Edges())
+	}
+	for _, tc := range []struct {
+		u, v NodeID
+		slot int
+		sec  float64
+	}{{3, 7, 23, 55.5}, {3, 7, 0, 44.25}, {1, 2, 12, 123.0}, {1 << 20, 9, 5, 9.75}} {
+		sec, ok := got.Get(tc.u, tc.v, tc.slot)
+		if !ok || sec != tc.sec {
+			t.Fatalf("cell %d->%d slot %d: got %v/%v, want %v", tc.u, tc.v, tc.slot, sec, ok, tc.sec)
+		}
+	}
+
+	// Determinism: two exports of the same table are byte-identical.
+	var buf2 bytes.Buffer
+	if err := w.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := got.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 := buf2.String(); b1 != string(again)+"\n" {
+		t.Fatalf("export not deterministic:\n%s\nvs\n%s", b1, again)
+	}
+}
+
+func TestSlotWeightsJSONRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewSlotWeights().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSlotWeightsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells() != 0 || got.Edges() != 0 {
+		t.Fatalf("empty round trip: %d cells %d edges", got.Cells(), got.Edges())
+	}
+}
+
+func TestSlotWeightsJSONRejectsBadPayloads(t *testing.T) {
+	for name, payload := range map[string]string{
+		"not json":       `{`,
+		"wrong version":  `{"version":99,"cells":0,"edges":null}`,
+		"nan weight":     `{"version":1,"cells":1,"edges":[{"from":1,"to":2,"slot":[3],"sec":[null]}]}`,
+		"negative":       `{"version":1,"cells":1,"edges":[{"from":1,"to":2,"slot":[3],"sec":[-5]}]}`,
+		"zero weight":    `{"version":1,"cells":1,"edges":[{"from":1,"to":2,"slot":[3],"sec":[0]}]}`,
+		"slot 24":        `{"version":1,"cells":1,"edges":[{"from":1,"to":2,"slot":[24],"sec":[9]}]}`,
+		"negative slot":  `{"version":1,"cells":1,"edges":[{"from":1,"to":2,"slot":[-1],"sec":[9]}]}`,
+		"length mism":    `{"version":1,"cells":1,"edges":[{"from":1,"to":2,"slot":[3,4],"sec":[9]}]}`,
+		"cell count lie": `{"version":1,"cells":7,"edges":[{"from":1,"to":2,"slot":[3],"sec":[9]}]}`,
+	} {
+		if _, err := ReadSlotWeightsJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSlotWeightsMidnightRolloverSlots pins the slot arithmetic multi-day
+// replays rely on: a continuous clock crossing midnight maps into slot 23
+// then slot 0 (never slot 24), for any number of days out.
+func TestSlotWeightsMidnightRolloverSlots(t *testing.T) {
+	for day := 0; day < 4; day++ {
+		base := float64(day) * SecondsPerDay
+		if s := Slot(base + 86399.5); s != 23 {
+			t.Fatalf("day %d 23:59:59.5 → slot %d, want 23", day, s)
+		}
+		if s := Slot(base + SecondsPerDay); s != 0 {
+			t.Fatalf("day %d midnight → slot %d, want 0", day, s)
+		}
+		if s := Slot(base + SecondsPerDay + 1); s != 0 {
+			t.Fatalf("day %d 00:00:01 → slot %d, want 0", day, s)
+		}
+	}
+	w := NewSlotWeights()
+	if err := w.Set(0, 1, SlotsPerDay, 10); err == nil {
+		t.Fatal("slot 24 accepted — 23→0 rollover must wrap, not extend")
+	}
+	if err := w.Set(0, 1, Slot(5*SecondsPerDay+3600*23.5), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Get(0, 1, 23); !ok {
+		t.Fatal("multi-day late-night cell not in slot 23")
+	}
+}

@@ -27,6 +27,10 @@ type Metrics struct {
 	// WaitSec is Σ vehicle idle time at restaurants (the WT metric).
 	WaitSec float64
 
+	// SLAViolations counts deliveries that exceeded Options.SLASec
+	// (0 when the threshold is disabled).
+	SLAViolations int
+
 	// DistM is total metres driven; LoadDistM[k] metres driven while
 	// carrying k orders (k ≤ MAXO), the O/Km ingredients.
 	DistM     float64
@@ -84,6 +88,15 @@ func (m *Metrics) OrdersPerKm() float64 {
 		return 0
 	}
 	return num / den
+}
+
+// SLAViolationRate returns the fraction of delivered orders that breached
+// the Options.SLASec threshold.
+func (m *Metrics) SLAViolationRate() float64 {
+	if m.Delivered == 0 {
+		return 0
+	}
+	return float64(m.SLAViolations) / float64(m.Delivered)
 }
 
 // RejectionRate returns the fraction of orders rejected.

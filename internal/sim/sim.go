@@ -58,6 +58,11 @@ type Options struct {
 	// Learner.Weights, reweight a graph, and replay the next day with it
 	// as DecisionGraph.
 	Learner *gps.StreamLearner
+	// SLASec, when positive, counts every delivery whose realised duration
+	// exceeds it as an SLA violation (Metrics.SLAViolations) — the
+	// service-level lens the multi-day experiment harness reports next to
+	// XDT. 0 disables the counter.
+	SLASec float64
 }
 
 // Simulator replays one day of orders under a policy.
@@ -143,6 +148,9 @@ func New(g *roadnet.Graph, orders []*model.Order, vehicles []*model.Vehicle, pol
 			m := s.metrics
 			m.Delivered++
 			m.DeliverySec += o.DeliveryTime()
+			if opts.SLASec > 0 && o.DeliveryTime() > opts.SLASec {
+				m.SLAViolations++
+			}
 			xdt := o.XDT()
 			m.XDTSec += xdt
 			slot := roadnet.Slot(o.PlacedAt)

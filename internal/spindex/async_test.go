@@ -1,0 +1,121 @@
+package spindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// countingRouter wraps a Router and counts Travel calls (to observe when the
+// AsyncRouter stops consulting its fallback).
+type countingRouter struct {
+	inner  roadnet.Router
+	calls  int
+	resets int
+}
+
+func (c *countingRouter) Travel(from, to roadnet.NodeID, t float64) float64 {
+	c.calls++
+	return c.inner.Travel(from, to, t)
+}
+func (c *countingRouter) Reset() {
+	c.resets++
+	if in, ok := c.inner.(roadnet.Resettable); ok {
+		in.Reset()
+	}
+}
+
+func TestAsyncRouterFallsBackThenServesLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 60, 200, true)
+	fb := &countingRouter{inner: roadnet.NewDijkstraRouter(g)}
+	r := NewAsyncRouter(g, fb, false)
+
+	tAt := 9.5 * 3600
+	want := roadnet.ShortestPath(g, 3, 41, tAt)
+	if got := r.Travel(3, 41, tAt); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("fallback answer %v, want %v", got, want)
+	}
+	if fb.calls == 0 {
+		t.Fatal("first query did not use the fallback")
+	}
+
+	r.Wait()
+	if !r.Ready(9) {
+		t.Fatal("slot 9 labels not ready after Wait")
+	}
+	// Prefetch: querying slot 9 must also have built slot 10.
+	if !r.Ready(10) {
+		t.Fatal("next slot (10) not pre-built")
+	}
+	calls := fb.calls
+	if got := r.Travel(3, 41, tAt); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("label answer %v, want %v", got, want)
+	}
+	if fb.calls != calls {
+		t.Fatal("labels ready but the fallback was still consulted")
+	}
+
+	// Label answers agree with Dijkstra across sampled pairs and slots.
+	for i := 0; i < 40; i++ {
+		u := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		v := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		want := roadnet.ShortestPath(g, u, v, tAt)
+		got := r.Travel(u, v, tAt)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) ||
+			(!math.IsInf(want, 1) && math.Abs(got-want) > 1e-3*want+1e-3) {
+			t.Fatalf("async labels (%d->%d) = %v, Dijkstra = %v", u, v, got, want)
+		}
+	}
+}
+
+// TestAsyncRouterMidnightPrefetch is the 23 → 0 rollover regression for the
+// engine's hub-label choice: a query late in slot 23 must pre-build slot 0,
+// not a non-existent slot 24.
+func TestAsyncRouterMidnightPrefetch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 40, 120, true)
+	r := NewAsyncRouter(g, roadnet.NewDijkstraRouter(g), false)
+	r.Travel(1, 17, 86390) // 23:59:50
+	r.Wait()
+	if !r.Ready(23) {
+		t.Fatal("slot 23 not built")
+	}
+	if !r.Ready(0) {
+		t.Fatal("slot 0 not pre-built from a slot-23 query — midnight rollover broken")
+	}
+	if r.Ready(24%roadnet.SlotsPerDay) != r.Ready(0) {
+		t.Fatal("inconsistent rollover state")
+	}
+}
+
+func TestAsyncRouterSyncMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, 50, 150, true)
+	fb := &countingRouter{inner: roadnet.NewDijkstraRouter(g)}
+	r := NewAsyncRouter(g, fb, true)
+	tAt := 19.25 * 3600
+	want := roadnet.ShortestPath(g, 2, 33, tAt)
+	if got := r.Travel(2, 33, tAt); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("sync answer %v, want %v", got, want)
+	}
+	if fb.calls != 0 {
+		t.Fatal("sync mode consulted the fallback")
+	}
+	if !r.Ready(19) {
+		t.Fatal("sync mode did not mark the slot ready")
+	}
+}
+
+func TestAsyncRouterResetForwards(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 30, 90, false)
+	fb := &countingRouter{inner: roadnet.NewDijkstraRouter(g)}
+	r := NewAsyncRouter(g, fb, false)
+	r.Reset()
+	if fb.resets != 1 {
+		t.Fatalf("reset not forwarded (%d)", fb.resets)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/roadnet"
 )
@@ -40,12 +41,16 @@ type slotIndex struct {
 
 // Index answers exact SP(u,v,t) queries against a fixed Graph. Slot indexes
 // are built lazily on first use and cached; concurrent queries are safe.
+// Queries against an already-built slot are lock-free (one atomic load), so
+// a long build of one slot never stalls queries in another — the property
+// AsyncRouter's fallback-while-building design rests on. Builds themselves
+// serialise on a mutex.
 type Index struct {
 	g     *roadnet.Graph
 	order []roadnet.NodeID // vertex processing order (importance-descending)
 
-	mu    sync.Mutex
-	slots [roadnet.SlotsPerDay]*slotIndex
+	mu    sync.Mutex // serialises builds
+	slots [roadnet.SlotsPerDay]atomic.Pointer[slotIndex]
 }
 
 // New prepares an index for g. No labels are built until the first query;
@@ -78,13 +83,16 @@ func (ix *Index) BuildSlot(slot int) {
 }
 
 func (ix *Index) slotIndex(slot int) *slotIndex {
+	if si := ix.slots[slot].Load(); si != nil {
+		return si
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if si := ix.slots[slot]; si != nil {
+	if si := ix.slots[slot].Load(); si != nil {
 		return si
 	}
 	si := ix.build(slot)
-	ix.slots[slot] = si
+	ix.slots[slot].Store(si)
 	return si
 }
 

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/roadnet"
+)
+
+// DayPlan describes one day of a multi-day replay: which scenario perturbs
+// the true road network, how demand surges on top of the scenario's own
+// coupling, and the seeds that make the day's order stream and fleet roster
+// distinct from its neighbours while staying fully deterministic.
+type DayPlan struct {
+	// Day is the 0-based position in the schedule.
+	Day int
+	// Scenario perturbs the day's *true* travel times (and, through
+	// DemandMultiplier, its order volume).
+	Scenario Scenario
+	// DemandFactor additionally scales the day's order volume uniformly;
+	// 0 (or 1) = no extra scaling beyond the scenario coupling.
+	DemandFactor float64
+	// OrderSeed / FleetSeed drive the day's order stream and shift plan.
+	// Distinct FleetSeeds across days are the churn model: each day a
+	// different roster with different shifts and parking spots reports for
+	// work, the way real fleets turn over between days.
+	OrderSeed, FleetSeed int64
+}
+
+// DaySchedule is a deterministic multi-day replay plan over one city — the
+// substrate of the paper's 5-day-learn / 1-day-test protocol (Section V-B).
+// The last TestDays days are held out for evaluation; the days before them
+// are learning days.
+type DaySchedule struct {
+	City     *City
+	Days     []DayPlan
+	TestDays int
+}
+
+// Learn5Test1 builds the canonical 6-day schedule: learnDays learning days
+// (pass 5 for the paper's protocol) plus one held-out test day, every day
+// under the same scenario — travel times must be learned from the same
+// traffic regime the test day is driven on — with per-day order and fleet
+// seeds derived from seed.
+func Learn5Test1(c *City, sc Scenario, learnDays int, seed int64) DaySchedule {
+	if learnDays < 1 {
+		learnDays = 5
+	}
+	s := DaySchedule{City: c, TestDays: 1}
+	for d := 0; d <= learnDays; d++ {
+		s.Days = append(s.Days, DayPlan{
+			Day:       d,
+			Scenario:  sc,
+			OrderSeed: seed + int64(d)*1_000_003,
+			FleetSeed: seed + int64(d)*7_000_003,
+		})
+	}
+	return s
+}
+
+// LearnDays returns the learning-day plans (everything before the held-out
+// tail).
+func (s DaySchedule) LearnDays() []DayPlan {
+	n := len(s.Days) - s.TestDays
+	if n < 0 {
+		n = 0
+	}
+	return s.Days[:n]
+}
+
+// TestDay returns the first held-out day.
+func (s DaySchedule) TestDay() (DayPlan, error) {
+	n := len(s.Days) - s.TestDays
+	if s.TestDays < 1 || n < 0 || n >= len(s.Days) {
+		return DayPlan{}, fmt.Errorf("workload: schedule has no test day (%d days, %d held out)", len(s.Days), s.TestDays)
+	}
+	return s.Days[n], nil
+}
+
+// TrueGraph materialises the day's reality: the city's road network with
+// the day's scenario applied. Policies are never shown this graph during
+// learning — they discover it through GPS observations.
+func (s DaySchedule) TrueGraph(p DayPlan) *roadnet.Graph {
+	if p.Scenario.Zero() {
+		return s.City.G
+	}
+	return p.Scenario.Apply(s.City.G)
+}
+
+// Orders generates the day's order stream in [from, to): the city's base
+// volume scaled per slot by the scenario's demand surge and the plan's
+// uniform DemandFactor.
+func (s DaySchedule) Orders(p DayPlan, from, to float64) []*model.Order {
+	factor := func(slot int) float64 {
+		f := p.Scenario.DemandMultiplier(slot)
+		if p.DemandFactor > 0 {
+			f *= p.DemandFactor
+		}
+		return f
+	}
+	return OrderStreamScaled(s.City, p.OrderSeed, from, to, factor)
+}
+
+// Fleet synthesises the day's roster from the plan's fleet seed — a fresh
+// shift plan per day, which is what makes vehicles churn across days.
+func (s DaySchedule) Fleet(p DayPlan, frac float64, maxO int) []*model.Vehicle {
+	return s.City.Fleet(frac, maxO, p.FleetSeed)
+}

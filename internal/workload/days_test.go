@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestLearn5Test1Schedule(t *testing.T) {
+	city := MustPreset("CityA", DefaultScale, 1)
+	sched := Learn5Test1(city, Rain(1.5), 5, 7)
+	if len(sched.Days) != 6 {
+		t.Fatalf("want 6 days, got %d", len(sched.Days))
+	}
+	if got := len(sched.LearnDays()); got != 5 {
+		t.Fatalf("want 5 learn days, got %d", got)
+	}
+	test, err := sched.TestDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if test.Day != 5 {
+		t.Fatalf("test day index %d, want 5", test.Day)
+	}
+	seenOrder := map[int64]bool{}
+	seenFleet := map[int64]bool{}
+	for _, p := range sched.Days {
+		if seenOrder[p.OrderSeed] || seenFleet[p.FleetSeed] {
+			t.Fatalf("day %d reuses a seed (order=%d fleet=%d)", p.Day, p.OrderSeed, p.FleetSeed)
+		}
+		seenOrder[p.OrderSeed] = true
+		seenFleet[p.FleetSeed] = true
+	}
+	if _, err := (DaySchedule{City: city}).TestDay(); err == nil {
+		t.Fatal("empty schedule should have no test day")
+	}
+}
+
+// TestDayScheduleChurnAndDeterminism pins the churn model: distinct days
+// field different rosters and different order streams, while the same plan
+// regenerates identically.
+func TestDayScheduleChurnAndDeterminism(t *testing.T) {
+	city := MustPreset("CityA", DefaultScale, 1)
+	sched := Learn5Test1(city, DinnerRush(1.5), 2, 42)
+	d0, d1 := sched.Days[0], sched.Days[1]
+
+	f0 := sched.Fleet(d0, 1.0, 3)
+	f1 := sched.Fleet(d1, 1.0, 3)
+	churned := len(f0) != len(f1)
+	for i := 0; !churned && i < len(f0) && i < len(f1); i++ {
+		if f0[i].Node != f1[i].Node || f0[i].ActiveFrom != f1[i].ActiveFrom {
+			churned = true
+		}
+	}
+	if !churned {
+		t.Fatal("consecutive days produced identical rosters — no churn")
+	}
+
+	o0 := sched.Orders(d0, 18*3600, 20*3600)
+	o0b := sched.Orders(d0, 18*3600, 20*3600)
+	if len(o0) == 0 || len(o0) != len(o0b) {
+		t.Fatalf("day-0 stream not deterministic: %d vs %d orders", len(o0), len(o0b))
+	}
+	for i := range o0 {
+		if o0[i].PlacedAt != o0b[i].PlacedAt || o0[i].Restaurant != o0b[i].Restaurant {
+			t.Fatalf("day-0 stream diverges at order %d", i)
+		}
+	}
+	o1 := sched.Orders(d1, 18*3600, 20*3600)
+	same := len(o0) == len(o1)
+	for i := 0; same && i < len(o0); i++ {
+		same = o0[i].PlacedAt == o1[i].PlacedAt
+	}
+	if same {
+		t.Fatal("consecutive days produced identical order streams")
+	}
+}
+
+// TestScenarioDemandSurge pins the scenario-coupled surge invariants: a
+// rush scenario surges only its window, rain surges every slot, and the
+// surged stream carries measurably more orders than the base stream.
+func TestScenarioDemandSurge(t *testing.T) {
+	rush := DinnerRush(1.8)
+	for s := 0; s < 24; s++ {
+		m := rush.DemandMultiplier(s)
+		inWindow := s >= rush.RushFromHour && s < rush.RushToHour
+		if inWindow && m <= 1 {
+			t.Fatalf("rush slot %d: demand multiplier %v, want > 1", s, m)
+		}
+		if !inWindow && m != 1 {
+			t.Fatalf("off-rush slot %d: demand multiplier %v, want 1", s, m)
+		}
+	}
+	rain := Rain(1.5)
+	for s := 0; s < 24; s++ {
+		if m := rain.DemandMultiplier(s); m <= 1 {
+			t.Fatalf("rain slot %d: demand multiplier %v, want > 1", s, m)
+		}
+	}
+	if m := (Scenario{}).DemandMultiplier(12); m != 1 {
+		t.Fatalf("zero scenario demand multiplier %v, want 1", m)
+	}
+	// Stronger scenarios surge harder.
+	if Rain(1.8).DemandMultiplier(12) <= Rain(1.2).DemandMultiplier(12) {
+		t.Fatal("rain demand surge not monotone in the multiplier")
+	}
+
+	city := MustPreset("CityA", DefaultScale, 1)
+	base := OrderStreamWindow(city, 3, 18*3600, 22*3600)
+	surged := OrderStreamScaled(city, 3, 18*3600, 22*3600, Rain(2.0).DemandMultiplier)
+	if len(surged) <= len(base) {
+		t.Fatalf("rain 2.0 stream has %d orders vs %d base — no surge", len(surged), len(base))
+	}
+	// nil factor must reproduce OrderStreamWindow draw for draw.
+	plain := OrderStreamScaled(city, 3, 18*3600, 22*3600, nil)
+	if len(plain) != len(base) {
+		t.Fatalf("nil-factor stream %d orders vs %d", len(plain), len(base))
+	}
+	for i := range base {
+		if base[i].PlacedAt != plain[i].PlacedAt || base[i].Customer != plain[i].Customer {
+			t.Fatalf("nil-factor stream diverges at %d", i)
+		}
+	}
+}

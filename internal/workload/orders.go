@@ -25,12 +25,27 @@ func OrderStream(c *City, seed int64) []*model.Order {
 // The full-day volume is budgeted first so a window carries exactly the
 // load the city would see at that time of day.
 func OrderStreamWindow(c *City, seed int64, from, to float64) []*model.Order {
+	return OrderStreamScaled(c, seed, from, to, nil)
+}
+
+// OrderStreamScaled is OrderStreamWindow with a per-slot demand scale: the
+// hourly Poisson intensity is multiplied by slotFactor(hour) (nil = 1
+// everywhere — exactly OrderStreamWindow's stream, draw for draw). This is
+// the demand half of a scenario: a rainy day both slows the roads
+// (Scenario.Apply) and surges orders (Scenario.DemandMultiplier fed here).
+// Non-finite or non-positive factors are treated as 1.
+func OrderStreamScaled(c *City, seed int64, from, to float64, slotFactor func(slot int) float64) []*model.Order {
 	rng := rand.New(rand.NewSource(seed ^ 0x0bde5))
 	var orders []*model.Order
 	var id model.OrderID
 	for hour := 0; hour < 24; hour++ {
 		// Expected orders this hour; Poisson-jittered around the budget.
 		lambda := c.Hourly[hour] * float64(c.Params.OrdersPerDay)
+		if slotFactor != nil {
+			if f := slotFactor(hour); f > 0 && !math.IsInf(f, 1) && !math.IsNaN(f) {
+				lambda *= f
+			}
+		}
 		count := poisson(rng, lambda)
 		for i := 0; i < count; i++ {
 			t := (float64(hour) + rng.Float64()) * 3600

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -52,6 +53,30 @@ func (sc Scenario) Multiplier(slot int) float64 {
 	return m
 }
 
+// Demand-coupling strengths: how much of a scenario's slowdown shows up as
+// extra order volume. Rain keeps people home and ordering in (a broad surge
+// across every slot); a rush hour concentrates extra dinner demand into the
+// rush window itself.
+const (
+	rainDemandCoupling = 0.4
+	rushDemandCoupling = 0.5
+)
+
+// DemandMultiplier returns the order-rate surge factor the scenario implies
+// for a slot — the demand side of the same weather/rush event that slows the
+// roads. Always ≥ 1, and exactly 1 for a Zero scenario or outside the rush
+// window of a rush-only scenario.
+func (sc Scenario) DemandMultiplier(slot int) float64 {
+	m := 1.0
+	if sc.RainMultiplier > 1 {
+		m *= 1 + rainDemandCoupling*(sc.RainMultiplier-1)
+	}
+	if sc.RushFactor > 1 && slot >= sc.RushFromHour && slot < sc.RushToHour {
+		m *= 1 + rushDemandCoupling*(sc.RushFactor-1)
+	}
+	return m
+}
+
 // Apply materialises the scenario over a road network: a new graph sharing
 // g's edges whose congestion rows are scaled per slot.
 func (sc Scenario) Apply(g *roadnet.Graph) *roadnet.Graph {
@@ -66,23 +91,28 @@ func (sc Scenario) Zero() bool {
 
 // ParseScenario parses the CLI scenario syntax: "none", "rain:<mult>",
 // "rush:<factor>", or a comma-joined combination ("rain:1.3,rush:1.5").
+// Kinds are case-insensitive and whitespace around parts is ignored.
 func ParseScenario(s string) (Scenario, error) {
 	sc := Scenario{Name: s}
 	s = strings.TrimSpace(s)
-	if s == "" || s == "none" {
+	if s == "" || strings.EqualFold(s, "none") {
 		sc.Name = "none"
 		return sc, nil
 	}
 	for _, part := range strings.Split(s, ",") {
-		kind, arg, ok := strings.Cut(strings.TrimSpace(part), ":")
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return sc, fmt.Errorf("workload: scenario %q: empty part", s)
+		}
+		kind, arg, ok := strings.Cut(part, ":")
 		if !ok {
 			return sc, fmt.Errorf("workload: scenario %q: want kind:value", part)
 		}
-		val, err := strconv.ParseFloat(arg, 64)
-		if err != nil || val <= 0 {
+		val, err := strconv.ParseFloat(strings.TrimSpace(arg), 64)
+		if err != nil || math.IsNaN(val) || math.IsInf(val, 0) || val <= 0 {
 			return sc, fmt.Errorf("workload: scenario %q: bad factor %q", part, arg)
 		}
-		switch kind {
+		switch strings.ToLower(strings.TrimSpace(kind)) {
 		case "rain":
 			sc.RainMultiplier = val
 		case "rush":

@@ -41,6 +41,25 @@ func TestParseScenario(t *testing.T) {
 		{"rain", true, 0},
 		{"rain:zero", true, 0},
 		{"rain:-1", true, 0},
+		// Casing and whitespace are forgiven.
+		{"NONE", false, 1},
+		{"  none  ", false, 1},
+		{"Rain:1.3", false, 1.3},
+		{"RUSH:2", false, 2},
+		{" rain:1.5 , Rush:2 ", false, 3},
+		{"rain: 1.3", false, 1.3},
+		// Malformed combinations are not.
+		{"rain:1.3,", true, 0},
+		{",rush:2", true, 0},
+		{"rain:1.3,,rush:2", true, 0},
+		{"rain:1.3;rush:2", true, 0},
+		{"rain:", true, 0},
+		{":1.3", true, 0},
+		{"rain:1.3:2", true, 0},
+		{"rain:NaN", true, 0},
+		{"rain:+Inf", true, 0},
+		{"rush:0", true, 0},
+		{"fog:1.2,rain:1.3", true, 0},
 	} {
 		sc, err := ParseScenario(tc.in)
 		if tc.wantErr {
