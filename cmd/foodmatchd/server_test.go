@@ -153,6 +153,30 @@ func TestServerEndToEnd(t *testing.T) {
 	if m.Shards != 2 || m.Rounds == 0 {
 		t.Fatalf("metrics snapshot off: %+v", m)
 	}
+	// The shard-resident state is observable zone by zone: per-shard round
+	// timings, resident populations and the served weight epoch.
+	if len(m.PerShard) != 2 {
+		t.Fatalf("per-shard metrics carry %d zones, want 2", len(m.PerShard))
+	}
+	residents := 0
+	for i, sm := range m.PerShard {
+		if sm.Shard != i {
+			t.Fatalf("per-shard entry %d labelled shard %d", i, sm.Shard)
+		}
+		if sm.Rounds != m.Rounds {
+			t.Fatalf("shard %d saw %d rounds, engine %d", i, sm.Rounds, m.Rounds)
+		}
+		if sm.AdvanceSecTotal < 0 || sm.AssignSecTotal < 0 || sm.PoolDepth < 0 {
+			t.Fatalf("shard %d timing/queue fields invalid: %+v", i, sm)
+		}
+		if sm.Epoch != 0 {
+			t.Fatalf("static engine shard %d serves epoch %d", i, sm.Epoch)
+		}
+		residents += sm.Vehicles
+	}
+	if residents != len(fleet) {
+		t.Fatalf("per-shard vehicle residency sums to %d, fleet is %d", residents, len(fleet))
+	}
 
 	// The stream must have carried the rounds' decisions.
 	deadline := time.Now().Add(5 * time.Second)

@@ -407,6 +407,9 @@ type (
 	EngineConfig = engine.Config
 	// EngineMetrics is a point-in-time engine health/throughput snapshot.
 	EngineMetrics = engine.Metrics
+	// EngineShardMetrics is one zone shard's resident-state summary within
+	// EngineMetrics.PerShard (round timings, queue depths, served epoch).
+	EngineShardMetrics = engine.ShardMetrics
 	// EngineRoundStats summarises one assignment round.
 	EngineRoundStats = engine.RoundStats
 	// AssignmentDecision is one published (vehicle, orders) decision.

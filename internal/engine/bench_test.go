@@ -2,11 +2,58 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/model"
 	"repro/internal/workload"
 )
+
+// BenchmarkStepParallel measures a short streamed replay — several
+// consecutive ∆ rounds with orders arriving between them — at increasing
+// zone-shard counts. Where BenchmarkEngineRound stresses one cold
+// maximum-pressure round, this is the steady-state shape: warm distance
+// caches, pools carried between rounds, and the phased round's parallel
+// sections (per-shard advance, match, replan) running against each other.
+//
+//	go test ./internal/engine -bench StepParallel -benchtime 3x
+func BenchmarkStepParallel(b *testing.B) {
+	city := workload.MustPreset("CityB", workload.DefaultScale, 1)
+	start := 19.0 * 3600
+	const rounds = 6
+	cfg := model.DefaultConfig()
+	end := start + float64(rounds)*cfg.Delta
+	orders := workload.OrderStreamWindow(city, 1, start, end)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(len(orders)), "orders/replay")
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := workload.OrderStreamWindow(city, 1, start, end)
+				fleet := city.Fleet(1.0, cfg.MaxO, 1)
+				e, err := New(city.G, fleet, Config{Pipeline: cfg, Shards: shards, QueueSize: len(fresh) + 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.roundMu.Lock()
+				e.clock = start
+				e.clockBits.Store(math.Float64bits(start))
+				e.roundMu.Unlock()
+				next := 0
+				b.StartTimer()
+				for now := start + cfg.Delta; now <= end; now += cfg.Delta {
+					for next < len(fresh) && fresh[next].PlacedAt < now {
+						if err := e.SubmitOrder(fresh[next]); err != nil {
+							b.Fatal(err)
+						}
+						next++
+					}
+					e.Step(now)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkEngineRound measures one loaded dinner-peak assignment round —
 // queue drain, vehicle advancement, zone partition, parallel per-shard
@@ -44,9 +91,10 @@ func BenchmarkEngineRound(b *testing.B) {
 					}
 					// Park the clock at the window start so the measured
 					// Step spans exactly one ∆ of movement plus the round.
-					e.mu.Lock()
+					e.roundMu.Lock()
 					e.clock = wEnd - cfg.Delta
-					e.mu.Unlock()
+					e.clockBits.Store(math.Float64bits(e.clock))
+					e.roundMu.Unlock()
 					b.StartTimer()
 					stats := e.Step(wEnd)
 					if stats.AssignedOrders == 0 && len(fresh) > 0 && stats.AvailableVehicles > 0 {

@@ -29,12 +29,24 @@ type dynamicState struct {
 	epoch        uint64
 	lastT        float64 // sim clock of the last publish attempt
 	publishes    int64
+	patched      int64 // publishes that went through the incremental path
 	learnedEdges int
 	learnedCells int
+	// lastGraph / lastW anchor the incremental publish chain: the graph of
+	// the newest learner-built epoch and the cumulative SlotWeights table
+	// it serves. Nil means the chain is broken (nothing published yet, or
+	// an external ImportWeights replaced the table wholesale) and the next
+	// learner publish must be a full rebuild.
+	lastGraph *roadnet.Graph
+	lastW     *roadnet.SlotWeights
 }
 
 // maybeRefreshWeights publishes a new weight epoch when the refresh period
-// has elapsed; called once per round with the round clock.
+// has elapsed; called once per round with the round clock. A due refresh
+// with nothing learned since the last publish (the dirty set is empty) is
+// skipped outright — minting a weight-identical epoch would only force
+// every shard to rebuild its router caches for zero change. Forced
+// RefreshWeights calls keep the publish-regardless contract.
 func (e *Engine) maybeRefreshWeights(now float64) {
 	if e.dyn == nil {
 		return
@@ -44,7 +56,11 @@ func (e *Engine) maybeRefreshWeights(now float64) {
 	if now-e.dyn.lastT < e.dyn.refresh {
 		return
 	}
-	e.publishWeightsLocked(now)
+	if e.dyn.lastGraph != nil && e.dyn.learner.DirtyCells() == 0 {
+		e.dyn.lastT = now // quiet period: try again a full period later
+		return
+	}
+	e.publishWeightsLocked(now, true)
 }
 
 // RefreshWeights forces an immediate weight publish at the current engine
@@ -60,7 +76,7 @@ func (e *Engine) RefreshWeights() (uint64, bool) {
 	e.dyn.mu.Lock()
 	defer e.dyn.mu.Unlock()
 	before := e.dyn.epoch
-	after := e.publishWeightsLocked(math.Float64frombits(e.clockBits.Load()))
+	after := e.publishWeightsLocked(math.Float64frombits(e.clockBits.Load()), false)
 	return after, after > before
 }
 
@@ -68,29 +84,104 @@ func (e *Engine) RefreshWeights() (uint64, bool) {
 // the decision graph and swaps every zone shard onto the new epoch. Called
 // with dyn.mu held. Returns the served epoch; publishing is skipped while
 // the learner has nothing above the sample floor.
-func (e *Engine) publishWeightsLocked(now float64) uint64 {
+//
+// Only the first learner epoch (or the first after an external import broke
+// the chain) pays a full O(|E|·slots) Reweighted. Every later publish takes
+// the learner's dirty set — the cells touched since the previous publish —
+// and patches the previous epoch's graph, copying only the touched slot
+// rows and sharing everything else, so steady-state publish cost scales
+// with how much the city actually changed.
+//
+// skipIdentity declines to mint an epoch whose weights would be identical
+// to the served one (periodic refreshes pass true — routers should not
+// cold-rebuild for zero change); forced RefreshWeights passes false and
+// publishes regardless.
+func (e *Engine) publishWeightsLocked(now float64, skipIdentity bool) uint64 {
 	d := e.dyn
 	d.lastT = now
-	w := d.learner.Weights(d.minSamples)
-	if w.Cells() == 0 {
-		return d.epoch
+
+	var (
+		g2      *roadnet.Graph
+		patched bool
+		dirtyN  int
+	)
+	if d.lastGraph == nil {
+		// (Re)start the chain: full table, full rebuild.
+		w := d.learner.WeightsFull(d.minSamples)
+		if w.Cells() == 0 {
+			return d.epoch
+		}
+		g2 = e.decG.Reweighted(w)
+		d.lastW = w
+	} else {
+		delta, dirty := d.learner.WeightsDirty(d.minSamples)
+		dirtyN = dirty.Cells()
+		if skipIdentity && (dirtyN == 0 || deltaMatchesPublished(delta, dirty, d.lastW)) {
+			// Nothing touched, or every touched cell is either still below
+			// the sample floor or left its published mean unchanged — the
+			// patch would be an identity. Don't mint a weight-identical
+			// epoch (withheld cells re-mark themselves dirty on the sample
+			// that tips them over).
+			return d.epoch
+		}
+		var err error
+		g2, err = e.decG.PatchReweighted(d.lastGraph, delta, dirty)
+		if err != nil {
+			// Defensive: the chain anchor went stale (cannot happen through
+			// this code path, but a full rebuild is always correct).
+			full := d.learner.WeightsFull(d.minSamples)
+			g2 = e.decG.Reweighted(full)
+			d.lastW = full
+		} else {
+			patched = true
+			// Fold the delta rows into the cumulative table so the
+			// learned-cell provenance stays exact at O(dirty) cost.
+			dirty.Range(func(u, v roadnet.NodeID, _ uint32) {
+				if row, ok := delta.Row(u, v); ok {
+					_ = d.lastW.PutRow(u, v, row)
+				}
+			})
+		}
 	}
-	g2 := e.decG.Reweighted(w)
+	d.lastGraph = g2
 	d.epoch++
 	snap := roadnet.Snapshot{
 		Epoch:        d.epoch,
 		Graph:        g2,
-		LearnedEdges: w.Edges(),
-		LearnedCells: w.Cells(),
+		LearnedEdges: d.lastW.Edges(),
+		LearnedCells: d.lastW.Cells(),
 		PublishedAt:  now,
+		Patched:      patched,
+		DirtyCells:   dirtyN,
 	}
 	for _, sr := range e.shards {
 		sr.router.Publish(snap)
 	}
 	d.publishes++
-	d.learnedEdges = w.Edges()
-	d.learnedCells = w.Cells()
+	if patched {
+		d.patched++
+	}
+	d.learnedEdges = d.lastW.Edges()
+	d.learnedCells = d.lastW.Cells()
 	return d.epoch
+}
+
+// deltaMatchesPublished reports whether every dirty edge's delta row is
+// identical to its row in the cumulative published table — i.e. the patch
+// would change nothing a router can observe. O(dirty) row compares.
+func deltaMatchesPublished(delta *roadnet.SlotWeights, dirty *roadnet.DirtyCells, published *roadnet.SlotWeights) bool {
+	same := true
+	dirty.Range(func(u, v roadnet.NodeID, _ uint32) {
+		if !same {
+			return
+		}
+		dRow, dOK := delta.Row(u, v)
+		pRow, pOK := published.Row(u, v)
+		if dOK != pOK || dRow != pRow {
+			same = false
+		}
+	})
+	return same
 }
 
 // CheckpointWeights writes the streaming learner's accumulated travel-time
@@ -107,12 +198,13 @@ func (e *Engine) CheckpointWeights(w io.Writer) error {
 }
 
 // RestoreWeights merges a CheckpointWeights document into the engine's
-// learner and forces an immediate epoch publish, so the restored knowledge
+// learner and publishes an immediate epoch, so the restored knowledge
 // reaches every zone shard's router before the next round instead of
 // waiting out a refresh period. Returns the served epoch and whether a new
 // epoch was actually published — false when every restored cell is still
-// below the engine's MinSamples floor, in which case shards keep serving
-// their current weights until further observations tip a cell over.
+// below the engine's MinSamples floor (or changes nothing the routers can
+// observe), in which case shards keep serving their current weights until
+// further observations tip a cell over.
 func (e *Engine) RestoreWeights(r io.Reader) (uint64, bool, error) {
 	if e.dyn == nil {
 		return 0, false, ErrStaticRoadnet
@@ -120,16 +212,23 @@ func (e *Engine) RestoreWeights(r io.Reader) (uint64, bool, error) {
 	if err := e.dyn.learner.LoadState(r); err != nil {
 		return 0, false, err
 	}
-	epoch, published := e.RefreshWeights()
-	return epoch, published, nil
+	e.dyn.mu.Lock()
+	defer e.dyn.mu.Unlock()
+	before := e.dyn.epoch
+	// skipIdentity: a restore whose cells are all withheld (or identical to
+	// the published table) must not mint a weight-identical epoch — that is
+	// the documented "nothing published" outcome.
+	after := e.publishWeightsLocked(math.Float64frombits(e.clockBits.Load()), true)
+	return after, after > before, nil
 }
 
 // ImportWeights publishes an externally learned weight table as a fresh
 // epoch on every zone shard — bootstrapping decisions from persisted
 // weights without feeding the learner. Note the learner's own periodic
-// publishes replace imported epochs wholesale; when the engine should keep
-// accumulating on top of the imported knowledge, restore the learner state
-// with RestoreWeights instead.
+// publishes replace imported epochs wholesale (the import breaks the
+// incremental patch chain, so the next learner publish is a full rebuild);
+// when the engine should keep accumulating on top of the imported
+// knowledge, restore the learner state with RestoreWeights instead.
 func (e *Engine) ImportWeights(w *roadnet.SlotWeights) (uint64, error) {
 	if e.dyn == nil {
 		return 0, ErrStaticRoadnet
@@ -141,6 +240,7 @@ func (e *Engine) ImportWeights(w *roadnet.SlotWeights) (uint64, error) {
 	defer e.dyn.mu.Unlock()
 	d := e.dyn
 	g2 := e.decG.Reweighted(w)
+	d.lastGraph, d.lastW = nil, nil
 	d.epoch++
 	snap := roadnet.Snapshot{
 		Epoch:        d.epoch,
@@ -182,12 +282,15 @@ type RoadnetStatus struct {
 	// LearnedEdges / LearnedCells describe the last published epoch.
 	LearnedEdges int `json:"learned_edges"`
 	LearnedCells int `json:"learned_cells"`
-	// Publishes counts epochs ever published; LastPublish is the sim clock
-	// of the most recent publish attempt (-1 before the first).
-	Publishes   int64   `json:"publishes"`
-	LastPublish float64 `json:"last_publish"`
-	RefreshSec  float64 `json:"refresh_sec"`
-	MinSamples  int     `json:"min_samples"`
+	// Publishes counts epochs ever published; PatchedPublishes how many of
+	// them went through the incremental O(dirty) patch path rather than a
+	// full O(|E|·slots) rebuild. LastPublish is the sim clock of the most
+	// recent publish attempt (-1 before the first).
+	Publishes        int64   `json:"publishes"`
+	PatchedPublishes int64   `json:"patched_publishes"`
+	LastPublish      float64 `json:"last_publish"`
+	RefreshSec       float64 `json:"refresh_sec"`
+	MinSamples       int     `json:"min_samples"`
 	// Learner is the streaming learner's throughput (nil when static).
 	Learner *gps.StreamStats `json:"learner,omitempty"`
 }
@@ -209,6 +312,7 @@ func (e *Engine) Roadnet() RoadnetStatus {
 	st.LearnedEdges = e.dyn.learnedEdges
 	st.LearnedCells = e.dyn.learnedCells
 	st.Publishes = e.dyn.publishes
+	st.PatchedPublishes = e.dyn.patched
 	st.LastPublish = e.dyn.lastT
 	if math.IsInf(st.LastPublish, -1) {
 		st.LastPublish = -1 // lastT's internal sentinel is not JSON-encodable

@@ -116,6 +116,76 @@ func TestEngineDynamicWeightsLearnAndSwap(t *testing.T) {
 	}
 }
 
+// TestQuietRefreshSkipsIdenticalEpochs pins the periodic-refresh skip: once
+// an epoch is published, a due refresh with nothing learned since — or with
+// only cells still below the MinSamples floor — must not mint a
+// weight-identical epoch (which would cold-rebuild every shard's router for
+// zero change). The sample that finally tips a cell over the floor
+// publishes again.
+func TestQuietRefreshSkipsIdenticalEpochs(t *testing.T) {
+	city := testCityB
+	learner := gps.NewStreamLearner(city.G, gps.StreamOptions{})
+	e, err := New(city.G, city.Fleet(0.2, 3, 1), Config{
+		Pipeline: testConfig(), Shards: 2,
+		Learner: learner, WeightRefreshSec: 100, MinSamples: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := city.G.OutEdges(0)[0]
+	e1 := city.G.OutEdges(1)[0]
+
+	// Three samples on edge 0: the first due refresh publishes epoch 1.
+	for i := 0; i < 3; i++ {
+		learner.ObserveEdge(0, e0.To, 10*3600+float64(i*10), 40)
+	}
+	e.Step(10*3600 + 200)
+	if st := e.Roadnet(); st.Epoch != 1 || st.Publishes != 1 {
+		t.Fatalf("first refresh: %+v", st)
+	}
+
+	// One below-floor sample on edge 1: the next due refresh must skip.
+	learner.ObserveEdge(1, e1.To, 10*3600+300, 55)
+	e.Step(10*3600 + 400)
+	if st := e.Roadnet(); st.Epoch != 1 || st.Publishes != 1 {
+		t.Fatalf("below-floor refresh minted an epoch: %+v", st)
+	}
+
+	// Nothing at all learned: still skipped.
+	e.Step(10*3600 + 600)
+	if st := e.Roadnet(); st.Epoch != 1 || st.Publishes != 1 {
+		t.Fatalf("empty refresh minted an epoch: %+v", st)
+	}
+
+	// Tip edge 1 over the floor: the withheld cell re-marked itself dirty,
+	// so the next due refresh publishes it.
+	learner.ObserveEdge(1, e1.To, 10*3600+700, 65)
+	learner.ObserveEdge(1, e1.To, 10*3600+710, 60)
+	e.Step(10*3600 + 900)
+	st := e.Roadnet()
+	if st.Epoch != 2 || st.Publishes != 2 {
+		t.Fatalf("tipping refresh: %+v", st)
+	}
+	if st.PatchedPublishes != 1 {
+		t.Fatalf("second epoch should be a patched publish: %+v", st)
+	}
+	for _, sr := range e.shards {
+		snap, _ := sr.router.Acquire()
+		if got := snap.Graph.EdgeTimeSlot(snap.Graph.OutEdges(1)[0], 10); math.Abs(got-60) > 1e-9 {
+			t.Fatalf("shard %d serves %v for the tipped cell, want 60", sr.id, got)
+		}
+	}
+
+	// A *forced* refresh publishes regardless — even when the only dirty
+	// cells are below the floor (the skip is a periodic-path optimisation,
+	// not a change to the RefreshWeights contract).
+	e2 := city.G.OutEdges(2)[0]
+	learner.ObserveEdge(2, e2.To, 10*3600+1000, 70)
+	if ep, ok := e.RefreshWeights(); !ok || ep != 3 {
+		t.Fatalf("forced refresh with below-floor dirt: epoch %d (%v), want 3 (true)", ep, ok)
+	}
+}
+
 // TestRefreshWeights covers the forced-publish path: static engines refuse,
 // dynamic engines publish exactly when the learner has admissible cells.
 func TestRefreshWeights(t *testing.T) {

@@ -99,7 +99,11 @@ type Config struct {
 	// bounded cache regardless.
 	NewRouter func(g *roadnet.Graph) roadnet.Router
 	// Workers bounds the goroutines advancing vehicle movement between
-	// rounds; 0 defaults to GOMAXPROCS.
+	// rounds; 0 defaults to GOMAXPROCS. The budget is split across zone
+	// shards in proportion to their resident fleets (minimum one goroutine
+	// per shard, so a hotspot zone gets the workers its share warrants);
+	// Workers=1 makes movement — and so the learner's observation order —
+	// fully deterministic.
 	Workers int
 	// Trace receives the engine event stream (nil = discard). The sink must
 	// be safe for concurrent use: shards emit from their own goroutines.
@@ -136,14 +140,71 @@ type vehiclePing struct {
 	activeFrom, activeTo float64
 }
 
-// shardRt is the per-shard runtime: its own policy instance and its own
-// epoch-swapped Router so concurrent rounds never contend and weight
-// publishes never block queries.
-type shardRt struct {
+// motionRt wraps one vehicle's movement state with its shard residency: the
+// zone shard currently owning it and its index in that shard's motion list
+// (swap-removal bookkeeping for O(1) cross-shard handoff).
+type motionRt struct {
+	mo    *sim.Motion
+	shard int32
+	pos   int32
+}
+
+// hookCounters are the movement-plane statistics one shard accumulates from
+// its own mover hooks — shard-resident so the parallel advance phase never
+// contends on a global mutex.
+type hookCounters struct {
+	delivered int64
+	stranded  int64
+	xdtSec    float64
+	waitSec   float64
+	distM     float64
+}
+
+// shardTiming tracks one shard's per-round wall-clock costs (written at the
+// round barrier, read by Snapshot).
+type shardTiming struct {
+	rounds          int64
+	advanceSecTotal float64
+	assignSecTotal  float64
+	lastAdvanceSec  float64
+	lastAssignSec   float64
+}
+
+// shardState is the per-shard resident world state: the vehicles currently
+// homed in the zone, the zone's order pool, its own policy instance, mover
+// and epoch-swapped Router. During a round's parallel phases each shard's
+// state is owned exclusively by its own goroutine; cross-shard movement
+// happens only in the serial handoff barrier, so the hot path needs no
+// locks at all. The small mutex below guards only the statistics surfaces
+// concurrent readers (Snapshot, /metrics) sample mid-round.
+type shardState struct {
 	id     int
 	pol    policy.Policy
 	router *roadnet.SwapRouter
 	slot   int // slot the router's memoised rows belong to
+
+	motions []*motionRt    // vehicles homed in this zone
+	pool    []*model.Order // placed, unassigned orders homed in this zone
+	mover   *sim.Mover     // per-shard mover: hooks write the counters below
+
+	// newOrders holds this round's freshly admitted orders awaiting their
+	// SDT lower bound, computed in the shard's parallel phase on sdt (a
+	// per-shard bounded distance cache over the true graph) — admission-time
+	// Dijkstra work stays off the serial drain path.
+	newOrders []*model.Order
+	sdt       *roadnet.DistCache
+	sdtSlot   int
+
+	// poolLen / vehLen mirror len(pool) / len(motions) for lock-free
+	// Snapshot reads while a round is mutating the real slices.
+	poolLen atomic.Int64
+	vehLen  atomic.Int64
+
+	// hookMu guards hooks (written by this shard's movement workers) and
+	// timing (written at the round barrier); both are read by Snapshot.
+	hookMu sync.Mutex
+	hooks  hookCounters
+	timing shardTiming
 }
 
 // Engine is the online dispatcher. All exported methods are safe for
@@ -156,8 +217,8 @@ type Engine struct {
 	dyn    *dynamicState // nil = static road network
 	cfg    Config
 	sh     *sharder
-	mover  *sim.Mover
-	shards []*shardRt
+	mover  *sim.Mover // hook-less: plan swaps, relocations, RoundWorld
+	shards []*shardState
 	// pol is the prototype instance answering Reshuffles/SingleOrderMode
 	// (identical across shards by construction).
 	pol policy.Policy
@@ -165,23 +226,31 @@ type Engine struct {
 	orderCh chan *model.Order
 	pingCh  chan vehiclePing
 
-	// mu guards the world state: vehicles, order pool, clock. Step holds it
-	// for the whole round; ingestion only touches the channels.
-	mu       sync.Mutex
-	motions  []*sim.Motion
-	byID     map[model.VehicleID]*sim.Motion
-	pool     []*model.Order // placed, unassigned
-	future   []*model.Order // ingested with PlacedAt beyond the clock
-	clock    float64
-	slot     int
-	sdtCache *roadnet.DistCache // answers SDT queries at admission
+	// roundMu serialises rounds and whole-world reads (Idle). World state is
+	// shard-resident: during a round's parallel phases each shard goroutine
+	// owns its shardState outright, and roundMu is what keeps the serial
+	// sections (queue drain, cross-shard handoff barrier, application) from
+	// interleaving with another round. Unlike the old engine-wide world
+	// mutex, nothing on the metrics plane (Snapshot, Clock, Roadnet,
+	// RefreshWeights) ever takes it.
+	roundMu sync.Mutex
+	motions []*sim.Motion // stable fleet order (owned by roundMu)
+	byID    map[model.VehicleID]*sim.Motion
+	rtByID  map[model.VehicleID]*motionRt
+	future  []*model.Order // ingested with PlacedAt beyond the clock
+	clock   float64
+	slot    int
+	// pingHandoffs counts ping relocations that re-homed a vehicle across a
+	// zone boundary since the last round closed (folded into that round's
+	// VehicleHandoffs; owned by roundMu).
+	pingHandoffs int
 
 	// clockBits mirrors clock for lock-free readers (RefreshWeights and
-	// Roadnet must not wait out a round holding mu).
+	// Roadnet must not wait out a round).
 	clockBits atomic.Uint64
 
-	// statMu guards counters written by movement hooks (which run on
-	// several worker goroutines) and read by Snapshot.
+	// statMu guards the engine-global counters (ingestion, admission, round
+	// aggregates); the movement-plane counters live per shard.
 	statMu sync.Mutex
 	stats  counters
 
@@ -245,16 +314,16 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 	}
 
 	e := &Engine{
-		g:        g,
-		decG:     decG,
-		cfg:      cfg,
-		sh:       newSharder(g, cfg.Shards),
-		pol:      cfg.NewPolicy(),
-		orderCh:  make(chan *model.Order, cfg.QueueSize),
-		pingCh:   make(chan vehiclePing, cfg.QueueSize),
-		byID:     make(map[model.VehicleID]*sim.Motion, len(fleet)),
-		sdtCache: roadnet.NewDistCache(g, cfg.SPBound),
-		slot:     -1,
+		g:       g,
+		decG:    decG,
+		cfg:     cfg,
+		sh:      newSharder(g, cfg.Shards),
+		pol:     cfg.NewPolicy(),
+		orderCh: make(chan *model.Order, cfg.QueueSize),
+		pingCh:  make(chan vehiclePing, cfg.QueueSize),
+		byID:    make(map[model.VehicleID]*sim.Motion, len(fleet)),
+		rtByID:  make(map[model.VehicleID]*motionRt, len(fleet)),
+		slot:    -1,
 	}
 	if cfg.Learner != nil {
 		e.dyn = &dynamicState{
@@ -265,46 +334,53 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 		}
 	}
 	for s := 0; s < cfg.Shards; s++ {
-		e.shards = append(e.shards, &shardRt{
-			id:     s,
-			pol:    cfg.NewPolicy(),
-			router: roadnet.NewSwapRouter(decG, cfg.NewRouter),
-			slot:   -1,
-		})
+		st := &shardState{
+			id:      s,
+			pol:     cfg.NewPolicy(),
+			router:  roadnet.NewSwapRouter(decG, cfg.NewRouter),
+			slot:    -1,
+			sdt:     roadnet.NewDistCache(g, cfg.SPBound),
+			sdtSlot: -1,
+		}
+		// Each shard advances its own vehicles with its own mover: the
+		// hooks below write shard-resident counters, so the parallel
+		// movement phase shares no statistics mutex across zones.
+		st.mover = sim.NewMover(g, cfg.Trace)
+		st.mover.Hooks = sim.MoveHooks{
+			Wait: func(_ *model.Vehicle, sec, _ float64) {
+				st.hookMu.Lock()
+				st.hooks.waitSec += sec
+				st.hookMu.Unlock()
+			},
+			Deliver: func(o *model.Order, _ *model.Vehicle, _ float64) {
+				st.hookMu.Lock()
+				st.hooks.delivered++
+				st.hooks.xdtSec += o.XDT()
+				st.hookMu.Unlock()
+			},
+			Distance: func(_ *model.Vehicle, meters float64, _ int, _ float64) {
+				st.hookMu.Lock()
+				st.hooks.distM += meters
+				st.hookMu.Unlock()
+			},
+			Strand: func(*model.Order) {
+				st.hookMu.Lock()
+				st.hooks.stranded++
+				st.hookMu.Unlock()
+			},
+		}
+		if cfg.Learner != nil {
+			// Finished edge traversals are the engine's GPS plane: each one
+			// is a perfectly map-matched sample of the *true* graph's β. The
+			// hook runs on the shard's movement workers; the learner
+			// synchronises internally.
+			st.mover.Hooks.Edge = func(_ *model.Vehicle, from, to roadnet.NodeID, tEnter, sec float64) {
+				cfg.Learner.ObserveEdge(from, to, tEnter, sec)
+			}
+		}
+		e.shards = append(e.shards, st)
 	}
 	e.mover = sim.NewMover(g, cfg.Trace)
-	e.mover.Hooks = sim.MoveHooks{
-		Wait: func(_ *model.Vehicle, sec, _ float64) {
-			e.statMu.Lock()
-			e.stats.waitSec += sec
-			e.statMu.Unlock()
-		},
-		Deliver: func(o *model.Order, _ *model.Vehicle, _ float64) {
-			e.statMu.Lock()
-			e.stats.delivered++
-			e.stats.xdtSec += o.XDT()
-			e.statMu.Unlock()
-		},
-		Distance: func(_ *model.Vehicle, meters float64, _ int, _ float64) {
-			e.statMu.Lock()
-			e.stats.distM += meters
-			e.statMu.Unlock()
-		},
-		Strand: func(*model.Order) {
-			e.statMu.Lock()
-			e.stats.stranded++
-			e.statMu.Unlock()
-		},
-	}
-	if cfg.Learner != nil {
-		// Finished edge traversals are the engine's GPS plane: each one is
-		// a perfectly map-matched sample of the *true* graph's β. The hook
-		// runs on the movement worker pool; the learner synchronises
-		// internally.
-		e.mover.Hooks.Edge = func(_ *model.Vehicle, from, to roadnet.NodeID, tEnter, sec float64) {
-			cfg.Learner.ObserveEdge(from, to, tEnter, sec)
-		}
-	}
 	for _, v := range fleet {
 		if v.Node < 0 || int(v.Node) >= g.NumNodes() {
 			return nil, fmt.Errorf("engine: vehicle %d parked at invalid node %d", v.ID, v.Node)
@@ -318,8 +394,34 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 		mo := sim.NewMotion(v)
 		e.motions = append(e.motions, mo)
 		e.byID[v.ID] = mo
+		rt := &motionRt{mo: mo}
+		e.rtByID[v.ID] = rt
+		e.homeMotion(rt, e.sh.shardOf(v.Node))
 	}
 	return e, nil
+}
+
+// homeMotion appends a motion to a shard's resident list (initial homing and
+// the receiving half of a cross-shard handoff).
+func (e *Engine) homeMotion(rt *motionRt, shard int) {
+	st := e.shards[shard]
+	rt.shard = int32(shard)
+	rt.pos = int32(len(st.motions))
+	st.motions = append(st.motions, rt)
+	st.vehLen.Store(int64(len(st.motions)))
+}
+
+// unhomeMotion removes a motion from its current shard's list in O(1)
+// (swap-removal; residency order within a shard is not semantically
+// meaningful across handoffs).
+func (e *Engine) unhomeMotion(rt *motionRt) {
+	st := e.shards[rt.shard]
+	last := len(st.motions) - 1
+	moved := st.motions[last]
+	st.motions[rt.pos] = moved
+	moved.pos = rt.pos
+	st.motions = st.motions[:last]
+	st.vehLen.Store(int64(last))
 }
 
 // Shards returns the zone-shard count K.
@@ -402,15 +504,21 @@ func (e *Engine) Clock() float64 {
 
 // Idle reports whether no work remains anywhere: ingestion queues drained,
 // no pooled or scheduled orders, and every vehicle empty. Replay drivers use
-// it to decide when the post-stream drain phase may stop.
+// it to decide when the post-stream drain phase may stop. It takes the round
+// mutex (a consistent whole-world read), so it waits out an in-flight round.
 func (e *Engine) Idle() bool {
-	if len(e.orderCh) > 0 {
+	if len(e.orderCh) > 0 || len(e.pingCh) > 0 {
 		return false
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if len(e.pool) > 0 || len(e.future) > 0 {
+	e.roundMu.Lock()
+	defer e.roundMu.Unlock()
+	if len(e.future) > 0 {
 		return false
+	}
+	for _, s := range e.shards {
+		if len(s.pool) > 0 {
+			return false
+		}
 	}
 	for _, mo := range e.motions {
 		if mo.V.OrderCount() > 0 {
@@ -446,10 +554,10 @@ func (e *Engine) StartContext(ctx context.Context, startSim, timeScale float64) 
 	if e.stopCh != nil {
 		return ErrRunning
 	}
-	e.mu.Lock()
+	e.roundMu.Lock()
 	e.clock = startSim
 	e.clockBits.Store(math.Float64bits(startSim))
-	e.mu.Unlock()
+	e.roundMu.Unlock()
 	e.stopCh = make(chan struct{})
 	e.doneCh = make(chan struct{})
 	period := time.Duration(float64(time.Second) * e.cfg.Pipeline.Delta / timeScale)

@@ -9,21 +9,18 @@ import "repro/internal/pipeline"
 type PipelineStats = pipeline.Stats
 
 // counters is the engine's internal mutable statistics, guarded by statMu.
+// Movement-plane counters (deliveries, wait, distance) live per shard (see
+// shardState.hooks) so the parallel advance phase never contends here.
 type counters struct {
-	ingested   int64 // accepted into the order queue
-	admitted   int64 // moved from queue to pool
-	shedOrders int64 // rejected with ErrQueueFull
-	shedPings  int64
-	assigned   int64 // assignment decisions applied (order count)
-	reassigned int64 // reshuffle moves across vehicles
-	rejected   int64 // unallocated past RejectAfter
-	delivered  int64
-	stranded   int64
-	handoffs   int64 // orders served by a neighbouring zone
-
-	xdtSec  float64
-	waitSec float64
-	distM   float64
+	ingested    int64 // accepted into the order queue
+	admitted    int64 // moved from queue to pool
+	shedOrders  int64 // rejected with ErrQueueFull
+	shedPings   int64
+	assigned    int64 // assignment decisions applied (order count)
+	reassigned  int64 // reshuffle moves across vehicles
+	rejected    int64 // unallocated past RejectAfter
+	handoffs    int64 // orders served by a neighbouring zone
+	vehHandoffs int64 // vehicles re-homed across a zone boundary
 
 	rounds        int64
 	roundSecTotal float64
@@ -38,6 +35,9 @@ type ShardRoundStats struct {
 	Vehicles    int     `json:"vehicles"`
 	Assignments int     `json:"assignments"`
 	AssignSec   float64 `json:"assign_sec"`
+	// AdvanceSec is the zone's movement-phase wall time this round (the
+	// parallel advance of its resident vehicles).
+	AdvanceSec float64 `json:"advance_sec"`
 	// Epoch is the weight epoch the shard's round pinned (0 when the
 	// shard was skipped or the road network is static).
 	Epoch uint64 `json:"epoch,omitempty"`
@@ -63,8 +63,11 @@ type RoundStats struct {
 	AssignedOrders int `json:"assigned"`
 	// Rejected counts orders dropped for staleness this round.
 	Rejected int `json:"rejected"`
-	// Handoffs counts orders served by a neighbouring zone this round.
-	Handoffs int `json:"handoffs"`
+	// Handoffs counts orders served by a neighbouring zone this round;
+	// VehicleHandoffs counts vehicles that crossed a zone boundary and were
+	// re-homed onto the neighbouring shard at the round barrier.
+	Handoffs        int `json:"handoffs"`
+	VehicleHandoffs int `json:"vehicle_handoffs"`
 	// LatencySec is the full wall-clock cost of the round (movement,
 	// partition, matching, application); AssignSecMax is the slowest
 	// zone's matching time — the critical path of the parallel section.
@@ -80,6 +83,33 @@ type RoundStats struct {
 	Pipeline PipelineStats `json:"pipeline"`
 	// Shards is the per-zone breakdown.
 	Shards []ShardRoundStats `json:"shards"`
+}
+
+// ShardMetrics is one zone's resident-state summary on the metrics plane:
+// what lives in the shard right now and what its rounds cost. Served by
+// Snapshot (and so foodmatchd's GET /metrics) without touching the round
+// lock.
+type ShardMetrics struct {
+	Shard int `json:"shard"`
+	// Vehicles / PoolDepth are the shard-resident populations (sampled
+	// lock-free; mid-round they reflect the last barrier).
+	Vehicles  int `json:"vehicles"`
+	PoolDepth int `json:"pool"`
+	// Epoch is the weight epoch the shard's router currently serves.
+	Epoch uint64 `json:"epoch"`
+	// Rounds and the advance/assign timings describe the shard's share of
+	// the phased round (totals and most recent round).
+	Rounds          int64   `json:"rounds"`
+	AdvanceSecTotal float64 `json:"advance_sec_total"`
+	AssignSecTotal  float64 `json:"assign_sec_total"`
+	LastAdvanceSec  float64 `json:"last_advance_sec"`
+	LastAssignSec   float64 `json:"last_assign_sec"`
+	// Movement-plane counters accumulated by the shard's own mover hooks.
+	Delivered int64   `json:"delivered"`
+	Stranded  int64   `json:"stranded"`
+	XDTSec    float64 `json:"xdt_sec"`
+	WaitSec   float64 `json:"wait_sec"`
+	DistKm    float64 `json:"dist_km"`
 }
 
 // Metrics is a point-in-time snapshot of engine health and throughput.
@@ -102,6 +132,8 @@ type Metrics struct {
 	Rejected       int64 `json:"rejected"`
 	Stranded       int64 `json:"stranded"`
 	Handoffs       int64 `json:"handoffs"`
+	// VehicleHandoffs counts vehicles re-homed across zone boundaries.
+	VehicleHandoffs int64 `json:"vehicle_handoffs"`
 
 	// Quality aggregates (the paper's metrics, online).
 	XDTSec  float64 `json:"xdt_sec"`
@@ -119,18 +151,23 @@ type Metrics struct {
 	PingQueueDepth  int `json:"ping_queue"`
 	PoolDepth       int `json:"pool"`
 
+	// PerShard is the zone-by-zone breakdown of the shard-resident state.
+	PerShard []ShardMetrics `json:"per_shard"`
+
 	// LastRound echoes the most recent round's statistics.
 	LastRound RoundStats `json:"last_round"`
 }
 
-// Snapshot captures current engine metrics. Safe to call concurrently with
-// rounds; the snapshot is internally consistent for the counter block but
-// queue depths are instantaneous samples.
+// Snapshot captures current engine metrics. It never takes the round lock:
+// counters come from the stats mutexes, populations from lock-free
+// per-shard mirrors, the clock from its atomic mirror — so /metrics stays
+// responsive even while a long round is in flight.
 func (e *Engine) Snapshot() Metrics {
 	e.statMu.Lock()
 	c := e.stats
 	e.statMu.Unlock()
 	m := Metrics{
+		Clock:           e.Clock(),
 		Shards:          e.cfg.Shards,
 		OrdersIngested:  c.ingested,
 		OrdersAdmitted:  c.admitted,
@@ -138,18 +175,42 @@ func (e *Engine) Snapshot() Metrics {
 		PingsShed:       c.shedPings,
 		Assigned:        c.assigned,
 		Reassigned:      c.reassigned,
-		Delivered:       c.delivered,
 		Rejected:        c.rejected,
-		Stranded:        c.stranded,
 		Handoffs:        c.handoffs,
-		XDTSec:          c.xdtSec,
-		WaitSec:         c.waitSec,
-		DistKm:          c.distM / 1000,
+		VehicleHandoffs: c.vehHandoffs,
 		Rounds:          c.rounds,
 		RoundSecMax:     c.roundSecMax,
 		LastRound:       c.lastRound,
 		OrderQueueDepth: len(e.orderCh),
 		PingQueueDepth:  len(e.pingCh),
+		PerShard:        make([]ShardMetrics, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		sm := ShardMetrics{
+			Shard:     s.id,
+			Vehicles:  int(s.vehLen.Load()),
+			PoolDepth: int(s.poolLen.Load()),
+			Epoch:     s.router.Epoch(),
+		}
+		s.hookMu.Lock()
+		sm.Delivered = s.hooks.delivered
+		sm.Stranded = s.hooks.stranded
+		sm.XDTSec = s.hooks.xdtSec
+		sm.WaitSec = s.hooks.waitSec
+		sm.DistKm = s.hooks.distM / 1000
+		sm.Rounds = s.timing.rounds
+		sm.AdvanceSecTotal = s.timing.advanceSecTotal
+		sm.AssignSecTotal = s.timing.assignSecTotal
+		sm.LastAdvanceSec = s.timing.lastAdvanceSec
+		sm.LastAssignSec = s.timing.lastAssignSec
+		s.hookMu.Unlock()
+		m.PerShard[i] = sm
+		m.Delivered += sm.Delivered
+		m.Stranded += sm.Stranded
+		m.XDTSec += sm.XDTSec
+		m.WaitSec += sm.WaitSec
+		m.DistKm += sm.DistKm
+		m.PoolDepth += sm.PoolDepth
 	}
 	if c.rounds > 0 {
 		m.RoundSecMean = c.roundSecTotal / float64(c.rounds)
@@ -160,10 +221,6 @@ func (e *Engine) Snapshot() Metrics {
 		m.WeightPublishes = e.dyn.publishes
 		e.dyn.mu.Unlock()
 	}
-	e.mu.Lock()
-	m.Clock = e.clock
-	m.PoolDepth = len(e.pool)
-	e.mu.Unlock()
 	if span := c.lastRound.T - c.simStart; span > 0 && c.admitted > 0 {
 		// Ingest throughput against simulated time; wall-clock throughput
 		// depends on the Start time-scale.

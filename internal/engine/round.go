@@ -17,11 +17,24 @@ import (
 )
 
 // Step advances the engine to simulation time `now` and runs one assignment
-// round: drain the ingestion queues, move every vehicle through
-// [clock, now), reject stale orders, then shard the pool and match each
-// zone in parallel. It returns the round's statistics and is the
-// deterministic entry point replay drivers and tests use; the Start loop
-// calls it once per ∆ tick.
+// round. It returns the round's statistics and is the deterministic entry
+// point replay drivers and tests use; the Start loop calls it once per ∆
+// tick.
+//
+// A round is structured around the shard-resident world state:
+//
+//	serial   drain queues (pings re-home idle vehicles, orders land in
+//	         their restaurant's zone pool)
+//	parallel per shard: advance movement, reject stale pool orders,
+//	         strip reshuffleable orders, build the zone's vehicle set
+//	serial   handoff barrier: publish due weight epochs, re-home vehicles
+//	         that crossed a zone boundary, partition the round's orders
+//	         (pressure-based boundary handoff)
+//	parallel per shard: the assignment pipeline (batching → FoodGraph →
+//	         matching) on the shard's pinned weight epoch
+//	serial   apply decisions, restore unplaced reshuffled orders
+//	parallel per shard: replan restored/stripped vehicles
+//	serial   rebuild zone pools, publish stats
 func (e *Engine) Step(now float64) RoundStats {
 	return e.StepContext(context.Background(), now)
 }
@@ -33,8 +46,8 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.roundMu.Lock()
+	defer e.roundMu.Unlock()
 	t0 := time.Now()
 
 	if now < e.clock {
@@ -43,22 +56,17 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	e.drainPings(now)
 	e.drainOrders(now)
 
-	// Slot boundary: weights changed, memoised distance rows are stale.
+	// Slot boundary: weights changed, memoised distance rows are stale
+	// (each shard resets its own caches lazily against this slot).
 	if s := roadnet.Slot(now); s != e.slot {
 		e.slot = s
-		e.sdtCache.Reset()
 	}
 
-	e.advanceAll(e.clock, now)
+	prevClock := e.clock
 	e.clock = now
 	e.clockBits.Store(math.Float64bits(now))
-	// Weight-refresh due? Publish a new epoch before matching so this
-	// round's decisions already see it.
-	e.maybeRefreshWeights(now)
-	rejected := e.rejectStale(now)
 
-	stats := e.assignRound(ctx, now)
-	stats.Rejected = rejected
+	stats := e.runRound(ctx, prevClock, now)
 	stats.LatencySec = time.Since(t0).Seconds()
 	stats.OrderQueueDepth = len(e.orderCh)
 	stats.PingQueueDepth = len(e.pingCh)
@@ -73,8 +81,9 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 		e.stats.roundSecMax = stats.LatencySec
 	}
 	e.stats.assigned += int64(stats.AssignedOrders)
-	e.stats.rejected += int64(rejected)
+	e.stats.rejected += int64(stats.Rejected)
 	e.stats.handoffs += int64(stats.Handoffs)
+	e.stats.vehHandoffs += int64(stats.VehicleHandoffs)
 	e.stats.lastRound = stats
 	e.statMu.Unlock()
 
@@ -102,10 +111,10 @@ func (e *Engine) drainOrders(now float64) {
 	}
 }
 
-// admitFuture moves matured orders from the future buffer into the pool,
-// computing their SDT lower bound at admission. The buffer is kept sorted
-// by placement time; removal preserves that, so re-sorting is only needed
-// when this round's drain appended new arrivals.
+// admitFuture moves matured orders from the future buffer into their
+// restaurant's zone pool, computing their SDT lower bound at admission. The
+// buffer is kept sorted by placement time; removal preserves that, so
+// re-sorting is only needed when this round's drain appended new arrivals.
 func (e *Engine) admitFuture(now float64, arrived bool) {
 	if arrived {
 		sort.SliceStable(e.future, func(i, j int) bool {
@@ -121,8 +130,12 @@ func (e *Engine) admitFuture(now float64, arrived bool) {
 		}
 		o.State = model.OrderPlaced
 		o.AssignedTo = -1
-		o.SDT = o.Prep + e.sdtCache.Dist(o.Restaurant, o.Customer, o.PlacedAt)
-		e.pool = append(e.pool, o)
+		// The SDT lower bound (a bounded single-source search) is computed
+		// in the shard's parallel phase, not here on the serial drain path.
+		s := e.shards[e.sh.shardOf(o.Restaurant)]
+		s.pool = append(s.pool, o)
+		s.newOrders = append(s.newOrders, o)
+		s.poolLen.Store(int64(len(s.pool)))
 		e.statMu.Lock()
 		e.stats.admitted++
 		e.statMu.Unlock()
@@ -133,6 +146,7 @@ func (e *Engine) admitFuture(now float64, arrived bool) {
 
 // drainPings applies queued vehicle updates. Pings relocate only idle
 // vehicles: while a plan is live, position comes from simulated movement.
+// A relocation that lands in another zone re-homes the vehicle immediately.
 // When the live traffic plane is on, every location ping also streams into
 // the speed learner (stamped with the round clock — the drain is the first
 // instant the engine observes it).
@@ -140,10 +154,11 @@ func (e *Engine) drainPings(now float64) {
 	for {
 		select {
 		case p := <-e.pingCh:
-			mo := e.byID[p.id]
-			if mo == nil {
+			rt := e.rtByID[p.id]
+			if rt == nil {
 				continue
 			}
+			mo := rt.mo
 			if !math.IsNaN(p.activeFrom) {
 				mo.V.ActiveFrom = p.activeFrom
 			}
@@ -154,7 +169,13 @@ func (e *Engine) drainPings(now float64) {
 				if e.dyn != nil {
 					e.dyn.learner.ObserveNode(int64(p.id), now, p.node)
 				}
-				e.mover.Relocate(mo, p.node)
+				if e.mover.Relocate(mo, p.node) {
+					if s := e.sh.shardOf(mo.V.Node); s != int(rt.shard) {
+						e.unhomeMotion(rt)
+						e.homeMotion(rt, s)
+						e.pingHandoffs++
+					}
+				}
 			}
 		default:
 			return
@@ -162,58 +183,28 @@ func (e *Engine) drainPings(now float64) {
 	}
 }
 
-// advanceAll moves every vehicle through [t0, t1), fanned out over the
-// worker pool. Each vehicle's state is touched by exactly one worker; the
-// graph is read-only; movement hooks and the trace sink synchronise
-// internally.
-func (e *Engine) advanceAll(t0, t1 float64) {
-	if t1 <= t0 {
-		return
-	}
-	workers := e.cfg.Workers
-	if workers > len(e.motions) {
-		workers = len(e.motions)
-	}
-	if workers <= 1 {
-		for _, mo := range e.motions {
-			e.mover.Advance(mo, t0, t1)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan *sim.Motion, workers)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for mo := range next {
-				e.mover.Advance(mo, t0, t1)
-			}
-		}()
-	}
-	for _, mo := range e.motions {
-		next <- mo
-	}
-	close(next)
-	wg.Wait()
+// phase1Out is what one shard's parallel pre-match phase hands to the
+// barrier.
+type phase1Out struct {
+	advanceSec float64
+	rejected   int
+	// orders is the shard's contribution to O(ℓ): its pool (post-reject)
+	// followed by the orders stripped from its resident vehicles.
+	orders []*model.Order
+	// incumbent / strippedVeh record the reshuffle release (order -> the
+	// vehicle it was stripped from; vehicles that lost pending orders).
+	incumbent   map[model.OrderID]model.VehicleID
+	strippedVeh map[model.VehicleID]bool
+	// vehicles is V(ℓ) for the shard's residents that did NOT cross a zone
+	// boundary; emigrants carries the crossers with their target zone.
+	vehicles  []*foodgraph.VehicleState
+	emigrants []emigrant
 }
 
-// rejectStale drops pool orders unallocated longer than RejectAfter.
-func (e *Engine) rejectStale(now float64) int {
-	n := 0
-	keep := e.pool[:0]
-	for _, o := range e.pool {
-		if now-o.PlacedAt > e.cfg.Pipeline.RejectAfter {
-			o.State = model.OrderRejected
-			n++
-			e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderRejected, T: now, Order: o.ID})
-			e.subs.publish(StreamEvent{Rejection: &Rejection{T: now, Order: o.ID}})
-		} else {
-			keep = append(keep, o)
-		}
-	}
-	e.pool = keep
-	return n
+type emigrant struct {
+	rt     *motionRt
+	target int
+	vs     *foodgraph.VehicleState // nil when the vehicle is not available
 }
 
 // shardWork is the input/output of one zone's matching goroutine.
@@ -226,57 +217,67 @@ type shardWork struct {
 	pstats   *pipeline.Stats // non-nil iff the shard ran and records stats
 }
 
-// assignRound runs the sharded end-of-window assignment at time now.
-// The world lock is held: ingestion keeps flowing into the channels, but
-// vehicle and pool state belong to this round until it returns.
-func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
+// runRound executes the phased assignment round at time now. roundMu is
+// held; ingestion keeps flowing into the channels, but the world state
+// belongs to this round until it returns.
+func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 	cfg := e.cfg.Pipeline
-	stats := RoundStats{T: now, Epoch: e.currentEpoch(), Shards: make([]ShardRoundStats, len(e.shards))}
-	w := &sim.RoundWorld{
-		ByID:    e.byID,
-		Motions: e.motions,
-		Mover:   e.mover,
-		Cfg:     cfg,
-		Trace:   e.cfg.Trace,
-		SPFor:   e.shardCacheFor,
-	}
+	stats := RoundStats{T: now, Shards: make([]ShardRoundStats, len(e.shards))}
+	reshuffle := cfg.Reshuffle && e.pol.Reshuffles()
+	singleOrder := e.pol.SingleOrderMode(cfg)
 
-	// Build O(ℓ): the pool plus — when reshuffling — every vehicle's
-	// assigned-but-unpicked orders, returned to the pool.
-	orders := make([]*model.Order, 0, len(e.pool))
-	orders = append(orders, e.pool...)
-	var stripped map[model.VehicleID]bool
+	// ---- Parallel phase 1: advance / reject / strip / collect, each shard
+	// on its own goroutine owning its own state. Workers=1 runs the shards
+	// serially in id order instead: movement (and so the order of the
+	// learner's float accumulations and of rejection events) stays fully
+	// deterministic across runs, honouring the Config.Workers contract even
+	// at Shards>1.
+	ph := make([]phase1Out, len(e.shards))
+	e.forEachShard(e.cfg.Workers > 1, func(s *shardState) {
+		ph[s.id] = e.shardPhase1(s, t0, now, reshuffle, singleOrder)
+	})
+
+	// ---- Serial handoff barrier. A weight publish due this round lands
+	// first, so the matching phase below already pins the fresh epoch (the
+	// learner has seen all of this round's traversals by now).
+	e.maybeRefreshWeights(now)
+	stats.Epoch = e.currentEpoch()
+
+	work := make([]shardWork, len(e.shards))
+	var orders []*model.Order
 	prevVehicle := make(map[model.OrderID]model.VehicleID)
-	if cfg.Reshuffle && e.pol.Reshuffles() {
-		orders, prevVehicle, stripped = w.StripPending(now, orders)
+	stripped := make(map[model.VehicleID]bool)
+	availTotal := 0
+	stats.VehicleHandoffs += e.pingHandoffs // ping re-homes since last round
+	e.pingHandoffs = 0
+	for si := range ph {
+		out := &ph[si]
+		stats.Rejected += out.rejected
+		orders = append(orders, out.orders...)
+		for id, v := range out.incumbent {
+			prevVehicle[id] = v
+		}
+		for id := range out.strippedVeh {
+			stripped[id] = true
+		}
+		work[si].vehicles = out.vehicles
+		availTotal += len(out.vehicles)
+	}
+	// Re-home the boundary crossers: the vehicle leaves its old zone's
+	// resident list and (when available) joins the *new* zone's V(ℓ) — a
+	// crosser is matched by exactly one shard.
+	for si := range ph {
+		for _, em := range ph[si].emigrants {
+			e.unhomeMotion(em.rt)
+			e.homeMotion(em.rt, em.target)
+			stats.VehicleHandoffs++
+			if em.vs != nil {
+				work[em.target].vehicles = append(work[em.target].vehicles, em.vs)
+				availTotal++
+			}
+		}
 	}
 	stats.PoolSize = len(orders)
-
-	// Build V(ℓ) per shard, keyed by each vehicle's current zone.
-	singleOrder := e.pol.SingleOrderMode(cfg)
-	work := make([]shardWork, len(e.shards))
-	availTotal := 0
-	for _, mo := range e.motions {
-		v := mo.V
-		if !v.Active(now) {
-			continue
-		}
-		if singleOrder && v.OrderCount() > 0 {
-			continue
-		}
-		if v.OrderCount() >= cfg.MaxO || v.ItemCount() >= cfg.MaxI {
-			continue
-		}
-		s := e.sh.shardOf(v.Node)
-		work[s].vehicles = append(work[s].vehicles, &foodgraph.VehicleState{
-			Vehicle: v,
-			Node:    v.Node,
-			Dest:    mo.NextNode(),
-			Onboard: v.Onboard,
-			Keep:    v.Pending,
-		})
-		availTotal++
-	}
 	stats.AvailableVehicles = availTotal
 
 	// Partition O(ℓ) by restaurant zone with the cross-shard handoff rule.
@@ -284,15 +285,15 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 		stats.Handoffs = e.partitionOrders(orders, work)
 	}
 
-	// Run every zone's pipeline in parallel on its own policy instance and
-	// distance cache.
+	// ---- Parallel phase 2: every zone's pipeline on its own policy
+	// instance, distance cache and pinned weight epoch.
 	var wg sync.WaitGroup
 	for s := range e.shards {
 		if len(work[s].orders) == 0 || len(work[s].vehicles) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(sr *shardRt, w *shardWork) {
+		go func(sr *shardState, w *shardWork) {
 			defer wg.Done()
 			// Pin the current weight epoch for the whole round: the
 			// snapshot's graph and Router stay mutually consistent even if
@@ -326,10 +327,18 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 	}
 	wg.Wait()
 
-	// Apply the zones' decisions centrally through the shared round logic
-	// (window.go — the same code path the offline simulator runs). Zones
-	// hold disjoint vehicles, so decisions never conflict; sequential
-	// application keeps the world state single-writer.
+	// ---- Serial application through the shared round logic (window.go —
+	// the same code path the offline simulator runs). Zones hold disjoint
+	// vehicles, so decisions never conflict; sequential application keeps
+	// the world state single-writer.
+	w := &sim.RoundWorld{
+		ByID:    e.byID,
+		Motions: e.motions,
+		Mover:   e.mover,
+		Cfg:     cfg,
+		Trace:   e.cfg.Trace,
+		SPFor:   e.shardCacheFor,
+	}
 	assignedVehicles := make(map[model.VehicleID]bool)
 	assignedOrders := make(map[model.OrderID]bool)
 	for s := range work {
@@ -339,6 +348,7 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 			Vehicles:    len(sw.vehicles),
 			Assignments: len(sw.res),
 			AssignSec:   sw.sec,
+			AdvanceSec:  ph[s].advanceSec,
 			Epoch:       sw.epoch,
 			Pipeline:    sw.pstats,
 		}
@@ -365,10 +375,42 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 		}
 	}
 
-	restored := w.RestoreToIncumbent(now, orders, prevVehicle, assignedOrders)
-	e.pool = sim.RebuildPool(orders, assignedOrders, e.pool[:0])
-	stats.PoolCarried = len(e.pool)
-	w.ReplanStripped(now, stripped, assignedVehicles, restored)
+	// Give unplaced reshuffled orders back to their incumbents (decision is
+	// serial and deterministic), then fan the expensive replanning out per
+	// zone: each restored or stripped vehicle replans on the distance cache
+	// of the zone its node is in, one goroutine per zone.
+	restored := w.DecideRestores(now, orders, prevVehicle, assignedOrders)
+	e.replanParallel(now, stripped, assignedVehicles, restored)
+
+	// Rebuild the zone pools from the unassigned remainder (orders return
+	// to their restaurant's home zone).
+	for _, s := range e.shards {
+		s.pool = s.pool[:0]
+	}
+	carried := 0
+	for _, o := range orders {
+		if sim.PoolCarry(o, assignedOrders) {
+			s := e.shards[e.sh.shardOf(o.Restaurant)]
+			s.pool = append(s.pool, o)
+			carried++
+		}
+	}
+	for _, s := range e.shards {
+		s.poolLen.Store(int64(len(s.pool)))
+	}
+	stats.PoolCarried = carried
+
+	// Shard-resident round timings for the metrics plane.
+	for s := range e.shards {
+		st := e.shards[s]
+		st.hookMu.Lock()
+		st.timing.rounds++
+		st.timing.advanceSecTotal += ph[s].advanceSec
+		st.timing.assignSecTotal += work[s].sec
+		st.timing.lastAdvanceSec = ph[s].advanceSec
+		st.timing.lastAssignSec = work[s].sec
+		st.hookMu.Unlock()
+	}
 
 	e.cfg.Trace.Emit(trace.Event{
 		Kind: trace.WindowClosed, T: now,
@@ -376,6 +418,181 @@ func (e *Engine) assignRound(ctx context.Context, now float64) RoundStats {
 		Assignments: stats.AssignedOrders, AssignSec: stats.AssignSecMax,
 	})
 	return stats
+}
+
+// forEachShard runs fn over every shard — one goroutine each when parallel,
+// inline in shard-id order otherwise (single shard, or a caller that needs
+// cross-shard determinism).
+func (e *Engine) forEachShard(parallel bool, fn func(s *shardState)) {
+	if !parallel || len(e.shards) == 1 {
+		for _, s := range e.shards {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards))
+	for _, s := range e.shards {
+		go func(s *shardState) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// shardPhase1 is one zone's parallel pre-match phase: advance resident
+// vehicles through [t0, t1), reject stale pool orders, strip reshuffleable
+// pending orders, and classify residents into stay-home vehicle states vs
+// boundary-crossing emigrants. It runs on the shard's own goroutine and
+// touches only shard-resident state (trace sinks, stream subscribers and
+// the learner synchronise internally).
+func (e *Engine) shardPhase1(s *shardState, t0, t1 float64, reshuffle, singleOrder bool) phase1Out {
+	cfg := e.cfg.Pipeline
+	var out phase1Out
+
+	// SDT lower bounds for this round's freshly admitted orders, on the
+	// shard's own bounded distance cache (values depend only on the static
+	// true graph and the order's placement time, so computing them here —
+	// in parallel, per shard — is exact).
+	if s.sdtSlot != e.slot {
+		s.sdtSlot = e.slot
+		s.sdt.Reset()
+	}
+	for _, o := range s.newOrders {
+		o.SDT = o.Prep + s.sdt.Dist(o.Restaurant, o.Customer, o.PlacedAt)
+	}
+	s.newOrders = s.newOrders[:0]
+
+	adv := time.Now()
+	e.advanceShard(s, t0, t1)
+	out.advanceSec = time.Since(adv).Seconds()
+
+	// Reject pool orders unallocated longer than RejectAfter.
+	keep := s.pool[:0]
+	for _, o := range s.pool {
+		if t1-o.PlacedAt > cfg.RejectAfter {
+			o.State = model.OrderRejected
+			out.rejected++
+			e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderRejected, T: t1, Order: o.ID})
+			e.subs.publish(StreamEvent{Rejection: &Rejection{T: t1, Order: o.ID}})
+		} else {
+			keep = append(keep, o)
+		}
+	}
+	s.pool = keep
+	s.poolLen.Store(int64(len(s.pool)))
+
+	// O(ℓ) contribution: the zone pool, then — when reshuffling — every
+	// resident vehicle's assigned-but-unpicked orders, released back to the
+	// pool through the same sim.ReleasePending the offline round runs.
+	out.orders = append(out.orders, s.pool...)
+	if reshuffle {
+		out.incumbent = make(map[model.OrderID]model.VehicleID)
+		out.strippedVeh = make(map[model.VehicleID]bool)
+		for _, rt := range s.motions {
+			var released bool
+			out.orders, released = sim.ReleasePending(rt.mo.V, t1, e.cfg.Trace, out.orders, out.incumbent)
+			if released {
+				out.strippedVeh[rt.mo.V.ID] = true
+			}
+		}
+	}
+
+	// V(ℓ) and emigrants: availability is judged post-strip (a stripped
+	// vehicle's capacity is free again), zone membership by the node the
+	// vehicle advanced to.
+	for _, rt := range s.motions {
+		v := rt.mo.V
+		var vs *foodgraph.VehicleState
+		if v.Active(t1) &&
+			!(singleOrder && v.OrderCount() > 0) &&
+			v.OrderCount() < cfg.MaxO && v.ItemCount() < cfg.MaxI {
+			vs = &foodgraph.VehicleState{
+				Vehicle: v,
+				Node:    v.Node,
+				Dest:    rt.mo.NextNode(),
+				Onboard: v.Onboard,
+				Keep:    v.Pending,
+			}
+		}
+		if target := e.sh.shardOf(v.Node); target != s.id {
+			out.emigrants = append(out.emigrants, emigrant{rt: rt, target: target, vs: vs})
+			continue
+		}
+		if vs != nil {
+			out.vehicles = append(out.vehicles, vs)
+		}
+	}
+	return out
+}
+
+// advanceShard moves the shard's resident vehicles through [t0, t1) on the
+// shard's own mover. The engine's Workers budget is split across shards in
+// proportion to their resident populations (a dinner-peak hotspot zone gets
+// the workers its fleet share warrants, not an even 1/K slice); within its
+// share a shard fans its motions out over a small worker pool (each vehicle
+// touched by exactly one goroutine; the graph is read-only; hooks and the
+// trace sink synchronise internally).
+func (e *Engine) advanceShard(s *shardState, t0, t1 float64) {
+	if t1 <= t0 || len(s.motions) == 0 {
+		return
+	}
+	workers := e.cfg.Workers * len(s.motions) / len(e.motions)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(s.motions) {
+		workers = len(s.motions)
+	}
+	if workers <= 1 {
+		for _, rt := range s.motions {
+			s.mover.Advance(rt.mo, t0, t1)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan *sim.Motion, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for mo := range next {
+				s.mover.Advance(mo, t0, t1)
+			}
+		}()
+	}
+	for _, rt := range s.motions {
+		next <- rt.mo
+	}
+	close(next)
+	wg.Wait()
+}
+
+// replanParallel rebuilds plans for restored and stripped-but-unmatched
+// vehicles — the Dijkstra-heavy tail of the round — fanned out per zone so
+// each zone's distance cache is driven by exactly one goroutine. Per
+// vehicle the logic matches sim.RoundWorld.RestoreToIncumbent/
+// ReplanStripped; vehicles are grouped by the zone their node is in (the
+// cache that can answer their queries).
+func (e *Engine) replanParallel(now float64, stripped, assigned, restored map[model.VehicleID]bool) {
+	if len(stripped) == 0 && len(restored) == 0 {
+		return
+	}
+	buckets := make([][]*sim.Motion, len(e.shards))
+	for _, mo := range e.motions {
+		v := mo.V
+		if !restored[v.ID] && !(stripped[v.ID] && !assigned[v.ID]) {
+			continue
+		}
+		z := e.sh.shardOf(v.Node)
+		buckets[z] = append(buckets[z], mo)
+	}
+	e.forEachShard(e.cfg.Workers > 1, func(s *shardState) {
+		for _, mo := range buckets[s.id] {
+			sim.ReplanAfterRound(s.router.Travel, e.mover, mo, now, restored[mo.V.ID])
+		}
+	})
 }
 
 // partitionOrders distributes O(ℓ) across the zone shards: every order goes
@@ -425,7 +642,7 @@ func pressure(w *shardWork) float64 {
 }
 
 // shardCacheFor returns the distance oracle of a node's zone (used outside
-// the parallel section).
+// the parallel sections).
 func (e *Engine) shardCacheFor(n roadnet.NodeID) roadnet.SPFunc {
 	return e.shards[e.sh.shardOf(n)].router.Travel
 }

@@ -10,28 +10,74 @@ import (
 // travel-time estimates — the Section V-A procedure that produces β(e,t)
 // from "the average travel time across all of Swiggy's vehicles in the
 // corresponding road", per hourly slot.
+//
+// Accumulators live in one dense edge-indexed table (sum/cnt at
+// edgeIndex·SlotsPerDay+slot) rather than per-slot hash maps: observation
+// ingest is the hot path of the live traffic plane (one call per finished
+// edge traversal), and the flat layout makes it an index computation plus
+// two array writes, with no per-sample allocation. Parallel u→v edges share
+// the leading edge's row — the same aggregation the (u, v)-keyed maps
+// performed. The learner also tracks which cells changed since the last
+// publish (a roadnet.DirtyCells), which is what lets the engine patch weight
+// epochs incrementally instead of rebuilding O(|E|·slots) tables.
 type SpeedLearner struct {
 	g *roadnet.Graph
-	// sum[slot][edgeKey] / cnt[slot][edgeKey] accumulate observations.
-	sum []map[int64]float64
-	cnt []map[int64]int
+	// sum/cnt accumulate observations at cell edgeIndex*SlotsPerDay+slot.
+	sum []float64
+	cnt []int32
+	// dirty marks cells touched since the last TakeDirty.
+	dirty *roadnet.DirtyCells
+	// obsCells / obsEdges count cells and edges with ≥1 sample (kept
+	// incrementally so stats never need a table scan).
+	obsCells, obsEdges int
 }
 
 // NewSpeedLearner returns an empty learner over g.
 func NewSpeedLearner(g *roadnet.Graph) *SpeedLearner {
-	l := &SpeedLearner{
-		g:   g,
-		sum: make([]map[int64]float64, roadnet.SlotsPerDay),
-		cnt: make([]map[int64]int, roadnet.SlotsPerDay),
+	m := g.NumEdges()
+	return &SpeedLearner{
+		g:     g,
+		sum:   make([]float64, m*roadnet.SlotsPerDay),
+		cnt:   make([]int32, m*roadnet.SlotsPerDay),
+		dirty: roadnet.NewDirtyCells(),
 	}
-	for s := range l.sum {
-		l.sum[s] = make(map[int64]float64)
-		l.cnt[s] = make(map[int64]int)
-	}
-	return l
 }
 
-func edgeKey(u, v roadnet.NodeID) int64 { return roadnet.EdgeKey(u, v) }
+// cell returns the dense accumulator index for (u→v, slot), or -1 when the
+// graph has no such edge.
+func (l *SpeedLearner) cell(u, v roadnet.NodeID, slot int) int {
+	ei := l.g.EdgeIndexOf(u, v)
+	if ei < 0 {
+		return -1
+	}
+	return ei*roadnet.SlotsPerDay + slot
+}
+
+// edgeObserved reports whether any slot of the edge's row has samples.
+func (l *SpeedLearner) edgeObserved(ei int) bool {
+	row := l.cnt[ei*roadnet.SlotsPerDay : (ei+1)*roadnet.SlotsPerDay]
+	for _, c := range row {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// add books one sample into a cell, keeping the dirty set and the
+// observed-cell/edge counters consistent.
+func (l *SpeedLearner) add(u, v roadnet.NodeID, ei, slot int, sum float64, n int32) {
+	c := ei*roadnet.SlotsPerDay + slot
+	if l.cnt[c] == 0 {
+		if !l.edgeObserved(ei) {
+			l.obsEdges++
+		}
+		l.obsCells++
+	}
+	l.sum[c] += sum
+	l.cnt[c] += n
+	l.dirty.Mark(u, v, slot)
+}
 
 // ObserveDrive records a ground-truth-timed traversal (typically the
 // matched trajectory re-timed by ping timestamps): consecutive node pairs
@@ -49,45 +95,43 @@ func (l *SpeedLearner) ObserveDrive(nodes []roadnet.NodeID, times []float64) int
 		if u < 0 || int(u) >= l.g.NumNodes() || v < 0 || int(v) >= l.g.NumNodes() {
 			continue
 		}
-		if !l.hasEdge(u, v) {
+		ei := l.g.EdgeIndexOf(u, v)
+		if ei < 0 {
 			continue
 		}
 		dt := times[i+1] - times[i]
 		if math.IsNaN(times[i]) || math.IsNaN(dt) || dt <= 0 || dt > 3600 {
 			continue // implausible sample
 		}
-		slot := roadnet.Slot(times[i])
-		k := edgeKey(u, v)
-		l.sum[slot][k] += dt
-		l.cnt[slot][k]++
+		l.add(u, v, ei, roadnet.Slot(times[i]), dt, 1)
 		n++
 	}
 	return n
 }
 
-func (l *SpeedLearner) hasEdge(u, v roadnet.NodeID) bool {
-	for _, e := range l.g.OutEdges(u) {
-		if e.To == v {
-			return true
-		}
-	}
-	return false
-}
-
 // Samples returns the observation count for an edge and slot.
 func (l *SpeedLearner) Samples(u, v roadnet.NodeID, slot int) int {
-	return l.cnt[slot][edgeKey(u, v)]
+	c := l.cell(u, v, slot)
+	if c < 0 {
+		return 0
+	}
+	return int(l.cnt[c])
 }
 
 // Estimate returns the learned mean traversal time for an edge in a slot,
 // or fallback when unobserved.
 func (l *SpeedLearner) Estimate(u, v roadnet.NodeID, slot int, fallback float64) float64 {
-	k := edgeKey(u, v)
-	if c := l.cnt[slot][k]; c > 0 {
-		return l.sum[slot][k] / float64(c)
+	c := l.cell(u, v, slot)
+	if c >= 0 && l.cnt[c] > 0 {
+		return l.sum[c] / float64(l.cnt[c])
 	}
 	return fallback
 }
+
+// ObservedCells / ObservedEdges report how many (edge, slot) cells and
+// edges hold at least one sample (maintained incrementally — O(1)).
+func (l *SpeedLearner) ObservedCells() int { return l.obsCells }
+func (l *SpeedLearner) ObservedEdges() int { return l.obsEdges }
 
 // Weights exports the learned estimates as a sparse roadnet.SlotWeights
 // table: one cell per (edge, slot) with at least minSamples observations,
@@ -99,81 +143,90 @@ func (l *SpeedLearner) Weights(minSamples int) *roadnet.SlotWeights {
 		minSamples = 1
 	}
 	w := roadnet.NewSlotWeights()
-	for slot := 0; slot < roadnet.SlotsPerDay; slot++ {
-		for k, c := range l.cnt[slot] {
-			if c < minSamples {
-				continue
-			}
-			u, v := roadnet.EdgeKeyNodes(k)
-			// Set rejects non-finite/non-positive means; ObserveDrive's
-			// admission filter makes that unreachable, but the guard keeps
-			// a poisoned accumulator out of a published epoch regardless.
-			_ = w.Set(u, v, slot, l.sum[slot][k]/float64(c))
+	g := l.g
+	for u := 0; u < g.NumNodes(); u++ {
+		off := g.OutEdgeOffset(roadnet.NodeID(u))
+		for i, e := range g.OutEdges(roadnet.NodeID(u)) {
+			l.exportRow(w, roadnet.NodeID(u), e.To, off+i, minSamples)
 		}
 	}
 	return w
 }
 
+// exportRow writes edge ei's admissible cells into w (no-op for non-leading
+// parallel edges, whose rows are empty by construction).
+func (l *SpeedLearner) exportRow(w *roadnet.SlotWeights, u, v roadnet.NodeID, ei, minSamples int) {
+	row := l.cnt[ei*roadnet.SlotsPerDay : (ei+1)*roadnet.SlotsPerDay]
+	for s, c := range row {
+		if int(c) < minSamples {
+			continue
+		}
+		// Set rejects non-finite/non-positive means; ObserveDrive's
+		// admission filter makes that unreachable, but the guard keeps a
+		// poisoned accumulator out of a published epoch regardless.
+		_ = w.Set(u, v, s, l.sum[ei*roadnet.SlotsPerDay+s]/float64(c))
+	}
+}
+
+// DirtyCellCount reports how many cells are currently marked dirty (O(1)).
+func (l *SpeedLearner) DirtyCellCount() int { return l.dirty.Cells() }
+
+// TakeDirty returns the set of cells touched since the last TakeDirty (or
+// learner creation) and resets it — one half of the incremental publish
+// protocol; WeightsForDirty is the other.
+func (l *SpeedLearner) TakeDirty() *roadnet.DirtyCells {
+	d := l.dirty
+	l.dirty = roadnet.NewDirtyCells()
+	return d
+}
+
+// WeightsForDirty exports the complete current rows of every edge in the
+// dirty set (cells below minSamples withheld, exactly like Weights) — the
+// O(dirty) delta table Graph.PatchReweighted consumes.
+func (l *SpeedLearner) WeightsForDirty(minSamples int, dirty *roadnet.DirtyCells) *roadnet.SlotWeights {
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	w := roadnet.NewSlotWeights()
+	dirty.Range(func(u, v roadnet.NodeID, _ uint32) {
+		if ei := l.g.EdgeIndexOf(u, v); ei >= 0 {
+			l.exportRow(w, u, v, ei, minSamples)
+		}
+	})
+	return w
+}
+
 // LearnedGraph materialises a new road network whose edge weights are the
-// learned per-slot estimates: each (edge, slot) cell gets its own learned
-// time (realised through one zone per edge with per-slot multipliers over
-// the edge's observed mean), unobserved cells falling back to the source
-// graph's β. The geometry is copied unchanged.
+// learned per-slot estimates, with unobserved cells falling back to the
+// source graph's β. The result uses the dense edge-indexed slot-seconds
+// layout (one float32 per cell) rather than a dedicated 24-float64
+// congestion row per edge — at city scale that is the difference between a
+// learned graph costing ~4× and ~0.5× the base graph's weight storage.
 //
 // MinSamples guards against overfitting single noisy observations.
 func (l *SpeedLearner) LearnedGraph(minSamples int) (*roadnet.Graph, error) {
-	g := l.g
-	b := roadnet.NewBuilder()
-	for i := 0; i < g.NumNodes(); i++ {
-		b.AddNode(g.Point(roadnet.NodeID(i)))
+	if minSamples < 1 {
+		minSamples = 1
 	}
+	g := l.g
+	secs := make([]float32, g.NumEdges()*roadnet.SlotsPerDay)
 	for u := 0; u < g.NumNodes(); u++ {
-		for _, e := range g.OutEdges(roadnet.NodeID(u)) {
-			base := math.Inf(1)
-			var mult [roadnet.SlotsPerDay]float64
-			// Learned base = mean over observed slots; multipliers express
-			// slot variation around it.
-			observed := 0
-			sum := 0.0
+		off := g.OutEdgeOffset(roadnet.NodeID(u))
+		for i, e := range g.OutEdges(roadnet.NodeID(u)) {
+			ei := off + i
+			// Parallel u→v edges aggregate on the leading edge's row.
+			lead := g.EdgeIndexOf(roadnet.NodeID(u), e.To)
 			for s := 0; s < roadnet.SlotsPerDay; s++ {
-				if l.cnt[s][edgeKey(roadnet.NodeID(u), e.To)] >= minSamples {
-					sum += l.Estimate(roadnet.NodeID(u), e.To, s, 0)
-					observed++
-				}
-			}
-			if observed > 0 {
-				base = sum / float64(observed)
-			}
-			for s := 0; s < roadnet.SlotsPerDay; s++ {
-				trueBeta := g.EdgeTimeSlot(e, s)
-				if l.cnt[s][edgeKey(roadnet.NodeID(u), e.To)] >= minSamples && !math.IsInf(base, 1) && base > 0 {
-					mult[s] = l.Estimate(roadnet.NodeID(u), e.To, s, trueBeta) / base
-				} else if !math.IsInf(base, 1) && base > 0 {
-					// Unobserved slot on an observed edge: keep the source
-					// graph's relative profile.
-					mult[s] = trueBeta / float64(e.BaseSec) * float64(e.BaseSec) / base
+				c := lead*roadnet.SlotsPerDay + s
+				if int(l.cnt[c]) >= minSamples {
+					secs[ei*roadnet.SlotsPerDay+s] = float32(l.sum[c] / float64(l.cnt[c]))
 				} else {
-					mult[s] = 1
-				}
-				if mult[s] <= 0 {
-					mult[s] = 1
+					secs[ei*roadnet.SlotsPerDay+s] = float32(g.EdgeTimeSlot(e, s))
 				}
 			}
-			zone := b.AddZone(mult)
-			if math.IsInf(base, 1) {
-				// Fully unobserved edge: copy the source free-flow time and
-				// its own profile via a dedicated zone.
-				var srcMult [roadnet.SlotsPerDay]float64
-				for s := range srcMult {
-					srcMult[s] = g.EdgeTimeSlot(e, s) / float64(e.BaseSec)
-				}
-				zone = b.AddZone(srcMult)
-				base = float64(e.BaseSec)
-			}
-			b.AddEdge(roadnet.NodeID(u), e.To, float64(e.LenM), base, zone)
 		}
 	}
-	return b.Build()
+	return g.WithDenseWeights(secs)
 }
 
 // MeanAbsErrorSec compares learned estimates to the source graph's true
@@ -183,13 +236,15 @@ func (l *SpeedLearner) LearnedGraph(minSamples int) (*roadnet.Graph, error) {
 func (l *SpeedLearner) MeanAbsErrorSec(minSamples int) (mae float64, cells int) {
 	g := l.g
 	for u := 0; u < g.NumNodes(); u++ {
-		for _, e := range g.OutEdges(roadnet.NodeID(u)) {
+		off := g.OutEdgeOffset(roadnet.NodeID(u))
+		for i, e := range g.OutEdges(roadnet.NodeID(u)) {
+			ei := off + i
 			for s := 0; s < roadnet.SlotsPerDay; s++ {
-				k := edgeKey(roadnet.NodeID(u), e.To)
-				if l.cnt[s][k] < minSamples {
+				c := ei*roadnet.SlotsPerDay + s
+				if int(l.cnt[c]) < minSamples {
 					continue
 				}
-				est := l.sum[s][k] / float64(l.cnt[s][k])
+				est := l.sum[c] / float64(l.cnt[c])
 				mae += math.Abs(est - g.EdgeTimeSlot(e, s))
 				cells++
 			}

@@ -37,15 +37,21 @@ const learnerStateVersion = 1
 // ordered by (from, to, slot) so identical learners export identical bytes.
 func (l *SpeedLearner) ExportState() *LearnerState {
 	st := &LearnerState{Version: learnerStateVersion}
-	for slot := 0; slot < roadnet.SlotsPerDay; slot++ {
-		for k, c := range l.cnt[slot] {
-			if c <= 0 {
-				continue
+	g := l.g
+	for u := 0; u < g.NumNodes(); u++ {
+		off := g.OutEdgeOffset(roadnet.NodeID(u))
+		for i, e := range g.OutEdges(roadnet.NodeID(u)) {
+			ei := off + i
+			for slot := 0; slot < roadnet.SlotsPerDay; slot++ {
+				c := ei*roadnet.SlotsPerDay + slot
+				if l.cnt[c] <= 0 {
+					continue
+				}
+				st.Cells = append(st.Cells, LearnerCellState{
+					From: roadnet.NodeID(u), To: e.To, Slot: slot,
+					Sum: l.sum[c], Cnt: int(l.cnt[c]),
+				})
 			}
-			u, v := roadnet.EdgeKeyNodes(k)
-			st.Cells = append(st.Cells, LearnerCellState{
-				From: u, To: v, Slot: slot, Sum: l.sum[slot][k], Cnt: c,
-			})
 		}
 	}
 	sort.Slice(st.Cells, func(i, j int) bool {
@@ -74,6 +80,12 @@ func (l *SpeedLearner) ImportState(st *LearnerState) error {
 	if st.Version != learnerStateVersion {
 		return fmt.Errorf("gps: learner state version %d (want %d)", st.Version, learnerStateVersion)
 	}
+	// Validate everything — including that the merged counts stay inside
+	// the int32 accumulators, accumulated across duplicate cells and onto
+	// whatever this learner already holds — before touching any state, so
+	// a bad checkpoint cannot half-apply (and cannot silently wrap a count
+	// negative, which would make the cell vanish from every later export).
+	planned := make(map[int]int64, len(st.Cells))
 	for _, c := range st.Cells {
 		if c.Slot < 0 || c.Slot >= roadnet.SlotsPerDay {
 			return fmt.Errorf("gps: learner state cell %d->%d: slot %d out of range", c.From, c.To, c.Slot)
@@ -85,14 +97,22 @@ func (l *SpeedLearner) ImportState(st *LearnerState) error {
 		if c.From < 0 || int(c.From) >= l.g.NumNodes() || c.To < 0 || int(c.To) >= l.g.NumNodes() {
 			return fmt.Errorf("gps: learner state cell %d->%d: node out of range", c.From, c.To)
 		}
-		if !l.hasEdge(c.From, c.To) {
+		ei := l.g.EdgeIndexOf(c.From, c.To)
+		if ei < 0 {
 			return fmt.Errorf("gps: learner state cell %d->%d: no such edge", c.From, c.To)
 		}
+		idx := ei*roadnet.SlotsPerDay + c.Slot
+		planned[idx] += int64(c.Cnt)
+		if int64(l.cnt[idx])+planned[idx] > math.MaxInt32 {
+			return fmt.Errorf("gps: learner state cell %d->%d slot %d: merged count overflows (have %d, adding %d)",
+				c.From, c.To, c.Slot, l.cnt[idx], planned[idx])
+		}
 	}
+	// Restored cells count as touched: the next incremental publish must
+	// carry them to the routers.
 	for _, c := range st.Cells {
-		k := edgeKey(c.From, c.To)
-		l.sum[c.Slot][k] += c.Sum
-		l.cnt[c.Slot][k] += c.Cnt
+		ei := l.g.EdgeIndexOf(c.From, c.To)
+		l.add(c.From, c.To, ei, c.Slot, c.Sum, int32(c.Cnt))
 	}
 	return nil
 }

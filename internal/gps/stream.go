@@ -227,6 +227,41 @@ func (l *StreamLearner) Weights(minSamples int) *roadnet.SlotWeights {
 	return l.base.Weights(minSamples)
 }
 
+// WeightsDirty atomically takes the dirty set accumulated since the last
+// WeightsDirty/WeightsFull call (or learner creation) together with the
+// complete current rows of every dirty edge — the O(changed) delta the
+// engine feeds to Graph.PatchReweighted. Cells below minSamples are
+// withheld exactly like Weights; a withheld cell is re-marked dirty by the
+// very sample that tips it over the floor, so nothing is ever lost between
+// publishes.
+func (l *StreamLearner) WeightsDirty(minSamples int) (*roadnet.SlotWeights, *roadnet.DirtyCells) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.base.TakeDirty()
+	return l.base.WeightsForDirty(minSamples, d), d
+}
+
+// DirtyCells reports how many (edge, slot) cells have been touched since
+// the last WeightsDirty/WeightsFull take — the cheap "is there anything to
+// publish?" probe the engine's periodic refresh uses to skip weight-
+// identical epochs.
+func (l *StreamLearner) DirtyCells() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base.DirtyCellCount()
+}
+
+// WeightsFull atomically exports the full admissible table AND resets the
+// dirty set — the publish that (re)starts an incremental patch chain, e.g.
+// the engine's first epoch or the first learner publish after an external
+// ImportWeights replaced the served table wholesale.
+func (l *StreamLearner) WeightsFull(minSamples int) *roadnet.SlotWeights {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base.TakeDirty()
+	return l.base.Weights(minSamples)
+}
+
 // Samples returns the observation count for one edge and slot.
 func (l *StreamLearner) Samples(u, v roadnet.NodeID, slot int) int {
 	l.mu.Lock()
@@ -239,8 +274,7 @@ func (l *StreamLearner) Stats() StreamStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	s := l.stats
-	w := l.base.Weights(1)
-	s.Edges = w.Edges()
-	s.Cells = w.Cells()
+	s.Edges = l.base.ObservedEdges()
+	s.Cells = l.base.ObservedCells()
 	return s
 }

@@ -1,0 +1,50 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// WithDenseWeights returns a graph sharing g's topology whose β is read from
+// a dense per-edge per-slot table: secs[i*SlotsPerDay+slot] is the traversal
+// time in seconds of the edge with index i (the numbering of OutEdgeOffset /
+// EdgeIndexOf). This is the compact layout for fully-materialised learned
+// graphs — one float32 per cell instead of a dedicated 24-float64 congestion
+// row per edge — at the cost of one extra branch in EdgeTime.
+//
+// Every cell must be finite and positive; the table is owned by the returned
+// graph and must not be mutated afterwards.
+func (g *Graph) WithDenseWeights(secs []float32) (*Graph, error) {
+	m := g.NumEdges()
+	if len(secs) != m*SlotsPerDay {
+		return nil, fmt.Errorf("roadnet: dense weight table has %d cells, want %d edges × %d slots",
+			len(secs), m, SlotsPerDay)
+	}
+	for i, sec := range secs {
+		if f := float64(sec); math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+			return nil, fmt.Errorf("roadnet: dense weight cell %d (edge %d slot %d) invalid: %v",
+				i, i/SlotsPerDay, i%SlotsPerDay, sec)
+		}
+	}
+	ng := &Graph{
+		pts:     g.pts,
+		off:     g.off,
+		roff:    g.roff,
+		edg:     make([]Edge, m),
+		redg:    make([]Edge, m),
+		slotSec: secs,
+	}
+	// In dense mode Edge.Zone carries the edge's own index so EdgeTimeSlot
+	// can reach its table row without an offset lookup.
+	copy(ng.edg, g.edg)
+	for i := range ng.edg {
+		ng.edg[i].Zone = uint32(i)
+	}
+	rebuildReverse(ng, g)
+	ng.recomputeMaxBeta()
+	return ng, nil
+}
+
+// DenseWeights reports whether the graph stores its weights as a dense
+// edge-indexed slot-seconds table (see WithDenseWeights).
+func (g *Graph) DenseWeights() bool { return g.slotSec != nil }

@@ -4,60 +4,151 @@ import (
 	"math"
 )
 
+// heapEntry packs one Dijkstra frontier entry; keeping node and distance in
+// one 16-byte struct halves the stores per sift step and keeps each
+// comparison's operands on one cache line.
+type heapEntry struct {
+	dist float64
+	node NodeID
+}
+
 // nodeHeap is a binary min-heap of (node, dist) pairs specialised for
-// Dijkstra. We avoid container/heap's interface indirection on the hot path.
+// Dijkstra. We avoid container/heap's interface indirection on the hot
+// path. The comparison sequence is identical to the classic two-array
+// sift (strict < on children, <= stops the up-sift), so equal-distance
+// entries pop in exactly the same order — tie-breaking stability the
+// golden traces rely on.
 type nodeHeap struct {
-	node []NodeID
-	dist []float64
+	e []heapEntry
 }
 
 func (h *nodeHeap) push(u NodeID, d float64) {
-	h.node = append(h.node, u)
-	h.dist = append(h.dist, d)
-	i := len(h.node) - 1
+	h.e = append(h.e, heapEntry{dist: d, node: u})
+	i := len(h.e) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.dist[parent] <= h.dist[i] {
+		if h.e[parent].dist <= h.e[i].dist {
 			break
 		}
-		h.node[parent], h.node[i] = h.node[i], h.node[parent]
-		h.dist[parent], h.dist[i] = h.dist[i], h.dist[parent]
+		h.e[parent], h.e[i] = h.e[i], h.e[parent]
 		i = parent
 	}
 }
 
 func (h *nodeHeap) pop() (NodeID, float64) {
-	u, d := h.node[0], h.dist[0]
-	last := len(h.node) - 1
-	h.node[0], h.dist[0] = h.node[last], h.dist[last]
-	h.node = h.node[:last]
-	h.dist = h.dist[:last]
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < last && h.dist[l] < h.dist[small] {
+		if l < last && h.e[l].dist < h.e[small].dist {
 			small = l
 		}
-		if r < last && h.dist[r] < h.dist[small] {
+		if r < last && h.e[r].dist < h.e[small].dist {
 			small = r
 		}
 		if small == i {
 			break
 		}
-		h.node[i], h.node[small] = h.node[small], h.node[i]
-		h.dist[i], h.dist[small] = h.dist[small], h.dist[i]
+		h.e[i], h.e[small] = h.e[small], h.e[i]
 		i = small
 	}
-	return u, d
+	return top.node, top.dist
 }
 
-func (h *nodeHeap) empty() bool { return len(h.node) == 0 }
+func (h *nodeHeap) empty() bool { return len(h.e) == 0 }
 
 func (h *nodeHeap) reset() {
-	h.node = h.node[:0]
-	h.dist = h.dist[:0]
+	h.e = h.e[:0]
 }
+
+// indexedHeap4 is a 4-ary min-heap with an in-place decrease-key: half the
+// levels of a binary heap with all four children adjacent in memory, and at
+// most one entry per node (pos tracks it), so the frontier never
+// accumulates the duplicate entries a lazy-insertion heap pays to pop back
+// off. Its tie order differs from nodeHeap's, so it serves ONLY the bounded
+// SSSP engine, whose distance-table output is settle-order-independent;
+// Path() keeps the binary heap — its predecessor reconstruction is
+// tie-sensitive and pinned by golden traces.
+type indexedHeap4 struct {
+	e   []heapEntry
+	pos []int32 // node -> index in e; valid only while the node is queued
+}
+
+func (h *indexedHeap4) swap(a, b int) {
+	h.e[a], h.e[b] = h.e[b], h.e[a]
+	h.pos[h.e[a].node] = int32(a)
+	h.pos[h.e[b].node] = int32(b)
+}
+
+func (h *indexedHeap4) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h.e[p].dist <= h.e[i].dist {
+			break
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *indexedHeap4) siftDown(i int) {
+	last := len(h.e)
+	for {
+		c := i<<2 + 1
+		if c >= last {
+			break
+		}
+		end := c + 4
+		if end > last {
+			end = last
+		}
+		small := c
+		for j := c + 1; j < end; j++ {
+			if h.e[j].dist < h.e[small].dist {
+				small = j
+			}
+		}
+		if h.e[small].dist >= h.e[i].dist {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+func (h *indexedHeap4) push(u NodeID, d float64) {
+	h.e = append(h.e, heapEntry{dist: d, node: u})
+	i := len(h.e) - 1
+	h.pos[u] = int32(i)
+	h.siftUp(i)
+}
+
+// decrease lowers the key of a queued node and restores heap order.
+func (h *indexedHeap4) decrease(u NodeID, d float64) {
+	i := int(h.pos[u])
+	h.e[i].dist = d
+	h.siftUp(i)
+}
+
+func (h *indexedHeap4) pop() (NodeID, float64) {
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.pos[h.e[0].node] = 0
+	h.e = h.e[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top.node, top.dist
+}
+
+func (h *indexedHeap4) empty() bool { return len(h.e) == 0 }
+
+func (h *indexedHeap4) reset() { h.e = h.e[:0] }
 
 // ShortestPath returns SP(from, to, t): the quickest travel time in seconds
 // departing `from` at time t, using the single slot containing t (weights are
@@ -162,18 +253,29 @@ type SSSP struct {
 	stamp []uint32
 	done  []uint32
 	epoch uint32
-	heap  nodeHeap
+	heap  indexedHeap4
+	// wslot memoises the resolved β(e, slot) of every edge, two slots wide
+	// (queries around a slot boundary alternate between the old and new
+	// profile): weights are static within a slot, so the relaxation loop
+	// reads one flat float64 instead of chasing the zone-multiplier (or
+	// dense-table) representation per edge. Values are the exact
+	// EdgeTimeSlot products — representation changes nothing downstream.
+	wslot   [2][]float64
+	wslotID [2]int // slot+1 of each way; 0 = empty
+	wnext   int    // way to evict next
 }
 
 // NewSSSP returns an engine bound to g.
 func NewSSSP(g *Graph) *SSSP {
 	n := g.NumNodes()
-	return &SSSP{
+	s := &SSSP{
 		g:     g,
 		dist:  make([]float64, n),
 		stamp: make([]uint32, n),
 		done:  make([]uint32, n),
 	}
+	s.heap.pos = make([]int32, n)
+	return s
 }
 
 // Distance returns SP(from,to,t) using the slot containing t.
@@ -206,6 +308,29 @@ func (v DistView) get(u NodeID) float64 {
 	return v.s.dist[u]
 }
 
+// weights returns the flat resolved edge-weight table for a slot,
+// rebuilding it only when the slot is in neither cached way (amortised over
+// the many runs a distance cache issues within one slot).
+func (s *SSSP) weights(slot int) []float64 {
+	for way := 0; way < 2; way++ {
+		if s.wslotID[way] == slot+1 {
+			return s.wslot[way]
+		}
+	}
+	g := s.g
+	way := s.wnext
+	s.wnext = 1 - way
+	if s.wslot[way] == nil {
+		s.wslot[way] = make([]float64, g.NumEdges())
+	}
+	w := s.wslot[way]
+	for i := range g.edg {
+		w[i] = g.EdgeTimeSlot(g.edg[i], slot)
+	}
+	s.wslotID[way] = slot + 1
+	return w
+}
+
 func (s *SSSP) run(from NodeID, slot int, bound float64, target NodeID) DistView {
 	s.epoch++
 	ep := s.epoch
@@ -214,11 +339,15 @@ func (s *SSSP) run(from NodeID, slot int, bound float64, target NodeID) DistView
 	s.stamp[from] = ep
 	s.heap.push(from, 0)
 	g := s.g
+	// Bulk single-source runs (DistCache rows) amortise a flat resolved
+	// weight table; a one-shot point query with target early-exit touches
+	// too few edges to pay the O(|E|) build, so it resolves per edge.
+	var w []float64
+	if target == Invalid {
+		w = s.weights(slot)
+	}
 	for !s.heap.empty() {
 		u, du := s.heap.pop()
-		if s.done[u] == ep {
-			continue
-		}
 		if du > bound {
 			break
 		}
@@ -226,18 +355,27 @@ func (s *SSSP) run(from NodeID, slot int, bound float64, target NodeID) DistView
 		if u == target {
 			break
 		}
-		for _, e := range g.OutEdges(u) {
-			if s.done[e.To] == ep {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			to := g.edg[ei].To
+			if s.done[to] == ep {
 				continue
 			}
-			nd := du + g.EdgeTimeSlot(e, slot)
+			var nd float64
+			if w != nil {
+				nd = du + w[ei]
+			} else {
+				nd = du + g.EdgeTimeSlot(g.edg[ei], slot)
+			}
 			if nd > bound {
 				continue
 			}
-			if s.stamp[e.To] != ep || nd < s.dist[e.To] {
-				s.dist[e.To] = nd
-				s.stamp[e.To] = ep
-				s.heap.push(e.To, nd)
+			if s.stamp[to] != ep {
+				s.dist[to] = nd
+				s.stamp[to] = ep
+				s.heap.push(to, nd)
+			} else if nd < s.dist[to] {
+				s.dist[to] = nd
+				s.heap.decrease(to, nd)
 			}
 		}
 	}

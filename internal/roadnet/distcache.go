@@ -1,7 +1,5 @@
 package roadnet
 
-import "math"
-
 // DistCache memoises bounded single-source expansions within one
 // accumulation window. Both batching (restaurant-to-restaurant and
 // restaurant-to-customer queries) and FoodGraph construction
@@ -70,13 +68,7 @@ func (c *DistCache) row(from NodeID, slot int) []float64 {
 	view := c.engine.FromSource(from, float64(slot)*3600, c.bound)
 	row := make([]float64, c.g.NumNodes())
 	for i := range row {
-		row[i] = math.Inf(1)
-	}
-	// Densify only settled nodes.
-	for i := range row {
-		if d := view.Get(NodeID(i)); !math.IsInf(d, 1) {
-			row[i] = d
-		}
+		row[i] = view.Get(NodeID(i)) // +Inf for nodes outside the bound
 	}
 	bySource[from] = row
 	return row

@@ -59,10 +59,29 @@ type Graph struct {
 	redg []Edge  // in-edges; Edge.To holds the *source* of the original edge
 
 	// zoneMult[zone][slot] is the congestion multiplier applied to BaseSec.
-	zoneMult [][SlotsPerDay]float64
+	// Rows are pointers so derived graphs (Reweighted / PatchReweighted)
+	// share untouched rows with their predecessor: an incremental weight
+	// publish copies the row-pointer spine and replaces only dirty rows.
+	zoneMult []*[SlotsPerDay]float64
 
-	// maxBeta[slot] caches max_e β(e, slot), the normaliser of Eq. 8.
-	maxBeta [SlotsPerDay]float64
+	// slotSec, when non-nil, switches the graph to dense weight mode: β is
+	// read directly from slotSec[edgeIndex*SlotsPerDay+slot] (each Edge.Zone
+	// then holds the edge's own index) instead of BaseSec×zone multiplier.
+	// This is the compact edge-indexed layout learned graphs use — one
+	// float32 per (edge, slot) cell rather than a dedicated 24-float64 zone
+	// row per edge.
+	slotSec []float32
+
+	// maxBeta[slot] caches max_e β(e, slot), the normaliser of Eq. 8;
+	// maxBetaEdge[slot] remembers an edge index attaining it, which is what
+	// lets PatchReweighted keep the maxima exact without a full rescan.
+	maxBeta     [SlotsPerDay]float64
+	maxBetaEdge [SlotsPerDay]int32
+
+	// rwBase is the graph Reweighted/PatchReweighted derived this one from
+	// (nil for a built or scaled graph): the prior that unset weight cells
+	// fall back to, and the anchor PatchReweighted validates against.
+	rwBase *Graph
 }
 
 // NumNodes returns |V|.
@@ -93,6 +112,9 @@ func (g *Graph) EdgeTime(e Edge, t float64) float64 {
 
 // EdgeTimeSlot returns β(e,·) for an explicit slot.
 func (g *Graph) EdgeTimeSlot(e Edge, slot int) float64 {
+	if g.slotSec != nil {
+		return float64(g.slotSec[int(e.Zone)*SlotsPerDay+slot])
+	}
 	return float64(e.BaseSec) * g.zoneMult[e.Zone][slot]
 }
 
@@ -106,6 +128,51 @@ func (g *Graph) NumZones() int { return len(g.zoneMult) }
 // ZoneMultiplier returns the congestion multiplier for a zone and slot.
 func (g *Graph) ZoneMultiplier(zone uint32, slot int) float64 {
 	return g.zoneMult[zone][slot]
+}
+
+// OutEdgeOffset returns the index of u's first out-edge in the graph's edge
+// numbering: the edge OutEdges(u)[i] has index OutEdgeOffset(u)+i. Edge
+// indices are stable for the life of the graph and shared by every derived
+// graph (Reweighted, dense learned graphs), which is what dense edge-indexed
+// tables key on.
+func (g *Graph) OutEdgeOffset(u NodeID) int { return int(g.off[u]) }
+
+// EdgeIndexOf returns the index of the first edge u→v (parallel edges share
+// their leading index when aggregating per (u, v) pair), or -1 when no such
+// edge exists.
+func (g *Graph) EdgeIndexOf(u, v NodeID) int {
+	if u < 0 || int(u) >= len(g.pts) {
+		return -1
+	}
+	base := int(g.off[u])
+	for i, e := range g.edg[g.off[u]:g.off[u+1]] {
+		if e.To == v {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// recomputeMaxBeta rebuilds the per-slot β maxima (and the edge attaining
+// each) with one full scan.
+func (g *Graph) recomputeMaxBeta() {
+	for slot := 0; slot < SlotsPerDay; slot++ {
+		g.recomputeMaxBetaSlot(slot)
+	}
+}
+
+func (g *Graph) recomputeMaxBetaSlot(slot int) {
+	mx, arg := 0.0, int32(-1)
+	for i := range g.edg {
+		if bt := g.EdgeTimeSlot(g.edg[i], slot); bt > mx {
+			mx, arg = bt, int32(i)
+		}
+	}
+	if mx == 0 {
+		mx = 1 // empty graph; avoid division by zero in Eq. 8
+	}
+	g.maxBeta[slot] = mx
+	g.maxBetaEdge[slot] = arg
 }
 
 // NearestNode returns the node closest (haversine) to p. The paper
@@ -184,7 +251,11 @@ func (b *Builder) Build() (*Graph, error) {
 
 	g := &Graph{
 		pts:      b.pts,
-		zoneMult: b.zones,
+		zoneMult: make([]*[SlotsPerDay]float64, len(b.zones)),
+	}
+	for z := range b.zones {
+		row := b.zones[z]
+		g.zoneMult[z] = &row
 	}
 
 	// Forward CSR.
@@ -221,18 +292,7 @@ func (b *Builder) Build() (*Graph, error) {
 		rcursor[v]++
 	}
 
-	for slot := 0; slot < SlotsPerDay; slot++ {
-		mx := 0.0
-		for i := range g.edg {
-			if bt := g.EdgeTimeSlot(g.edg[i], slot); bt > mx {
-				mx = bt
-			}
-		}
-		if mx == 0 {
-			mx = 1 // empty graph; avoid division by zero in Eq. 8
-		}
-		g.maxBeta[slot] = mx
-	}
+	g.recomputeMaxBeta()
 	return g, nil
 }
 

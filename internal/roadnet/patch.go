@@ -1,0 +1,246 @@
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DirtyCells is a sparse set of (edge, slot) weight cells touched since the
+// last publish — the incremental-publish currency between the GPS speed
+// learner and PatchReweighted. Each edge carries a 24-bit slot mask, so the
+// whole set costs one map entry per touched edge.
+//
+// A DirtyCells is built single-threaded (the learner accumulates one under
+// its own lock) and treated as immutable once handed to PatchReweighted.
+type DirtyCells struct {
+	m map[int64]uint32
+	n int
+}
+
+// NewDirtyCells returns an empty dirty set.
+func NewDirtyCells() *DirtyCells {
+	return &DirtyCells{m: make(map[int64]uint32)}
+}
+
+// Mark records that the (u→v, slot) cell changed. Out-of-range slots are
+// ignored (SlotsPerDay ≤ 32 keeps the mask in one uint32).
+func (d *DirtyCells) Mark(u, v NodeID, slot int) {
+	if slot < 0 || slot >= SlotsPerDay {
+		return
+	}
+	k := EdgeKey(u, v)
+	old := d.m[k]
+	bit := uint32(1) << uint(slot)
+	if old&bit == 0 {
+		d.n++
+	}
+	d.m[k] = old | bit
+}
+
+// Cells returns the number of marked (edge, slot) cells.
+func (d *DirtyCells) Cells() int {
+	if d == nil {
+		return 0
+	}
+	return d.n
+}
+
+// Edges returns the number of edges with at least one marked cell.
+func (d *DirtyCells) Edges() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.m)
+}
+
+// Range calls f for every dirty edge in deterministic order (packed edge key
+// ascending) with its slot mask.
+func (d *DirtyCells) Range(f func(u, v NodeID, slots uint32)) {
+	if d == nil {
+		return
+	}
+	keys := make([]int64, 0, len(d.m))
+	for k := range d.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		u, v := EdgeKeyNodes(k)
+		f(u, v, d.m[k])
+	}
+}
+
+// PatchReweighted is the incremental form of Reweighted: given prev — a
+// graph previously produced by g.Reweighted or g.PatchReweighted — a table w
+// holding the *complete current rows* of every dirty edge, and the dirty set
+// itself, it returns a graph value-identical to a full g.Reweighted over the
+// cumulative table, at O(dirty) row cost instead of O(|E|·slots):
+//
+//   - the congestion-row spine is copied (pointer-sized per zone) and only
+//     dirty edges get freshly computed rows; every other row is shared with
+//     prev;
+//   - the edge arrays are shared outright unless a dirty edge is overridden
+//     for the first time (then one O(|E|) copy re-homes it onto a dedicated
+//     zone, exactly as Reweighted would);
+//   - the per-slot β maxima stay exact without a full rescan: each graph
+//     remembers an edge attaining its maximum, so only a shrinking
+//     ex-maximum forces rescanning that one slot.
+//
+// Dirty edges with no admissible cells in w that were never overridden
+// before are skipped — the prior still serves them. An empty dirty set is
+// valid and returns a graph sharing everything with prev (the cheap
+// "nothing changed, new epoch" publish).
+func (g *Graph) PatchReweighted(prev *Graph, w *SlotWeights, dirty *DirtyCells) (*Graph, error) {
+	if prev == nil || prev.rwBase != g {
+		return nil, fmt.Errorf("roadnet: PatchReweighted prev was not derived from this graph")
+	}
+	if g.slotSec != nil {
+		return g.patchReweightedDense(prev, w, dirty)
+	}
+	baseZones := len(g.zoneMult)
+	ng := &Graph{
+		pts:         g.pts,
+		off:         g.off,
+		roff:        g.roff,
+		edg:         prev.edg,
+		redg:        prev.redg,
+		zoneMult:    append([]*[SlotsPerDay]float64(nil), prev.zoneMult...),
+		maxBeta:     prev.maxBeta,
+		maxBetaEdge: prev.maxBetaEdge,
+		rwBase:      g,
+	}
+
+	// Collect the edge indices this patch rewrites (with their current w
+	// row). An edge key covers every parallel u→v edge, mirroring
+	// Reweighted's per-(u,v) row lookup.
+	type patchEdge struct {
+		ei  int32
+		row *[SlotsPerDay]float64
+	}
+	var touched []patchEdge
+	newEdges := false
+	dirty.Range(func(u, v NodeID, _ uint32) {
+		row := w.row(u, v)
+		base := int(g.off[u])
+		for i, e := range g.edg[g.off[u]:g.off[u+1]] {
+			if e.To != v {
+				continue
+			}
+			ei := int32(base + i)
+			dedicated := int(prev.edg[ei].Zone) >= baseZones
+			if row == nil && !dedicated {
+				continue // never admissible, never overridden: prior serves
+			}
+			touched = append(touched, patchEdge{ei: ei, row: row})
+			if !dedicated {
+				newEdges = true
+			}
+		}
+	})
+
+	if newEdges {
+		// First-time overrides need their own zone ids: re-home them on a
+		// private copy of the edge arrays (one O(|E|) memcpy, no row math).
+		ng.edg = append([]Edge(nil), prev.edg...)
+		ng.redg = make([]Edge, len(prev.redg))
+	}
+
+	for _, pe := range touched {
+		e := &ng.edg[pe.ei]
+		orig := g.edg[pe.ei]
+		base := float64(e.BaseSec)
+		mult := new([SlotsPerDay]float64)
+		for s := 0; s < SlotsPerDay; s++ {
+			if pe.row != nil && pe.row[s] > 0 {
+				mult[s] = pe.row[s] / base
+			} else {
+				mult[s] = g.zoneMult[orig.Zone][s] // prior profile fallback
+			}
+		}
+		if int(e.Zone) < baseZones {
+			e.Zone = uint32(len(ng.zoneMult))
+			ng.zoneMult = append(ng.zoneMult, mult)
+		} else {
+			ng.zoneMult[e.Zone] = mult
+		}
+	}
+	if newEdges {
+		rebuildReverse(ng, g)
+	}
+
+	eis := make([]int32, len(touched))
+	for i, pe := range touched {
+		eis[i] = pe.ei
+	}
+	patchMaxBeta(ng, prev, eis)
+	return ng, nil
+}
+
+// patchReweightedDense is the patch path for dense-weight bases (learned
+// graphs): the slot-seconds table is cloned (one flat float32 memcpy, no
+// row math) and only the dirty edges' admissible cells rewritten. Dense
+// mode never re-homes zones — Edge.Zone already carries the edge's own
+// index — so the edge arrays are always shared with prev.
+func (g *Graph) patchReweightedDense(prev *Graph, w *SlotWeights, dirty *DirtyCells) (*Graph, error) {
+	if prev.slotSec == nil {
+		return nil, fmt.Errorf("roadnet: dense PatchReweighted prev is not a dense-weight graph")
+	}
+	ng := &Graph{
+		pts:         g.pts,
+		off:         g.off,
+		roff:        g.roff,
+		edg:         prev.edg,
+		redg:        prev.redg,
+		slotSec:     append([]float32(nil), prev.slotSec...),
+		maxBeta:     prev.maxBeta,
+		maxBetaEdge: prev.maxBetaEdge,
+		rwBase:      g,
+	}
+	var touched []int32
+	dirty.Range(func(u, v NodeID, _ uint32) {
+		row := w.row(u, v)
+		if row == nil {
+			return // never admissible: the prior already in the table serves
+		}
+		base := int(g.off[u])
+		for i, e := range g.edg[g.off[u]:g.off[u+1]] {
+			if e.To != v {
+				continue
+			}
+			ei := base + i
+			for s := 0; s < SlotsPerDay; s++ {
+				if row[s] > 0 {
+					ng.slotSec[ei*SlotsPerDay+s] = float32(row[s])
+				}
+			}
+			touched = append(touched, int32(ei))
+		}
+	})
+	patchMaxBeta(ng, prev, touched)
+	return ng, nil
+}
+
+// patchMaxBeta keeps the per-slot β maxima exact after a patch: a touched
+// ex-maximum that shrank forces one slot rescan; everything else is a
+// running max over the touched edges.
+func patchMaxBeta(ng, prev *Graph, touched []int32) {
+	for s := 0; s < SlotsPerDay; s++ {
+		mx, arg := prev.maxBeta[s], prev.maxBetaEdge[s]
+		rescan := false
+		for _, ei := range touched {
+			nb := ng.EdgeTimeSlot(ng.edg[ei], s)
+			if ei == arg && nb < prev.EdgeTimeSlot(prev.edg[ei], s) {
+				rescan = true
+				break
+			}
+			if nb > mx {
+				mx, arg = nb, ei
+			}
+		}
+		if rescan {
+			ng.recomputeMaxBetaSlot(s)
+		} else {
+			ng.maxBeta[s], ng.maxBetaEdge[s] = mx, arg
+		}
+	}
+}

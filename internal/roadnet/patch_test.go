@@ -1,0 +1,380 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// patchTestGraph builds a randomized strongly-connected-ish graph with a few
+// congestion zones and (crucially) one pair of parallel edges, which the
+// per-(u,v) override semantics must treat as one key.
+func patchTestGraph(t testing.TB, n int, rng *rand.Rand) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(geo.Point{Lat: 12.9 + float64(i)*1e-3, Lon: 77.5 + float64(i%7)*1e-3})
+	}
+	var rush [SlotsPerDay]float64
+	for s := range rush {
+		rush[s] = 1 + 0.1*float64(s%5)
+	}
+	z := b.AddZone(rush)
+	for i := 0; i < n; i++ {
+		u := NodeID(i)
+		v := NodeID((i + 1) % n)
+		zone := uint32(0)
+		if i%3 == 0 {
+			zone = z
+		}
+		b.AddEdge(u, v, 500+float64(i), 60+10*float64(i%9), zone)
+		if i%4 == 0 {
+			b.AddEdge(u, NodeID((i+2)%n), 900, 120+float64(i), 0)
+		}
+	}
+	b.AddEdge(0, 1, 777, 250, z) // parallel to the 0→1 ring edge
+	return b.MustBuild()
+}
+
+// requireGraphsEqual asserts two graphs serve bit-identical β for every
+// (edge, slot) cell and identical per-slot maxima.
+func requireGraphsEqual(t *testing.T, got, want *Graph, tag string) {
+	t.Helper()
+	for u := 0; u < want.NumNodes(); u++ {
+		ge, we := got.OutEdges(NodeID(u)), want.OutEdges(NodeID(u))
+		if len(ge) != len(we) {
+			t.Fatalf("%s: node %d has %d edges, want %d", tag, u, len(ge), len(we))
+		}
+		for i := range we {
+			for s := 0; s < SlotsPerDay; s++ {
+				if g, w := got.EdgeTimeSlot(ge[i], s), want.EdgeTimeSlot(we[i], s); g != w {
+					t.Fatalf("%s: edge %d->%d slot %d: patched β %v, full rebuild %v",
+						tag, u, we[i].To, s, g, w)
+				}
+			}
+		}
+	}
+	for s := 0; s < SlotsPerDay; s++ {
+		if g, w := got.maxBeta[s], want.maxBeta[s]; g != w {
+			t.Fatalf("%s: maxBeta[%d] = %v, full rebuild %v", tag, s, g, w)
+		}
+	}
+}
+
+// TestPatchReweightedMatchesFull evolves a weight table over many publish
+// rounds — cells rising, shrinking, edges joining — and pins the patched
+// publish chain bit-identical to a full Reweighted of the cumulative table
+// at every round. This is the invariant that keeps the engine's golden
+// traces stable when its dynamic plane publishes incrementally.
+func TestPatchReweightedMatchesFull(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			g := patchTestGraph(t, 24, rng)
+
+			cum := NewSlotWeights() // cumulative published table
+			var patched *Graph
+			for round := 0; round < 12; round++ {
+				dirty := NewDirtyCells()
+				delta := NewSlotWeights() // full rows of dirty edges only
+				nTouch := 1 + rng.Intn(6)
+				for k := 0; k < nTouch; k++ {
+					u := NodeID(rng.Intn(g.NumNodes()))
+					outs := g.OutEdges(u)
+					if len(outs) == 0 {
+						continue
+					}
+					v := outs[rng.Intn(len(outs))].To
+					slot := rng.Intn(SlotsPerDay)
+					sec := 20 + rng.Float64()*400
+					if err := cum.Set(u, v, slot, sec); err != nil {
+						t.Fatal(err)
+					}
+					dirty.Mark(u, v, slot)
+				}
+				// Occasionally mark a dirty edge that has no admissible
+				// cells at all (the learner touched it but everything is
+				// still below the sample floor).
+				if round%3 == 0 {
+					dirty.Mark(NodeID(rng.Intn(g.NumNodes())), NodeID(rng.Intn(g.NumNodes())), rng.Intn(SlotsPerDay))
+				}
+				dirty.Range(func(u, v NodeID, _ uint32) {
+					if row := cum.row(u, v); row != nil {
+						if err := delta.PutRow(u, v, *row); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+
+				full := g.Reweighted(cum)
+				if patched == nil {
+					patched = full
+				} else {
+					var err error
+					patched, err = g.PatchReweighted(patched, delta, dirty)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				requireGraphsEqual(t, patched, full, fmt.Sprintf("round %d", round))
+			}
+
+			// An empty dirty set is a valid "nothing changed" publish that
+			// shares everything with its predecessor.
+			same, err := g.PatchReweighted(patched, NewSlotWeights(), NewDirtyCells())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireGraphsEqual(t, same, patched, "empty dirty")
+		})
+	}
+}
+
+// TestPatchReweightedDenseMatchesFull runs the evolving-table equivalence
+// over a dense-weight base graph (the LearnedGraph layout): the patch chain
+// must stay bit-identical to a full Reweighted of the cumulative table, and
+// must share the edge arrays with its predecessor (dense mode never
+// re-homes zones).
+func TestPatchReweightedDenseMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	zg := patchTestGraph(t, 24, rng)
+	secs := make([]float32, zg.NumEdges()*SlotsPerDay)
+	for i := range secs {
+		secs[i] = float32(10 + rng.Intn(200))
+	}
+	g, err := zg.WithDenseWeights(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cum := NewSlotWeights()
+	var patched *Graph
+	for round := 0; round < 10; round++ {
+		dirty := NewDirtyCells()
+		delta := NewSlotWeights()
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			outs := g.OutEdges(u)
+			if len(outs) == 0 {
+				continue
+			}
+			v := outs[rng.Intn(len(outs))].To
+			slot := rng.Intn(SlotsPerDay)
+			if err := cum.Set(u, v, slot, 20+rng.Float64()*400); err != nil {
+				t.Fatal(err)
+			}
+			dirty.Mark(u, v, slot)
+		}
+		dirty.Range(func(u, v NodeID, _ uint32) {
+			if row := cum.row(u, v); row != nil {
+				if err := delta.PutRow(u, v, *row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		full := g.Reweighted(cum)
+		if patched == nil {
+			patched = full
+		} else {
+			var err error
+			patched, err = g.PatchReweighted(patched, delta, dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !patched.DenseWeights() {
+				t.Fatal("dense patch lost dense mode")
+			}
+			if &patched.edg[0] != &full.edg[0] {
+				// Both share g's edge array? full Reweighted-dense shares
+				// edg with g; the patch must share it too.
+				t.Fatal("dense patch copied the edge arrays")
+			}
+		}
+		requireGraphsEqual(t, patched, full, fmt.Sprintf("dense round %d", round))
+	}
+}
+
+// TestPatchReweightedShrinkingMaximum forces the ex-maximum edge of a slot to
+// shrink, which exercises the one-slot rescan path of the incremental maxima.
+func TestPatchReweightedShrinkingMaximum(t *testing.T) {
+	g := weightsTestGraph(t)
+	w := NewSlotWeights()
+	// Edge 3→0 (base 400 s) is the slot-5 maximum; blow it up, then shrink it
+	// below every other edge.
+	if err := w.Set(3, 0, 5, 5000); err != nil {
+		t.Fatal(err)
+	}
+	prev := g.Reweighted(w)
+	if prev.MaxBeta(5*3600) != 5000 {
+		t.Fatalf("inflated maxBeta = %v, want 5000", prev.MaxBeta(5*3600))
+	}
+
+	if err := w.Set(3, 0, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	dirty := NewDirtyCells()
+	dirty.Mark(3, 0, 5)
+	delta := NewSlotWeights()
+	if err := delta.PutRow(3, 0, *w.row(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	patched, err := g.PatchReweighted(prev, delta, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireGraphsEqual(t, patched, g.Reweighted(w), "shrunk maximum")
+}
+
+func TestPatchReweightedRejectsForeignPrev(t *testing.T) {
+	g := weightsTestGraph(t)
+	other := weightsTestGraph(t)
+	if _, err := g.PatchReweighted(other, NewSlotWeights(), NewDirtyCells()); err == nil {
+		t.Fatal("patch accepted a prev graph not derived from the base")
+	}
+	if _, err := g.PatchReweighted(nil, NewSlotWeights(), NewDirtyCells()); err == nil {
+		t.Fatal("patch accepted a nil prev graph")
+	}
+}
+
+func TestDirtyCellsAccounting(t *testing.T) {
+	d := NewDirtyCells()
+	if d.Cells() != 0 || d.Edges() != 0 {
+		t.Fatalf("fresh set: %d cells %d edges", d.Cells(), d.Edges())
+	}
+	d.Mark(1, 2, 5)
+	d.Mark(1, 2, 5) // idempotent
+	d.Mark(1, 2, 9)
+	d.Mark(3, 4, 0)
+	d.Mark(3, 4, -1)          // ignored
+	d.Mark(3, 4, SlotsPerDay) // ignored
+	if d.Cells() != 3 || d.Edges() != 2 {
+		t.Fatalf("got %d cells %d edges, want 3/2", d.Cells(), d.Edges())
+	}
+	var order []int64
+	d.Range(func(u, v NodeID, slots uint32) {
+		order = append(order, EdgeKey(u, v))
+		if u == 1 && slots != (1<<5|1<<9) {
+			t.Fatalf("edge 1->2 mask %b", slots)
+		}
+	})
+	if len(order) != 2 || order[0] >= order[1] {
+		t.Fatalf("Range order not deterministic ascending: %v", order)
+	}
+}
+
+func TestSlotWeightsPutRow(t *testing.T) {
+	w := NewSlotWeights()
+	var row [SlotsPerDay]float64
+	row[3], row[7] = 100, 200
+	if err := w.PutRow(0, 1, row); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cells() != 2 || w.Edges() != 1 {
+		t.Fatalf("after put: %d cells %d edges", w.Cells(), w.Edges())
+	}
+	row[7] = 0
+	row[9] = 50
+	if err := w.PutRow(0, 1, row); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := w.Get(0, 1, 7); ok {
+		t.Fatalf("replaced row still serves slot 7: %v", got)
+	}
+	if got, ok := w.Get(0, 1, 9); !ok || got != 50 {
+		t.Fatalf("slot 9 = %v (%v), want 50", got, ok)
+	}
+	if w.Cells() != 2 {
+		t.Fatalf("cells = %d, want 2", w.Cells())
+	}
+	if err := w.PutRow(0, 1, [SlotsPerDay]float64{}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cells() != 0 || w.Edges() != 0 {
+		t.Fatalf("empty row did not clear: %d cells %d edges", w.Cells(), w.Edges())
+	}
+	bad := [SlotsPerDay]float64{math.NaN()}
+	if err := w.PutRow(0, 1, bad); err == nil {
+		t.Fatal("NaN cell accepted")
+	}
+}
+
+func TestWithDenseWeights(t *testing.T) {
+	g := weightsTestGraph(t)
+	m := g.NumEdges()
+	secs := make([]float32, m*SlotsPerDay)
+	for i := range secs {
+		secs[i] = float32(10 + i%97)
+	}
+	dg, err := g.WithDenseWeights(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dg.DenseWeights() || g.DenseWeights() {
+		t.Fatal("dense flag wrong")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		off := g.OutEdgeOffset(NodeID(u))
+		for i, e := range dg.OutEdges(NodeID(u)) {
+			for s := 0; s < SlotsPerDay; s++ {
+				want := float64(secs[(off+i)*SlotsPerDay+s])
+				if got := dg.EdgeTimeSlot(e, s); got != want {
+					t.Fatalf("dense edge %d slot %d: %v want %v", off+i, s, got, want)
+				}
+			}
+		}
+	}
+	// Reverse edges carry the same dense attribution.
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range dg.InEdges(NodeID(u)) {
+			if got := dg.EdgeTimeSlot(e, 0); got <= 0 {
+				t.Fatalf("in-edge of %d serves β %v", u, got)
+			}
+		}
+	}
+	// maxBeta over the dense table is exact.
+	for s := 0; s < SlotsPerDay; s++ {
+		mx := 0.0
+		for ei := 0; ei < m; ei++ {
+			if v := float64(secs[ei*SlotsPerDay+s]); v > mx {
+				mx = v
+			}
+		}
+		if dg.maxBeta[s] != mx {
+			t.Fatalf("dense maxBeta[%d] = %v, want %v", s, dg.maxBeta[s], mx)
+		}
+	}
+	// Scenario scaling stays in dense mode.
+	scaled := dg.ScaleSlotMultipliers(func(slot int) float64 {
+		if slot == 3 {
+			return 2
+		}
+		return 1
+	})
+	if !scaled.DenseWeights() {
+		t.Fatal("scaled dense graph lost dense mode")
+	}
+	e0 := scaled.OutEdges(0)[0]
+	if got, want := scaled.EdgeTimeSlot(e0, 3), dg.EdgeTimeSlot(dg.OutEdges(0)[0], 3)*2; math.Abs(got-want) > 1e-4 {
+		t.Fatalf("scaled slot 3: %v want %v", got, want)
+	}
+	// Dense graphs can be reweighted (cells land directly in the table).
+	w := NewSlotWeights()
+	if err := w.Set(0, 1, 4, 999); err != nil {
+		t.Fatal(err)
+	}
+	rw := dg.Reweighted(w)
+	if got := rw.EdgeTimeSlot(rw.OutEdges(0)[0], 4); got != float64(float32(999)) {
+		t.Fatalf("dense reweight serves %v, want 999", got)
+	}
+	// Validation: wrong length and non-finite cells are rejected.
+	if _, err := g.WithDenseWeights(secs[:5]); err == nil {
+		t.Fatal("short table accepted")
+	}
+	secs[0] = float32(math.NaN())
+	if _, err := g.WithDenseWeights(secs); err == nil {
+		t.Fatal("NaN cell accepted")
+	}
+}

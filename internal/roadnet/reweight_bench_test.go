@@ -1,0 +1,130 @@
+package roadnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// benchGrid builds a w×w grid road network (bidirectional streets, a few
+// congestion zones) — big enough that the O(|E|·slots) full rebuild visibly
+// dwarfs an O(dirty) patch.
+func benchGrid(b *testing.B, w int) *Graph {
+	b.Helper()
+	bld := NewBuilder()
+	var rush [SlotsPerDay]float64
+	for s := range rush {
+		rush[s] = 1 + 0.05*float64(s%7)
+	}
+	z := bld.AddZone(rush)
+	for r := 0; r < w; r++ {
+		for c := 0; c < w; c++ {
+			bld.AddNode(geo.Point{Lat: 12.9 + float64(r)*4e-4, Lon: 77.5 + float64(c)*4e-4})
+		}
+	}
+	id := func(r, c int) NodeID { return NodeID(r*w + c) }
+	for r := 0; r < w; r++ {
+		for c := 0; c < w; c++ {
+			zone := uint32(0)
+			if (r+c)%3 == 0 {
+				zone = z
+			}
+			if c+1 < w {
+				bld.AddEdge(id(r, c), id(r, c+1), 45, 6+float64((r+c)%5), zone)
+				bld.AddEdge(id(r, c+1), id(r, c), 45, 6+float64((r+c)%5), zone)
+			}
+			if r+1 < w {
+				bld.AddEdge(id(r, c), id(r+1, c), 45, 7+float64((r*c)%4), zone)
+				bld.AddEdge(id(r+1, c), id(r, c), 7, 7+float64((r*c)%4), zone)
+			}
+		}
+	}
+	g, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkWeightPublish compares the two publish paths of the dynamic
+// road-network plane: a full Graph.Reweighted over the cumulative learned
+// table (what every epoch used to cost) against PatchReweighted with dirty
+// sets of increasing size (what steady-state epochs cost now). The patched
+// cost should track the dirty-cell count, not |E|·slots.
+//
+//	go test ./internal/roadnet -bench WeightPublish -benchtime 10x
+func BenchmarkWeightPublish(b *testing.B) {
+	g := benchGrid(b, 60) // 3 600 nodes, ~14k edges
+	rng := rand.New(rand.NewSource(7))
+
+	// A learner-shaped cumulative table: ~30% of edges observed across a
+	// handful of slots each.
+	cum := NewSlotWeights()
+	type cell struct {
+		u, v NodeID
+		slot int
+	}
+	var observed []cell
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, e := range g.OutEdges(NodeID(u)) {
+			if rng.Intn(10) >= 3 {
+				continue
+			}
+			for k := 0; k < 4; k++ {
+				slot := rng.Intn(SlotsPerDay)
+				sec := 5 + rng.Float64()*120
+				if err := cum.Set(NodeID(u), e.To, slot, sec); err != nil {
+					b.Fatal(err)
+				}
+				observed = append(observed, cell{NodeID(u), e.To, slot})
+			}
+		}
+	}
+	prev := g.Reweighted(cum)
+	b.Logf("graph: %d edges; cumulative table: %d cells on %d edges",
+		g.NumEdges(), cum.Cells(), cum.Edges())
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rw := g.Reweighted(cum); rw.NumEdges() != g.NumEdges() {
+				b.Fatal("bad rebuild")
+			}
+		}
+	})
+
+	for _, nDirty := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("patched/dirty=%d", nDirty), func(b *testing.B) {
+			// Build the delta outside the timer: nDirty observed cells get
+			// fresh samples (the learner hands the engine exactly this).
+			dirty := NewDirtyCells()
+			delta := NewSlotWeights()
+			for k := 0; k < nDirty; k++ {
+				c := observed[rng.Intn(len(observed))]
+				sec := 5 + rng.Float64()*120
+				if err := cum.Set(c.u, c.v, c.slot, sec); err != nil {
+					b.Fatal(err)
+				}
+				dirty.Mark(c.u, c.v, c.slot)
+			}
+			dirty.Range(func(u, v NodeID, _ uint32) {
+				if row := cum.row(u, v); row != nil {
+					if err := delta.PutRow(u, v, *row); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ng, err := g.PatchReweighted(prev, delta, dirty)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ng.NumEdges() != g.NumEdges() {
+					b.Fatal("bad patch")
+				}
+			}
+		})
+	}
+}

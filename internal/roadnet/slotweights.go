@@ -106,6 +106,50 @@ func (w *SlotWeights) Range(f func(u, v NodeID, slot int, sec float64)) {
 	}
 }
 
+// PutRow replaces the full slot row of one edge (validating every set cell
+// like Set), keeping the cell count consistent. The engine's dynamic plane
+// uses it to fold a publish's dirty-edge rows into the cumulative published
+// table in O(dirty) instead of rebuilding the table.
+func (w *SlotWeights) PutRow(u, v NodeID, row [SlotsPerDay]float64) error {
+	for s := 0; s < SlotsPerDay; s++ {
+		if sec := row[s]; sec != 0 && (math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0) {
+			return fmt.Errorf("roadnet: invalid weight %v for edge %d->%d slot %d", sec, u, v, s)
+		}
+	}
+	k := EdgeKey(u, v)
+	if old := w.cells[k]; old != nil {
+		for s := 0; s < SlotsPerDay; s++ {
+			if old[s] > 0 {
+				w.n--
+			}
+		}
+	}
+	set := 0
+	for s := 0; s < SlotsPerDay; s++ {
+		if row[s] > 0 {
+			set++
+		}
+	}
+	if set == 0 {
+		delete(w.cells, k)
+		return nil
+	}
+	r := row
+	w.cells[k] = &r
+	w.n += set
+	return nil
+}
+
+// Row returns a copy of an edge's full slot row (zero cells = unset) and
+// whether the edge has any set cell — one map lookup instead of 24 Gets
+// when a consumer folds whole rows (the engine's incremental publish).
+func (w *SlotWeights) Row(u, v NodeID) ([SlotsPerDay]float64, bool) {
+	if r := w.row(u, v); r != nil {
+		return *r, true
+	}
+	return [SlotsPerDay]float64{}, false
+}
+
 // row exposes the raw slot row for Reweighted (nil when absent).
 func (w *SlotWeights) row(u, v NodeID) *[SlotsPerDay]float64 {
 	if w == nil {
@@ -121,20 +165,26 @@ func (w *SlotWeights) row(u, v NodeID) *[SlotsPerDay]float64 {
 // has actually observed. Edges with any override get a dedicated congestion
 // zone, so the override is exact per (edge, slot).
 //
-// The rebuild is cheap — O(|E|·slots) with no Dijkstra and no re-validation
-// — which is what makes frequent epoch publishes viable: the engine calls
-// this every weight refresh and hot-swaps routers onto the result.
+// The rebuild is cheap — O(|E|·slots) with no Dijkstra and no re-validation.
+// For frequent publishes at city scale the engine goes further: only the
+// first epoch pays the full rebuild, every later one goes through
+// PatchReweighted, which copies only the slot rows the learner actually
+// touched since the previous publish.
 func (g *Graph) Reweighted(w *SlotWeights) *Graph {
+	if g.slotSec != nil {
+		return g.reweightedDense(w)
+	}
 	n := g.NumNodes()
 	ng := &Graph{
-		pts:  g.pts,
-		off:  g.off,
-		roff: g.roff,
-		edg:  make([]Edge, len(g.edg)),
-		redg: make([]Edge, len(g.redg)),
+		pts:    g.pts,
+		off:    g.off,
+		roff:   g.roff,
+		edg:    make([]Edge, len(g.edg)),
+		redg:   make([]Edge, len(g.redg)),
+		rwBase: g,
 	}
 	copy(ng.edg, g.edg)
-	ng.zoneMult = make([][SlotsPerDay]float64, len(g.zoneMult), len(g.zoneMult)+w.Edges())
+	ng.zoneMult = make([]*[SlotsPerDay]float64, len(g.zoneMult), len(g.zoneMult)+w.Edges())
 	copy(ng.zoneMult, g.zoneMult)
 
 	for u := 0; u < n; u++ {
@@ -145,7 +195,7 @@ func (g *Graph) Reweighted(w *SlotWeights) *Graph {
 				continue
 			}
 			base := float64(e.BaseSec)
-			var mult [SlotsPerDay]float64
+			mult := new([SlotsPerDay]float64)
 			for s := 0; s < SlotsPerDay; s++ {
 				if row[s] > 0 {
 					mult[s] = row[s] / base
@@ -163,6 +213,15 @@ func (g *Graph) Reweighted(w *SlotWeights) *Graph {
 	// deterministic; within-list ordering may differ from Builder.Build's
 	// insertion order, which no consumer depends on (reverse traversal only
 	// relaxes distances).
+	rebuildReverse(ng, g)
+	ng.recomputeMaxBeta()
+	return ng
+}
+
+// rebuildReverse recomputes ng's reverse CSR from its forward edges, using
+// the (topology-identical) offsets of g.
+func rebuildReverse(ng, g *Graph) {
+	n := g.NumNodes()
 	cursor := make([]int32, n)
 	for u := 0; u < n; u++ {
 		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
@@ -173,19 +232,35 @@ func (g *Graph) Reweighted(w *SlotWeights) *Graph {
 			cursor[e.To]++
 		}
 	}
+}
 
-	for slot := 0; slot < SlotsPerDay; slot++ {
-		mx := 0.0
-		for i := range ng.edg {
-			if bt := ng.EdgeTimeSlot(ng.edg[i], slot); bt > mx {
-				mx = bt
+// reweightedDense overrides cells of a dense-weight graph: the slot-seconds
+// table is cloned and learned cells written straight into it.
+func (g *Graph) reweightedDense(w *SlotWeights) *Graph {
+	ng := &Graph{
+		pts:     g.pts,
+		off:     g.off,
+		roff:    g.roff,
+		edg:     g.edg,
+		redg:    g.redg,
+		slotSec: append([]float32(nil), g.slotSec...),
+		rwBase:  g,
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			row := w.row(NodeID(u), g.edg[ei].To)
+			if row == nil {
+				continue
+			}
+			for s := 0; s < SlotsPerDay; s++ {
+				if row[s] > 0 {
+					ng.slotSec[int(ei)*SlotsPerDay+s] = float32(row[s])
+				}
 			}
 		}
-		if mx == 0 {
-			mx = 1
-		}
-		ng.maxBeta[slot] = mx
 	}
+	ng.recomputeMaxBeta()
 	return ng
 }
 
@@ -195,33 +270,42 @@ func (g *Graph) Reweighted(w *SlotWeights) *Graph {
 // zone the same way, so only the zone table and β maxima change).
 func (g *Graph) ScaleSlotMultipliers(f func(slot int) float64) *Graph {
 	ng := &Graph{
-		pts:      g.pts,
-		off:      g.off,
-		edg:      g.edg,
-		roff:     g.roff,
-		redg:     g.redg,
-		zoneMult: make([][SlotsPerDay]float64, len(g.zoneMult)),
+		pts:  g.pts,
+		off:  g.off,
+		edg:  g.edg,
+		roff: g.roff,
+		redg: g.redg,
 	}
+	if g.slotSec != nil {
+		// Dense weight mode has no zone table: scale the cells directly
+		// (scales sanitised once per slot, not once per cell).
+		var scale [SlotsPerDay]float32
+		for s := 0; s < SlotsPerDay; s++ {
+			sc := f(s)
+			if math.IsNaN(sc) || math.IsInf(sc, 0) || sc <= 0 {
+				sc = 1
+			}
+			scale[s] = float32(sc)
+		}
+		ng.slotSec = make([]float32, len(g.slotSec))
+		for i := range g.slotSec {
+			ng.slotSec[i] = g.slotSec[i] * scale[i%SlotsPerDay]
+		}
+		ng.recomputeMaxBeta()
+		return ng
+	}
+	ng.zoneMult = make([]*[SlotsPerDay]float64, len(g.zoneMult))
 	for z := range g.zoneMult {
+		row := new([SlotsPerDay]float64)
 		for s := 0; s < SlotsPerDay; s++ {
 			scale := f(s)
 			if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
 				scale = 1
 			}
-			ng.zoneMult[z][s] = g.zoneMult[z][s] * scale
+			row[s] = g.zoneMult[z][s] * scale
 		}
+		ng.zoneMult[z] = row
 	}
-	for slot := 0; slot < SlotsPerDay; slot++ {
-		mx := 0.0
-		for i := range ng.edg {
-			if bt := ng.EdgeTimeSlot(ng.edg[i], slot); bt > mx {
-				mx = bt
-			}
-		}
-		if mx == 0 {
-			mx = 1
-		}
-		ng.maxBeta[slot] = mx
-	}
+	ng.recomputeMaxBeta()
 	return ng
 }

@@ -21,6 +21,11 @@ type Snapshot struct {
 	LearnedEdges, LearnedCells int
 	// PublishedAt is the simulation clock of the publish.
 	PublishedAt float64
+	// Patched reports the epoch was produced by PatchReweighted off the
+	// previous one (sharing untouched rows) rather than a full rebuild;
+	// DirtyCells counts the (edge, slot) cells the patch rewrote.
+	Patched    bool
+	DirtyCells int
 }
 
 // swapState pairs a snapshot with the Router built over its graph; the pair

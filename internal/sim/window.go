@@ -26,6 +26,28 @@ type RoundWorld struct {
 	SPFor func(roadnet.NodeID) roadnet.SPFunc
 }
 
+// ReleasePending implements the reshuffle release (Section IV-D2) for one
+// vehicle: its assigned-but-unpicked orders return to the pool, their
+// incumbents recorded. Returns the extended order slice and whether
+// anything was released. Shared by the offline round (StripPending) and the
+// online engine's parallel per-shard phase, so release semantics cannot
+// drift between the two.
+func ReleasePending(v *model.Vehicle, now float64, sink trace.Sink, orders []*model.Order,
+	incumbent map[model.OrderID]model.VehicleID) ([]*model.Order, bool) {
+	if len(v.Pending) == 0 {
+		return orders, false
+	}
+	for _, o := range v.Pending {
+		o.State = model.OrderPlaced
+		incumbent[o.ID] = o.AssignedTo
+		o.AssignedTo = -1
+		orders = append(orders, o)
+		sink.Emit(trace.Event{Kind: trace.OrderReleased, T: now, Order: o.ID, Vehicle: incumbent[o.ID]})
+	}
+	v.Pending = v.Pending[:0]
+	return orders, true
+}
+
 // StripPending implements the reshuffle release (Section IV-D2): every
 // vehicle's assigned-but-unpicked orders return to the pool. It appends the
 // released orders to `orders` and returns the extended slice, the incumbent
@@ -34,19 +56,11 @@ func (w *RoundWorld) StripPending(now float64, orders []*model.Order) ([]*model.
 	incumbent := make(map[model.OrderID]model.VehicleID)
 	stripped := make(map[model.VehicleID]bool)
 	for _, mo := range w.Motions {
-		v := mo.V
-		if len(v.Pending) == 0 {
-			continue
+		var released bool
+		orders, released = ReleasePending(mo.V, now, w.Trace, orders, incumbent)
+		if released {
+			stripped[mo.V.ID] = true
 		}
-		for _, o := range v.Pending {
-			o.State = model.OrderPlaced
-			incumbent[o.ID] = o.AssignedTo
-			o.AssignedTo = -1
-			orders = append(orders, o)
-			w.Trace.Emit(trace.Event{Kind: trace.OrderReleased, T: now, Order: o.ID, Vehicle: incumbent[o.ID]})
-		}
-		v.Pending = v.Pending[:0]
-		stripped[v.ID] = true
 	}
 	return orders, incumbent, stripped
 }
@@ -96,6 +110,44 @@ func (w *RoundWorld) ApplyAssignments(now float64, as []policy.Assignment,
 // included. Returns the restored-vehicle set.
 func (w *RoundWorld) RestoreToIncumbent(now float64, orders []*model.Order,
 	incumbent map[model.OrderID]model.VehicleID, assignedOrders map[model.OrderID]bool) map[model.VehicleID]bool {
+	restored := w.DecideRestores(now, orders, incumbent, assignedOrders)
+	for _, mo := range w.Motions {
+		if restored[mo.V.ID] {
+			ReplanAfterRound(w.SPFor(mo.V.Node), w.Mover, mo, now, true)
+		}
+	}
+	return restored
+}
+
+// ReplanAfterRound rebuilds one vehicle's plan after the application phase:
+// a restored vehicle gets a full quickest plan over its onboard dropoffs
+// and (restored) pending pickups; a stripped-but-unmatched vehicle gets a
+// dropoff-only plan — or an empty one when nothing is onboard — keeping its
+// old dropoff order as the fallback when optimisation fails. Shared by the
+// offline round and the online engine's parallel per-zone replan.
+func ReplanAfterRound(sp roadnet.SPFunc, m *Mover, mo *Motion, now float64, restored bool) {
+	v := mo.V
+	switch {
+	case restored:
+		if plan, _, ok := OptimizePlan(sp, v.Node, now, v.Onboard, v.Pending); ok {
+			m.SetPlan(mo, plan)
+		}
+	case len(v.Onboard) == 0:
+		m.SetPlan(mo, &model.RoutePlan{})
+	default:
+		if plan, _, ok := OptimizeDropoffs(sp, v.Node, now, v.Onboard); ok {
+			m.SetPlan(mo, plan)
+		}
+	}
+}
+
+// DecideRestores is the decision half of RestoreToIncumbent: it re-attaches
+// unplaced reshuffled orders to their incumbents and returns the
+// restored-vehicle set, leaving the (independent, Dijkstra-heavy) per-vehicle
+// replanning to the caller — the online engine fans that part out per zone
+// shard while the offline simulator runs it inline.
+func (w *RoundWorld) DecideRestores(now float64, orders []*model.Order,
+	incumbent map[model.OrderID]model.VehicleID, assignedOrders map[model.OrderID]bool) map[model.VehicleID]bool {
 	restored := make(map[model.VehicleID]bool)
 	for _, o := range orders {
 		if assignedOrders[o.ID] || o.State != model.OrderPlaced {
@@ -120,16 +172,6 @@ func (w *RoundWorld) RestoreToIncumbent(now float64, orders []*model.Order,
 		restored[v.ID] = true
 		w.Trace.Emit(trace.Event{Kind: trace.OrderAssigned, T: now, Order: o.ID, Vehicle: v.ID})
 	}
-	for _, mo := range w.Motions {
-		v := mo.V
-		if !restored[v.ID] {
-			continue
-		}
-		sp := w.SPFor(v.Node)
-		if plan, _, ok := OptimizePlan(sp, v.Node, now, v.Onboard, v.Pending); ok {
-			w.setPlan(v, plan)
-		}
-	}
 	return restored
 }
 
@@ -146,24 +188,21 @@ func (w *RoundWorld) ReplanStripped(now float64, stripped, assigned, restored ma
 		if !stripped[v.ID] || assigned[v.ID] || restored[v.ID] {
 			continue
 		}
-		if len(v.Onboard) == 0 {
-			w.setPlan(v, &model.RoutePlan{})
-			continue
-		}
-		sp := w.SPFor(v.Node)
-		plan, _, ok := OptimizeDropoffs(sp, v.Node, now, v.Onboard)
-		if !ok {
-			// Keep the old plan's dropoffs in order as a fallback.
-			continue
-		}
-		w.setPlan(v, plan)
+		ReplanAfterRound(w.SPFor(v.Node), w.Mover, mo, now, false)
 	}
+}
+
+// PoolCarry reports whether an order stays in the pool after a round — the
+// single carry predicate shared by the offline RebuildPool and the online
+// engine's per-zone pool rebuild, so the two paths cannot drift.
+func PoolCarry(o *model.Order, assignedOrders map[model.OrderID]bool) bool {
+	return !assignedOrders[o.ID] && o.State == model.OrderPlaced
 }
 
 // RebuildPool keeps the orders not assigned anywhere, reusing dst's storage.
 func RebuildPool(orders []*model.Order, assignedOrders map[model.OrderID]bool, dst []*model.Order) []*model.Order {
 	for _, o := range orders {
-		if !assignedOrders[o.ID] && o.State == model.OrderPlaced {
+		if PoolCarry(o, assignedOrders) {
 			dst = append(dst, o)
 		}
 	}
