@@ -43,6 +43,7 @@ func main() {
 		ldays    = flag.Int("learndays", 5, "protocol learning days before the held-out test day")
 		slaMin   = flag.Float64("sla", 45, "protocol SLA threshold in minutes")
 		minSamp  = flag.Int("minsamples", 2, "protocol minimum samples per exported weight cell")
+		obsOut   = flag.String("obs-out", "", "write per-window observability telemetry (span trees + final obs_summary quantiles) as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -83,6 +84,20 @@ func main() {
 	st.StartHour = *fromH
 	st.EndHour = *toH
 	st.ComputeBudget = *budget
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			fatal(err)
+		}
+		st.Obs = foodmatch.NewObsLog(f)
+		// Close writes the obs_summary line (and the file) after every
+		// experiment/protocol below has run.
+		defer func() {
+			if err := st.Obs.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	emit := func(t *foodmatch.ExperimentTable) {
 		if *jsonOut {

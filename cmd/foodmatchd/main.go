@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +59,9 @@ func main() {
 		learn     = flag.Bool("learn", false, "learn per-slot edge weights from live traffic and hot-swap routers")
 		refresh   = flag.Float64("refresh", 900, "simulation seconds between weight-epoch publishes")
 		minSamp   = flag.Int("minsamples", 3, "observations required before a learned cell is published")
+		debugAddr = flag.String("debug-addr", "", "when set, serve net/http/pprof on this address (e.g. localhost:6060)")
+		slowRound = flag.Float64("slowround", 0, "wall seconds; rounds slower than this dump their span tree as a structured log line (0 = off)")
+		traceRing = flag.Int("tracering", 4096, "order-lifecycle event ring capacity for GET /trace/orders (0 = off)")
 	)
 	flag.Parse()
 
@@ -96,6 +100,19 @@ func main() {
 		},
 		Shards:    *shards,
 		QueueSize: *queue,
+		TraceRing: *traceRing,
+	}
+	if *slowRound > 0 {
+		ecfg.SlowRoundSec = *slowRound
+		ecfg.OnSlowRound = func(rs foodmatch.EngineRoundStats) {
+			// One structured line per offending round: the span tree says
+			// which phase (and which shard/stage under it) ate the budget.
+			line, err := json.Marshal(rs)
+			if err != nil {
+				return
+			}
+			log.Printf("foodmatchd: slow round (%.3fs > %.3fs): %s", rs.LatencySec, *slowRound, line)
+		}
 	}
 	if !sc.Zero() {
 		// The dispatcher must not get oracle knowledge of the scenario:
@@ -124,6 +141,18 @@ func main() {
 	defer stop()
 	if err := eng.StartContext(ctx, *startHour*3600, *timeScale); err != nil {
 		fatal(err)
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling stays off the
+		// public API surface; DefaultServeMux carries the net/http/pprof
+		// handlers registered by the import above.
+		go func() {
+			log.Printf("foodmatchd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil && err != http.ErrServerClosed {
+				log.Printf("foodmatchd: debug listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: NewServer(eng, city, ServerOptions{Learner: learner, Scenario: sc.Name})}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	foodmatch "repro"
+	"repro/internal/obs"
+)
+
+// TestServerObservabilitySurfaces boots the engine the way the daemon does
+// (StartContext-driven clock) and exercises the observability endpoints:
+// /readyz flips from 503 to 200 once the first round lands, /metrics.prom
+// serves a valid Prometheus exposition, and /trace/orders tails lifecycle
+// events for a submitted order.
+func TestServerObservabilitySurfaces(t *testing.T) {
+	city, err := foodmatch.LoadCity("CityB", foodmatch.DefaultScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := foodmatch.ExperimentConfig("CityB", foodmatch.DefaultScale)
+	fleet := city.Fleet(1.0, cfg.MaxO, 1)
+	eng, err := foodmatch.NewEngine(city.G, fleet, foodmatch.EngineConfig{
+		Pipeline:  cfg,
+		Shards:    2,
+		TraceRing: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng, city, ServerOptions{}))
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// Not started yet: alive but not ready.
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before start: %d", resp.StatusCode)
+	}
+	if resp, _ := get("/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before start = %d, want 503", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// 600 sim-seconds per wall second: a ∆=180 s round every 0.3 s.
+	if err := eng.StartContext(ctx, 19*3600, 600); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	// Feed one order so the lifecycle ring has something to say.
+	order := `{"restaurant_node":12,"customer_node":400,"items":1,"prep_sec":540}`
+	resp, err := http.Post(ts.URL+"/orders", "application/json", strings.NewReader(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("order rejected: %d", resp.StatusCode)
+	}
+
+	// Readiness flips once the first round completes.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if resp, _ := get("/readyz"); resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 200")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The Prometheus exposition validates and carries the round metrics.
+	resp2, body := get("/metrics.prom")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("metrics.prom: %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics.prom content type %q", ct)
+	}
+	if err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"foodmatch_rounds_total",
+		`foodmatch_round_phase_seconds_bucket{phase="match",le="0.0001"}`,
+		`foodmatch_orders_total{event="ingested"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+
+	// The order's lifecycle shows up on the trace tail.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		resp3, body := get("/trace/orders?n=100")
+		if resp3.StatusCode != http.StatusOK {
+			t.Fatalf("trace/orders: %d", resp3.StatusCode)
+		}
+		found := false
+		sc := bufio.NewScanner(strings.NewReader(body))
+		for sc.Scan() {
+			var ev struct {
+				To    string `json:"to"`
+				Order int64  `json:"order"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			if ev.To != "" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace tail never carried a lifecycle event")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Bad ?n= is rejected.
+	if resp4, _ := get("/trace/orders?n=bogus"); resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace/orders?n=bogus = %d, want 400", resp4.StatusCode)
+	}
+}

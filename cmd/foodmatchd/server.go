@@ -18,8 +18,11 @@ import (
 //	POST /vehicles/{id}/ping  vehicle location/shift update
 //	GET  /assignments         NDJSON stream of decisions + round stats
 //	GET  /metrics             engine metrics snapshot
+//	GET  /metrics.prom        Prometheus text exposition of the obs registry
+//	GET  /trace/orders        NDJSON tail of the order-lifecycle event ring
 //	GET  /roadnet             dynamic road network status (epoch, slot, learner)
 //	GET  /healthz             liveness
+//	GET  /readyz              readiness (engine started + first round done)
 type Server struct {
 	eng    *foodmatch.Engine
 	city   *foodmatch.City
@@ -46,11 +49,14 @@ func NewServer(eng *foodmatch.Engine, city *foodmatch.City, opts ServerOptions) 
 	s.mux.HandleFunc("POST /vehicles/{id}/ping", s.handlePing)
 	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /trace/orders", s.handleTraceOrders)
 	s.mux.HandleFunc("GET /roadnet", s.handleRoadnet)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
@@ -336,6 +342,52 @@ func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.eng.Snapshot())
+}
+
+// handleMetricsProm serves the observability registry in the Prometheus
+// text exposition format (counters, gauges, latency histograms).
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	reg := s.eng.Obs()
+	if reg == nil {
+		httpError(w, http.StatusNotFound, "observability disabled (engine built with DisableObs)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
+}
+
+// handleTraceOrders tails the bounded order-lifecycle event ring as NDJSON,
+// oldest first. ?n= bounds the tail (default 256, clamped to the ring).
+func (s *Server) handleTraceOrders(w http.ResponseWriter, r *http.Request) {
+	n := 256
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q: want a positive integer", q)
+			return
+		}
+		n = v
+	}
+	events := s.eng.TraceTail(n)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+}
+
+// handleReadyz reports readiness: the engine loop is running and has
+// completed at least one assignment round. Liveness stays on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.eng.Ready() {
+		httpError(w, http.StatusServiceUnavailable, "engine not ready (no completed round yet)")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -1,0 +1,38 @@
+// Command promlint validates a Prometheus text-exposition payload on stdin
+// (or a file argument): metric/label name syntax, TYPE-before-sample
+// ordering, duplicate series, and histogram bucket invariants (cumulative
+// non-decreasing counts, a +Inf bucket equal to _count). The CI smoke job
+// pipes foodmatchd's GET /metrics.prom through it.
+//
+//	curl -s localhost:8080/metrics.prom | promlint
+//	promlint scrape.prom
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var rd io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+	if err := obs.CheckExposition(rd); err != nil {
+		fatal(err)
+	}
+	fmt.Println("ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promlint:", err)
+	os.Exit(1)
+}

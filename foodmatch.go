@@ -56,6 +56,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gps"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
@@ -128,6 +129,23 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one simulation event.
 	TraceEvent = trace.Event
+	// ObsRegistry is the metrics registry of the observability plane:
+	// counters, gauges and fixed-bucket histograms with Prometheus text
+	// exposition (Engine.Obs, ObsLog.Registry).
+	ObsRegistry = obs.Registry
+	// ObsPhase is one node of a round's span tree (RoundStats.Phases,
+	// RoundTelemetry.Phases).
+	ObsPhase = obs.Phase
+	// OrderTraceEvent is one order-lifecycle transition from the bounded
+	// trace ring (Engine.TraceTail, GET /trace/orders).
+	OrderTraceEvent = obs.OrderEvent
+	// RoundTelemetry is the offline simulator's per-window telemetry
+	// (SimOptions.OnRound).
+	RoundTelemetry = sim.RoundTelemetry
+	// ObsLog collects per-window telemetry from experiment runs into a
+	// JSONL stream plus aggregate latency histograms; set it as
+	// ExperimentSetup.Obs (cmd/experiments wires one with -obs-out).
+	ObsLog = experiments.ObsLog
 )
 
 // DefaultScale is the laptop-scale workload operating point (1:50 of the
@@ -140,6 +158,10 @@ func DefaultConfig() *Config { return model.DefaultConfig() }
 // NewTraceRecorder returns an in-memory event-stream recorder; pass it as
 // SimOptions.Trace.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// NewObsLog returns an experiment telemetry collector writing JSONL to w
+// (nil collects aggregates only); see ObsLog.
+func NewObsLog(w io.Writer) *ObsLog { return experiments.NewObsLog(w) }
 
 // NewFoodMatch returns the full FOODMATCH policy (Section IV).
 func NewFoodMatch() Policy { return policy.NewFoodMatch() }

@@ -55,6 +55,59 @@ func BenchmarkStepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead pins the cost of the observability plane: the same
+// loaded CityB dinner round as BenchmarkEngineRound, run with the full
+// instrumentation (histograms, lifecycle tracer, span tree; obs=on) and
+// with Config.DisableObs (obs=off). The acceptance bar is < 2% between the
+// arms — recording is lock-free atomic adds plus a handful of time.Now()
+// calls per round, so the two arms should be statistically
+// indistinguishable. CI persists this as BENCH_obs.json.
+//
+//	go test ./internal/engine -bench ObsOverhead -benchtime 5x
+func BenchmarkObsOverhead(b *testing.B) {
+	city := workload.MustPreset("CityB", workload.DefaultScale, 1)
+	start := 19.0 * 3600
+	wEnd := start + 1200
+	orders := workload.OrderStreamWindow(city, 1, start, wEnd)
+	for _, arm := range []struct {
+		name    string
+		disable bool
+	}{{"obs=on", false}, {"obs=off", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			cfg := model.DefaultConfig()
+			b.ReportMetric(float64(len(orders)), "orders/round")
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh := workload.OrderStreamWindow(city, 1, start, wEnd)
+				fleet := city.Fleet(1.0, cfg.MaxO, 1)
+				e, err := New(city.G, fleet, Config{
+					Pipeline: cfg, Shards: 1,
+					QueueSize:  len(fresh) + 1,
+					DisableObs: arm.disable,
+					TraceRing:  4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range fresh {
+					if err := e.SubmitOrder(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+				e.roundMu.Lock()
+				e.clock = wEnd - cfg.Delta
+				e.clockBits.Store(math.Float64bits(e.clock))
+				e.roundMu.Unlock()
+				b.StartTimer()
+				stats := e.Step(wEnd)
+				if stats.AssignedOrders == 0 && len(fresh) > 0 && stats.AvailableVehicles > 0 {
+					b.Fatalf("round assigned nothing (pool %d, vehicles %d)", stats.PoolSize, stats.AvailableVehicles)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineRound measures one loaded dinner-peak assignment round —
 // queue drain, vehicle advancement, zone partition, parallel per-shard
 // batching→FoodGraph→KM, application — at 1 shard vs K shards on the

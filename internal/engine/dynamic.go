@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/gps"
 	"repro/internal/roadnet"
@@ -46,21 +47,29 @@ type dynamicState struct {
 // with nothing learned since the last publish (the dirty set is empty) is
 // skipped outright — minting a weight-identical epoch would only force
 // every shard to rebuild its router caches for zero change. Forced
-// RefreshWeights calls keep the publish-regardless contract.
-func (e *Engine) maybeRefreshWeights(now float64) {
+// RefreshWeights calls keep the publish-regardless contract. Returns the
+// publish's wall-clock cost (0 when nothing was published) — the handoff
+// barrier's "publish" span child.
+func (e *Engine) maybeRefreshWeights(now float64) float64 {
 	if e.dyn == nil {
-		return
+		return 0
 	}
 	e.dyn.mu.Lock()
 	defer e.dyn.mu.Unlock()
 	if now-e.dyn.lastT < e.dyn.refresh {
-		return
+		return 0
 	}
 	if e.dyn.lastGraph != nil && e.dyn.learner.DirtyCells() == 0 {
 		e.dyn.lastT = now // quiet period: try again a full period later
-		return
+		return 0
 	}
+	start := time.Now()
+	before := e.dyn.epoch
 	e.publishWeightsLocked(now, true)
+	if e.dyn.epoch == before {
+		return 0
+	}
+	return time.Since(start).Seconds()
 }
 
 // RefreshWeights forces an immediate weight publish at the current engine
@@ -99,6 +108,7 @@ func (e *Engine) RefreshWeights() (uint64, bool) {
 func (e *Engine) publishWeightsLocked(now float64, skipIdentity bool) uint64 {
 	d := e.dyn
 	d.lastT = now
+	start := time.Now()
 
 	var (
 		g2      *roadnet.Graph
@@ -163,6 +173,17 @@ func (e *Engine) publishWeightsLocked(now float64, skipIdentity bool) uint64 {
 	}
 	d.learnedEdges = d.lastW.Edges()
 	d.learnedCells = d.lastW.Cells()
+	if eo := e.eo; eo != nil {
+		dur := time.Since(start).Seconds()
+		if patched {
+			eo.pubPatched.Observe(dur)
+			eo.cPublishesPatched.Inc()
+		} else {
+			eo.pubFull.Observe(dur)
+			eo.cPublishes.Inc()
+		}
+		eo.gEpoch.Set(float64(d.epoch))
+	}
 	return d.epoch
 }
 
@@ -239,6 +260,7 @@ func (e *Engine) ImportWeights(w *roadnet.SlotWeights) (uint64, error) {
 	e.dyn.mu.Lock()
 	defer e.dyn.mu.Unlock()
 	d := e.dyn
+	start := time.Now()
 	g2 := e.decG.Reweighted(w)
 	d.lastGraph, d.lastW = nil, nil
 	d.epoch++
@@ -255,6 +277,12 @@ func (e *Engine) ImportWeights(w *roadnet.SlotWeights) (uint64, error) {
 	d.publishes++
 	d.learnedEdges = w.Edges()
 	d.learnedCells = w.Cells()
+	if eo := e.eo; eo != nil {
+		// Imports are always whole-table rebuilds: count them as full.
+		eo.pubFull.Observe(time.Since(start).Seconds())
+		eo.cPublishes.Inc()
+		eo.gEpoch.Set(float64(d.epoch))
+	}
 	return d.epoch, nil
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/gps"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -130,6 +131,31 @@ type Config struct {
 	// published epoch (they fall back to the decision graph's prior);
 	// 0 defaults to 3.
 	MinSamples int
+
+	// Obs is the metrics registry the engine records into (round latency
+	// histograms, per-phase spans, pipeline-stage timings, router query
+	// latency, lifecycle counters — see internal/obs). Nil creates a private
+	// registry; either way it is served by Engine.Obs() and foodmatchd's
+	// GET /metrics.prom. Pass a shared registry to co-expose several
+	// components on one scrape endpoint.
+	Obs *obs.Registry
+	// DisableObs turns the observability plane off entirely: no registry,
+	// no lifecycle tracer, no per-round recording. The baseline arm of
+	// BenchmarkObsOverhead; production keeps it on.
+	DisableObs bool
+	// TraceRing bounds the order-lifecycle NDJSON event ring served by
+	// Engine.TraceTail / foodmatchd's GET /trace/orders; 0 (the default)
+	// disables the ring while keeping the transition histograms.
+	TraceRing int
+	// SlowRoundSec is the slow-round log threshold: a round whose wall-clock
+	// latency exceeds it triggers OnSlowRound with the full round stats —
+	// span tree included — so a single slow round can be reconstructed
+	// post-hoc. 0 disables.
+	SlowRoundSec float64
+	// OnSlowRound receives threshold-exceeding rounds. Called synchronously
+	// at the end of the round (after stats are final, outside any engine
+	// lock the callback could want); keep it cheap or hand off.
+	OnSlowRound func(RoundStats)
 }
 
 // vehiclePing is one queued location/status update.
@@ -254,6 +280,10 @@ type Engine struct {
 	statMu sync.Mutex
 	stats  counters
 
+	// eo is the observability plane (nil when Config.DisableObs): instrument
+	// pointers resolved once at New, recorded into with atomics only.
+	eo *engineObs
+
 	subs subscribers
 
 	// runMu serialises Start/Stop.
@@ -313,6 +343,25 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 		cfg.MinSamples = 3
 	}
 
+	var eo *engineObs
+	if !cfg.DisableObs {
+		reg := cfg.Obs
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		eo = newEngineObs(reg, cfg.Shards, cfg.TraceRing)
+		// Chain the lifecycle tracer in front of the caller's sink (shards
+		// emit concurrently; the tracer stripes its locks) and decorate every
+		// shard router — including SwapRouter's per-epoch rebuilds — with
+		// sampled query timing. Both are read-only observers: neither can
+		// perturb a decision, which the golden-trace guard pins.
+		cfg.Trace = trace.NewLifecycleSink(eo.tracer, cfg.Trace)
+		innerNR := cfg.NewRouter
+		cfg.NewRouter = func(g *roadnet.Graph) roadnet.Router {
+			return eo.timeRouter(innerNR(g))
+		}
+	}
+
 	e := &Engine{
 		g:       g,
 		decG:    decG,
@@ -324,6 +373,7 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 		byID:    make(map[model.VehicleID]*sim.Motion, len(fleet)),
 		rtByID:  make(map[model.VehicleID]*motionRt, len(fleet)),
 		slot:    -1,
+		eo:      eo,
 	}
 	if cfg.Learner != nil {
 		e.dyn = &dynamicState{
@@ -332,6 +382,13 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 			minSamples: cfg.MinSamples,
 			lastT:      math.Inf(-1),
 		}
+	}
+	// Movement-plane counter mirrors for the mover hooks below: nil (inert)
+	// when the observability plane is off — obs instruments are
+	// nil-receiver-safe, so the hooks stay unconditional.
+	var cDelivered, cStranded *obs.Counter
+	if eo != nil {
+		cDelivered, cStranded = eo.cDelivered, eo.cStranded
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		st := &shardState{
@@ -357,6 +414,7 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 				st.hooks.delivered++
 				st.hooks.xdtSec += o.XDT()
 				st.hookMu.Unlock()
+				cDelivered.Inc()
 			},
 			Distance: func(_ *model.Vehicle, meters float64, _ int, _ float64) {
 				st.hookMu.Lock()
@@ -367,6 +425,7 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 				st.hookMu.Lock()
 				st.hooks.stranded++
 				st.hookMu.Unlock()
+				cStranded.Inc()
 			},
 		}
 		if cfg.Learner != nil {
@@ -447,11 +506,17 @@ func (e *Engine) SubmitOrder(o *model.Order) error {
 		e.statMu.Lock()
 		e.stats.ingested++
 		e.statMu.Unlock()
+		if e.eo != nil {
+			e.eo.cIngested.Inc()
+		}
 		return nil
 	default:
 		e.statMu.Lock()
 		e.stats.shedOrders++
 		e.statMu.Unlock()
+		if e.eo != nil {
+			e.eo.cShedOrders.Inc()
+		}
 		return ErrQueueFull
 	}
 }
@@ -478,11 +543,20 @@ func (e *Engine) ping(p vehiclePing) error {
 	}
 	select {
 	case e.pingCh <- p:
+		e.statMu.Lock()
+		e.stats.pingsIngested++
+		e.statMu.Unlock()
+		if e.eo != nil {
+			e.eo.cPingsIngested.Inc()
+		}
 		return nil
 	default:
 		e.statMu.Lock()
 		e.stats.shedPings++
 		e.statMu.Unlock()
+		if e.eo != nil {
+			e.eo.cPingsShed.Inc()
+		}
 		return ErrQueueFull
 	}
 }

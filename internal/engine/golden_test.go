@@ -21,8 +21,10 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite golden trace fixtu
 // engine with the static road network (no learner) and renders every
 // assignment decision and rejection as one canonical line. One shard and
 // Step-driven time make the run fully deterministic, so the rendered trace
-// is byte-stable across machines.
-func goldenReplay(t *testing.T) string {
+// is byte-stable across machines. mutate (optional) adjusts the Config
+// before construction — the observability guard uses it to crank every
+// telemetry feature up against the same fixture.
+func goldenReplay(t *testing.T, mutate func(*Config)) string {
 	t.Helper()
 	city := testCityB
 	start, end := 18.0*3600, 18.5*3600
@@ -31,11 +33,15 @@ func goldenReplay(t *testing.T) string {
 		t.Fatal("golden: no orders in the dinner slice")
 	}
 	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
-	e, err := New(city.G, fleet, Config{
+	cfg := Config{
 		Pipeline:  testConfig(),
 		Shards:    1,
 		QueueSize: len(orders) + 16,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(city.G, fleet, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +180,31 @@ func goldenLearnerReplay(t *testing.T) string {
 // one decision shows up as a fixture diff. Regenerate deliberately with
 // -update-golden when a behaviour change is intended.
 func TestGoldenTraceCityBDinner(t *testing.T) {
-	checkGolden(t, goldenReplay(t), "golden_cityb_dinner.trace")
+	checkGolden(t, goldenReplay(t, nil), "golden_cityb_dinner.trace")
+}
+
+// TestGoldenTraceCityBDinnerObs replays the same fixture with every
+// observability feature turned up — lifecycle event ring, slow-round
+// logging at an always-firing threshold — and requires the decision trace
+// to stay byte-identical. Instrumentation only reads decisions; if it ever
+// perturbs one, this fixture diff is the tripwire. It also proves the
+// slow-round callback fires and carries the span tree.
+func TestGoldenTraceCityBDinnerObs(t *testing.T) {
+	var slow int
+	got := goldenReplay(t, func(cfg *Config) {
+		cfg.TraceRing = 4096
+		cfg.SlowRoundSec = 1e-12 // every round is "slow": fire on all of them
+		cfg.OnSlowRound = func(rs RoundStats) {
+			if len(rs.Phases) == 0 {
+				t.Error("slow-round callback got no span tree")
+			}
+			slow++
+		}
+	})
+	if slow == 0 {
+		t.Fatal("slow-round callback never fired")
+	}
+	checkGolden(t, got, "golden_cityb_dinner.trace")
 }
 
 // TestGoldenTraceCityBDinnerLearner pins the *dynamic* plane the same way:

@@ -92,6 +92,9 @@ func TestEngineHubLabelRouterEpochRebuild(t *testing.T) {
 	// published graph; after Wait its touched slots answer from labels.
 	for _, sr := range e.shards {
 		snap, router := sr.router.Acquire()
+		if tw, ok := router.(*timedRouter); ok {
+			router = tw.Unwrap() // observability decorator wraps every epoch build
+		}
 		ar, ok := router.(*spindex.AsyncRouter)
 		if !ok {
 			t.Fatalf("shard %d inner router is %T, want *spindex.AsyncRouter", sr.id, router)

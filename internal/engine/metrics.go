@@ -1,6 +1,9 @@
 package engine
 
-import "repro/internal/pipeline"
+import (
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
 
 // PipelineStats is the per-stage timing/size breakdown of an assignment
 // round (alias of pipeline.Stats): batching, FoodGraph construction,
@@ -12,15 +15,16 @@ type PipelineStats = pipeline.Stats
 // Movement-plane counters (deliveries, wait, distance) live per shard (see
 // shardState.hooks) so the parallel advance phase never contends here.
 type counters struct {
-	ingested    int64 // accepted into the order queue
-	admitted    int64 // moved from queue to pool
-	shedOrders  int64 // rejected with ErrQueueFull
-	shedPings   int64
-	assigned    int64 // assignment decisions applied (order count)
-	reassigned  int64 // reshuffle moves across vehicles
-	rejected    int64 // unallocated past RejectAfter
-	handoffs    int64 // orders served by a neighbouring zone
-	vehHandoffs int64 // vehicles re-homed across a zone boundary
+	ingested      int64 // accepted into the order queue
+	admitted      int64 // moved from queue to pool
+	shedOrders    int64 // rejected with ErrQueueFull
+	pingsIngested int64 // accepted into the ping queue
+	shedPings     int64
+	assigned      int64 // assignment decisions applied (order count)
+	reassigned    int64 // reshuffle moves across vehicles
+	rejected      int64 // unallocated past RejectAfter
+	handoffs      int64 // orders served by a neighbouring zone
+	vehHandoffs   int64 // vehicles re-homed across a zone boundary
 
 	rounds        int64
 	roundSecTotal float64
@@ -83,6 +87,12 @@ type RoundStats struct {
 	Pipeline PipelineStats `json:"pipeline"`
 	// Shards is the per-zone breakdown.
 	Shards []ShardRoundStats `json:"shards"`
+	// Phases is the round's span tree — one entry per phase of the phased
+	// round (drain, advance, handoff, match, apply, replan, rebuild), with
+	// per-shard children and, under match, per-stage pipeline grandchildren.
+	// Nil when Config.DisableObs. The slow-round structured log and the
+	// experiments harness' -obs-out JSONL serialise exactly this.
+	Phases []obs.Phase `json:"phases,omitempty"`
 }
 
 // ShardMetrics is one zone's resident-state summary on the metrics plane:
@@ -125,13 +135,16 @@ type Metrics struct {
 	OrdersIngested int64 `json:"orders_ingested"`
 	OrdersAdmitted int64 `json:"orders_admitted"`
 	OrdersShed     int64 `json:"orders_shed"`
-	PingsShed      int64 `json:"pings_shed"`
-	Assigned       int64 `json:"assigned"`
-	Reassigned     int64 `json:"reassigned"`
-	Delivered      int64 `json:"delivered"`
-	Rejected       int64 `json:"rejected"`
-	Stranded       int64 `json:"stranded"`
-	Handoffs       int64 `json:"handoffs"`
+	// PingsIngested / PingsShed are the ping-queue totals — together they
+	// make the ping shed ratio computable, symmetrically with orders.
+	PingsIngested int64 `json:"pings_ingested"`
+	PingsShed     int64 `json:"pings_shed"`
+	Assigned      int64 `json:"assigned"`
+	Reassigned    int64 `json:"reassigned"`
+	Delivered     int64 `json:"delivered"`
+	Rejected      int64 `json:"rejected"`
+	Stranded      int64 `json:"stranded"`
+	Handoffs      int64 `json:"handoffs"`
 	// VehicleHandoffs counts vehicles re-homed across zone boundaries.
 	VehicleHandoffs int64 `json:"vehicle_handoffs"`
 
@@ -172,6 +185,7 @@ func (e *Engine) Snapshot() Metrics {
 		OrdersIngested:  c.ingested,
 		OrdersAdmitted:  c.admitted,
 		OrdersShed:      c.shedOrders,
+		PingsIngested:   c.pingsIngested,
 		PingsShed:       c.shedPings,
 		Assigned:        c.assigned,
 		Reassigned:      c.reassigned,

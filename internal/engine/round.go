@@ -55,6 +55,7 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	}
 	e.drainPings(now)
 	e.drainOrders(now)
+	drainSec := time.Since(t0).Seconds()
 
 	// Slot boundary: weights changed, memoised distance rows are stale
 	// (each shard resets its own caches lazily against this slot).
@@ -66,10 +67,23 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	e.clock = now
 	e.clockBits.Store(math.Float64bits(now))
 
-	stats := e.runRound(ctx, prevClock, now)
+	stats := e.runRound(ctx, prevClock, now, drainSec)
 	stats.LatencySec = time.Since(t0).Seconds()
 	stats.OrderQueueDepth = len(e.orderCh)
 	stats.PingQueueDepth = len(e.pingCh)
+
+	if eo := e.eo; eo != nil {
+		eo.roundLatency.Observe(stats.LatencySec)
+		eo.cRounds.Inc()
+		eo.cAssigned.Add(int64(stats.AssignedOrders))
+		eo.cRejected.Add(int64(stats.Rejected))
+		eo.cHandoffs.Add(int64(stats.Handoffs))
+		eo.cVehHandoffs.Add(int64(stats.VehicleHandoffs))
+		eo.gOrderQueue.Set(float64(stats.OrderQueueDepth))
+		eo.gPingQueue.Set(float64(stats.PingQueueDepth))
+		eo.gPool.Set(float64(stats.PoolCarried))
+		eo.gClock.Set(now)
+	}
 
 	e.statMu.Lock()
 	if e.stats.rounds == 0 {
@@ -88,6 +102,13 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	e.statMu.Unlock()
 
 	e.subs.publish(StreamEvent{Round: &stats})
+	if e.cfg.SlowRoundSec > 0 && stats.LatencySec > e.cfg.SlowRoundSec && e.cfg.OnSlowRound != nil {
+		// Threshold-triggered slow-round dump: the full stats — span tree
+		// included — reach the callback after everything is final, outside
+		// the stat mutex (roundMu is still held; the callback must not
+		// re-enter the engine's round path).
+		e.cfg.OnSlowRound(stats)
+	}
 	return stats
 }
 
@@ -139,7 +160,14 @@ func (e *Engine) admitFuture(now float64, arrived bool) {
 		e.statMu.Lock()
 		e.stats.admitted++
 		e.statMu.Unlock()
+		if e.eo != nil {
+			e.eo.cAdmitted.Inc()
+		}
 		e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderPlaced, T: o.PlacedAt, Order: o.ID})
+		// Admission is stamped with the round clock (OrderPlaced carries the
+		// placement time): the gap between the two is the submit-queue plus
+		// scheduled-order wait, the first lifecycle transition.
+		e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderAdmitted, T: now, Order: o.ID})
 	}
 	e.future = e.future[:n]
 }
@@ -220,8 +248,9 @@ type shardWork struct {
 // runRound executes the phased assignment round at time now. roundMu is
 // held; ingestion keeps flowing into the channels, but the world state
 // belongs to this round until it returns.
-func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
+func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundStats {
 	cfg := e.cfg.Pipeline
+	eo := e.eo
 	stats := RoundStats{T: now, Shards: make([]ShardRoundStats, len(e.shards))}
 	reshuffle := cfg.Reshuffle && e.pol.Reshuffles()
 	singleOrder := e.pol.SingleOrderMode(cfg)
@@ -232,15 +261,18 @@ func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 	// learner's float accumulations and of rejection events) stays fully
 	// deterministic across runs, honouring the Config.Workers contract even
 	// at Shards>1.
+	phT := time.Now()
 	ph := make([]phase1Out, len(e.shards))
 	e.forEachShard(e.cfg.Workers > 1, func(s *shardState) {
 		ph[s.id] = e.shardPhase1(s, t0, now, reshuffle, singleOrder)
 	})
+	advanceSec := time.Since(phT).Seconds()
 
 	// ---- Serial handoff barrier. A weight publish due this round lands
 	// first, so the matching phase below already pins the fresh epoch (the
 	// learner has seen all of this round's traversals by now).
-	e.maybeRefreshWeights(now)
+	phT = time.Now()
+	pubSec := e.maybeRefreshWeights(now)
 	stats.Epoch = e.currentEpoch()
 
 	work := make([]shardWork, len(e.shards))
@@ -284,9 +316,11 @@ func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 	if len(orders) > 0 && availTotal > 0 {
 		stats.Handoffs = e.partitionOrders(orders, work)
 	}
+	handoffSec := time.Since(phT).Seconds()
 
 	// ---- Parallel phase 2: every zone's pipeline on its own policy
 	// instance, distance cache and pinned weight epoch.
+	phT = time.Now()
 	var wg sync.WaitGroup
 	for s := range e.shards {
 		if len(work[s].orders) == 0 || len(work[s].vehicles) == 0 {
@@ -326,11 +360,13 @@ func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 		}(e.shards[s], &work[s])
 	}
 	wg.Wait()
+	matchSec := time.Since(phT).Seconds()
 
 	// ---- Serial application through the shared round logic (window.go —
 	// the same code path the offline simulator runs). Zones hold disjoint
 	// vehicles, so decisions never conflict; sequential application keeps
 	// the world state single-writer.
+	phT = time.Now()
 	w := &sim.RoundWorld{
 		ByID:    e.byID,
 		Motions: e.motions,
@@ -366,6 +402,9 @@ func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 				e.statMu.Lock()
 				e.stats.reassigned += int64(ap.ReassignedOrders)
 				e.statMu.Unlock()
+				if eo != nil {
+					eo.cReassigned.Add(int64(ap.ReassignedOrders))
+				}
 			}
 			stats.AssignedOrders += len(ap.Orders)
 			e.subs.publish(StreamEvent{Decision: &Decision{
@@ -375,15 +414,20 @@ func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 		}
 	}
 
+	applySec := time.Since(phT).Seconds()
+
 	// Give unplaced reshuffled orders back to their incumbents (decision is
 	// serial and deterministic), then fan the expensive replanning out per
 	// zone: each restored or stripped vehicle replans on the distance cache
 	// of the zone its node is in, one goroutine per zone.
+	phT = time.Now()
 	restored := w.DecideRestores(now, orders, prevVehicle, assignedOrders)
 	e.replanParallel(now, stripped, assignedVehicles, restored)
+	replanSec := time.Since(phT).Seconds()
 
 	// Rebuild the zone pools from the unassigned remainder (orders return
 	// to their restaurant's home zone).
+	phT = time.Now()
 	for _, s := range e.shards {
 		s.pool = s.pool[:0]
 	}
@@ -410,6 +454,12 @@ func (e *Engine) runRound(ctx context.Context, t0, now float64) RoundStats {
 		st.timing.lastAdvanceSec = ph[s].advanceSec
 		st.timing.lastAssignSec = work[s].sec
 		st.hookMu.Unlock()
+	}
+	rebuildSec := time.Since(phT).Seconds()
+
+	if eo != nil {
+		stats.Phases = eo.recordPhases(ph, work,
+			drainSec, advanceSec, handoffSec, pubSec, matchSec, applySec, replanSec, rebuildSec)
 	}
 
 	e.cfg.Trace.Emit(trace.Event{

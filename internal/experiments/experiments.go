@@ -43,6 +43,12 @@ type Setup struct {
 	// paper's City B, City C, City A ordering). The bench harness uses a
 	// single city to keep -bench runs short.
 	Cities []string
+	// Obs, when set, collects per-window observability telemetry (span
+	// trees, phase/stage latency histograms, order-lifecycle transitions)
+	// from every simulator the drivers run — see ObsLog and
+	// cmd/experiments' -obs-out flag. Nil collects nothing and costs
+	// nothing.
+	Obs *ObsLog
 }
 
 // cities returns the city list the drivers should sweep.
@@ -74,7 +80,7 @@ func Run(city *workload.City, pol policy.Policy, cfg *model.Config, st Setup) (*
 		cfg = cfg.Clone()
 		cfg.ComputeBudget = st.ComputeBudget
 	}
-	s, err := sim.New(city.G, orders, fleet, pol, cfg, sim.Options{Quiet: true})
+	s, err := sim.New(city.G, orders, fleet, pol, cfg, st.obsOptions(sim.Options{Quiet: true}))
 	if err != nil {
 		return nil, err
 	}

@@ -104,7 +104,7 @@ func runWithDecisionGraph(city *workload.City, cfg *model.Config, st Setup, dec 
 	orders := workload.OrderStreamWindow(city, st.Seed, start, end)
 	fleet := city.Fleet(st.FleetFrac, cfg.MaxO, st.Seed)
 	s, err := sim.New(city.G, orders, fleet, policy.NewFoodMatch(), cfg.Clone(),
-		sim.Options{Quiet: true, DecisionGraph: dec})
+		st.obsOptions(sim.Options{Quiet: true, DecisionGraph: dec}))
 	if err != nil {
 		return nil, err
 	}

@@ -307,7 +307,7 @@ func learnWeights(city *workload.City, sc workload.Scenario, st Setup, opt Proto
 		orders := sched.Orders(day, start, end)
 		fleet := sched.Fleet(day, st.FleetFrac, cfg.MaxO)
 		s, err := sim.New(trueG, orders, fleet, policy.NewFoodMatch(), cfg.Clone(),
-			sim.Options{Quiet: true, DecisionGraph: city.G, Learner: learner})
+			st.obsOptions(sim.Options{Quiet: true, DecisionGraph: city.G, Learner: learner}))
 		if err != nil {
 			return nil, prov, err
 		}
@@ -353,7 +353,7 @@ func runTestDay(sched workload.DaySchedule, day workload.DayPlan,
 	orders := sched.Orders(day, start, end)
 	fleet := sched.Fleet(day, st.FleetFrac, cfg.MaxO)
 	s, err := sim.New(trueG, orders, fleet, pol, cfg,
-		sim.Options{Quiet: true, SLASec: opt.SLASec, DecisionGraph: decG})
+		st.obsOptions(sim.Options{Quiet: true, SLASec: opt.SLASec, DecisionGraph: decG}))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "bench", DurationBuckets, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("h_seconds", "bench", DurationBuckets, nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0042)
+		}
+	})
+}
+
+func BenchmarkTracerTransition(b *testing.B) {
+	tr := NewOrderTracer(NewRegistry(), 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := int64(i % 4096)
+		tr.Transition(id, 1, StageAdmitted, float64(i))
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for _, phase := range []string{"drain", "advance", "handoff", "match", "apply", "replan", "rebuild"} {
+		h := r.Histogram("foodmatch_round_phase_seconds", "bench", DurationBuckets, Labels{"phase": phase})
+		h.Observe(0.01)
+	}
+	r.Counter("foodmatch_rounds_total", "bench", nil).Inc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

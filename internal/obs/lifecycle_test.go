@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// transitionHist fetches the canonical transition histogram for (from, to).
+func transitionHist(r *Registry, from, to Stage) *Histogram {
+	return r.Histogram("foodmatch_order_transition_sim_seconds", "",
+		SimBuckets, Labels{"from": from.String(), "to": to.String()})
+}
+
+func TestOrderTracerTransitions(t *testing.T) {
+	r := NewRegistry()
+	tr := NewOrderTracer(r, 16)
+	// full happy path for order 1
+	tr.Transition(1, 0, StagePlaced, 100)
+	tr.Transition(1, 0, StageAdmitted, 130)
+	tr.Transition(1, 7, StageAssigned, 190)
+	tr.Transition(1, 7, StagePickedUp, 400)
+	tr.Transition(1, 7, StageDelivered, 900)
+
+	checks := []struct {
+		from, to Stage
+		wantGap  float64
+	}{
+		{StagePlaced, StageAdmitted, 30},
+		{StageAdmitted, StageAssigned, 60},
+		{StageAssigned, StagePickedUp, 210},
+		{StagePickedUp, StageDelivered, 500},
+	}
+	for _, c := range checks {
+		h := transitionHist(r, c.from, c.to)
+		if h.Count() != 1 {
+			t.Fatalf("%s->%s count = %d, want 1", c.from, c.to, h.Count())
+		}
+		if h.Sum() != c.wantGap {
+			t.Fatalf("%s->%s gap = %g, want %g", c.from, c.to, h.Sum(), c.wantGap)
+		}
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("delivered order still pending: %d", tr.Pending())
+	}
+
+	// reshuffle: assigned -> released -> assigned, then rejected
+	tr.Transition(2, 0, StageAdmitted, 0)
+	tr.Transition(2, 3, StageAssigned, 10)
+	tr.Transition(2, 3, StageReleased, 70)
+	tr.Transition(2, 5, StageAssigned, 70)
+	if h := transitionHist(r, StageAssigned, StageReleased); h.Count() != 1 || h.Sum() != 60 {
+		t.Fatalf("assigned->released = (%d, %g)", h.Count(), h.Sum())
+	}
+	if h := transitionHist(r, StageReleased, StageAssigned); h.Count() != 1 || h.Sum() != 0 {
+		t.Fatalf("released->assigned = (%d, %g)", h.Count(), h.Sum())
+	}
+	if tr.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", tr.Pending())
+	}
+
+	// uncanonical pair (delivered has no entry; jump placed->delivered)
+	tr.Transition(3, 0, StagePlaced, 0)
+	tr.Transition(3, 0, StageDelivered, 5)
+	if got := r.Counter("foodmatch_order_transitions_other_total", "", nil).Value(); got != 1 {
+		t.Fatalf("other transitions = %d, want 1", got)
+	}
+
+	tail := tr.Tail(100)
+	if len(tail) != 11 {
+		t.Fatalf("tail holds %d events, want 11", len(tail))
+	}
+	last := tail[len(tail)-1]
+	if last.Order != 3 || last.To != "delivered" || last.From != "placed" || last.GapSec != 5 {
+		t.Fatalf("unexpected last event %+v", last)
+	}
+}
+
+func TestOrderTracerRingWrap(t *testing.T) {
+	r := NewRegistry()
+	tr := NewOrderTracer(r, 4)
+	for i := int64(0); i < 10; i++ {
+		tr.Transition(i, 0, StagePlaced, float64(i))
+	}
+	tail := tr.Tail(100)
+	if len(tail) != 4 {
+		t.Fatalf("tail holds %d events, want ring cap 4", len(tail))
+	}
+	for i, e := range tail {
+		if want := int64(6 + i); e.Order != want {
+			t.Fatalf("tail[%d].Order = %d, want %d (oldest-first)", i, e.Order, want)
+		}
+	}
+	if got := tr.Tail(2); len(got) != 2 || got[1].Order != 9 {
+		t.Fatalf("tail(2) = %+v, want last two", got)
+	}
+}
+
+func TestOrderTracerRingDisabled(t *testing.T) {
+	tr := NewOrderTracer(NewRegistry(), 0)
+	tr.Transition(1, 0, StagePlaced, 0)
+	if tr.Tail(10) != nil {
+		t.Fatal("disabled ring must return nil tail")
+	}
+}
+
+func TestOrderTracerNegativeGapClamped(t *testing.T) {
+	r := NewRegistry()
+	tr := NewOrderTracer(r, 0)
+	tr.Transition(1, 0, StagePlaced, 100)
+	tr.Transition(1, 0, StageAdmitted, 50) // clock skew: placed stamped in the future
+	if h := transitionHist(r, StagePlaced, StageAdmitted); h.Sum() != 0 {
+		t.Fatalf("negative gap not clamped: %g", h.Sum())
+	}
+}
+
+func TestOrderTracerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewOrderTracer(r, 128)
+	const goroutines, orders = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < orders; i++ {
+				id := base*orders + i
+				tr.Transition(id, 0, StagePlaced, 0)
+				tr.Transition(id, 0, StageAdmitted, 1)
+				tr.Transition(id, 1, StageAssigned, 2)
+				tr.Transition(id, 1, StagePickedUp, 3)
+				tr.Transition(id, 1, StageDelivered, 4)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if tr.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", tr.Pending())
+	}
+	if h := transitionHist(r, StagePickedUp, StageDelivered); h.Count() != goroutines*orders {
+		t.Fatalf("delivered count = %d, want %d", h.Count(), goroutines*orders)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StagePlaced.String() != "placed" || StageRejected.String() != "rejected" {
+		t.Fatal("stage names broken")
+	}
+	if !strings.Contains(Stage(200).String(), "unknown") {
+		t.Fatal("out-of-range stage should be unknown")
+	}
+}

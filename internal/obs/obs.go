@@ -1,0 +1,368 @@
+// Package obs is the engine's observability substrate: a dependency-free
+// (stdlib-only) concurrent registry of counters, gauges and fixed-bucket
+// histograms with Prometheus text-format exposition, plus the round-phase
+// span and order-lifecycle trace types the dispatch plane records into.
+//
+// Recording is lock-free: counters and histogram buckets are atomics, so
+// hot paths (assignment rounds, mover hooks, router queries) pay a handful
+// of atomic adds per observation and never contend on a registry mutex —
+// the registry lock is taken only at instrument registration and at
+// exposition time. All record methods are nil-receiver-safe, so callers can
+// keep unconditional call sites and disable telemetry by dropping the
+// instrument.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches constant key/value dimensions to an instrument (e.g.
+// phase="match", shard="2"). Labels are fixed at registration: the registry
+// returns one instrument per unique (name, labels) series.
+type Labels map[string]string
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// labelPair is one sorted label dimension.
+type labelPair struct{ k, v string }
+
+// meta is the registration identity shared by every instrument kind.
+type meta struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels []labelPair
+	key    string // name + canonical label encoding (registry index)
+}
+
+// Counter is a monotonically increasing count (atomic).
+type Counter struct {
+	m meta
+	v atomic.Int64
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters are monotonic). Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Nil-safe (0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value (atomic float64 bits).
+type Gauge struct {
+	m    meta
+	bits atomic.Uint64
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value. Nil-safe (0).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: observations land in the first
+// bucket whose upper bound is >= v (cumulative exposition adds the implicit
+// +Inf bucket). Observe is lock-free — one atomic add on the bucket, one on
+// the count and a CAS loop on the float sum — so it is safe on round hot
+// paths and from parallel shard goroutines.
+type Histogram struct {
+	m      meta
+	bounds []float64       // sorted finite upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last = +Inf overflow
+	cnt    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.cnt.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations. Nil-safe (0).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.cnt.Load()
+}
+
+// Sum returns the sum of observed values. Nil-safe (0).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket that covers it — the same estimate Prometheus's
+// histogram_quantile computes. Returns NaN with no observations; values in
+// the overflow bucket report the largest finite bound. Nil-safe (NaN).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.cnt.Load()
+	if total == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n < rank || n == 0 {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) { // overflow bucket: no finite upper bound
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-cum)/n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Default bucket layouts (upper bounds in seconds).
+var (
+	// DurationBuckets covers wall-clock phase/round latencies: 100 µs .. 10 s.
+	DurationBuckets = []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+	// QueryBuckets covers per-query router latencies: 250 ns .. 25 ms.
+	QueryBuckets = []float64{
+		2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025,
+	}
+	// SimBuckets covers simulation-time spans (order-lifecycle transitions):
+	// 1 s .. 2 h of city time.
+	SimBuckets = []float64{1, 5, 15, 30, 60, 120, 300, 600, 900, 1800, 3600, 7200}
+)
+
+// instrument is anything the registry holds.
+type instrument interface{ getMeta() *meta }
+
+func (c *Counter) getMeta() *meta   { return &c.m }
+func (g *Gauge) getMeta() *meta     { return &g.m }
+func (h *Histogram) getMeta() *meta { return &h.m }
+
+// Registry is a concurrent instrument registry. Registration methods return
+// the existing instrument when the (name, labels) series was already
+// registered (so independent components can share series), and panic on a
+// kind mismatch or invalid name — both programming errors.
+type Registry struct {
+	mu    sync.Mutex
+	index map[string]instrument
+	order []instrument
+	help  map[string]string // family name -> first help text
+	kind  map[string]string // family name -> kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		index: make(map[string]instrument),
+		help:  make(map[string]string),
+		kind:  make(map[string]string),
+	}
+}
+
+// buildMeta validates and canonicalises a registration.
+func buildMeta(name, help, kind string, labels Labels) meta {
+	if !nameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	m := meta{name: name, help: help, kind: kind}
+	for k, v := range labels {
+		if !labelRe.MatchString(k) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", k, name))
+		}
+		m.labels = append(m.labels, labelPair{k: k, v: v})
+	}
+	sort.Slice(m.labels, func(i, j int) bool { return m.labels[i].k < m.labels[j].k })
+	m.key = name
+	for _, lp := range m.labels {
+		m.key += "\x00" + lp.k + "\x01" + lp.v
+	}
+	return m
+}
+
+// register interns an instrument, returning the existing one on a key hit.
+func (r *Registry) register(m meta, mk func(meta) instrument) instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.index[m.key]; ok {
+		if got.getMeta().kind != m.kind {
+			panic(fmt.Sprintf("obs: %q re-registered as %s (was %s)", m.name, m.kind, got.getMeta().kind))
+		}
+		return got
+	}
+	if k, ok := r.kind[m.name]; ok && k != m.kind {
+		panic(fmt.Sprintf("obs: family %q holds %s series, cannot add %s", m.name, k, m.kind))
+	}
+	in := mk(m)
+	r.index[m.key] = in
+	r.order = append(r.order, in)
+	if _, ok := r.help[m.name]; !ok {
+		r.help[m.name] = m.help
+		r.kind[m.name] = m.kind
+	}
+	return in
+}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.register(buildMeta(name, help, "counter", labels),
+		func(m meta) instrument { return &Counter{m: m} }).(*Counter)
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.register(buildMeta(name, help, "gauge", labels),
+		func(m meta) instrument { return &Gauge{m: m} }).(*Gauge)
+}
+
+// Histogram registers (or fetches) a histogram series with the given finite
+// upper bounds (must be sorted ascending; the +Inf bucket is implicit).
+// Re-registering an existing series returns it with its original buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	return r.register(buildMeta(name, help, "histogram", labels), func(m meta) instrument {
+		b := make([]float64, len(buckets))
+		copy(b, buckets)
+		return &Histogram{m: m, bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}).(*Histogram)
+}
+
+// MetricPoint is one series' point-in-time value — the machine-readable
+// form of the registry (experiments JSONL summaries, tests).
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries the counter/gauge reading.
+	Value float64 `json:"value,omitempty"`
+	// Count/Sum/P50/P95/P99 carry the histogram reading.
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Gather snapshots every registered series, sorted by name then labels.
+func (r *Registry) Gather() []MetricPoint {
+	out := make([]MetricPoint, 0, len(r.order))
+	for _, in := range r.sorted() {
+		m := in.getMeta()
+		p := MetricPoint{Name: m.name, Kind: m.kind}
+		if len(m.labels) > 0 {
+			p.Labels = make(map[string]string, len(m.labels))
+			for _, lp := range m.labels {
+				p.Labels[lp.k] = lp.v
+			}
+		}
+		switch v := in.(type) {
+		case *Counter:
+			p.Value = float64(v.Value())
+		case *Gauge:
+			p.Value = v.Value()
+		case *Histogram:
+			p.Count = v.Count()
+			p.Sum = v.Sum()
+			if p.Count > 0 {
+				p.P50, p.P95, p.P99 = v.Quantile(0.5), v.Quantile(0.95), v.Quantile(0.99)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// sorted returns the instruments ordered by (name, label key) under the
+// registry lock — the stable exposition order.
+func (r *Registry) sorted() []instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]instrument, len(r.order))
+	copy(out, r.order)
+	sort.Slice(out, func(i, j int) bool { return out[i].getMeta().key < out[j].getMeta().key })
+	return out
+}
+
+// helpFor returns the family help/kind maps' entries under the lock.
+func (r *Registry) helpFor(name string) (help, kind string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name], r.kind[name]
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help", nil)
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help", Labels{"k": "v"})
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestNilInstrumentsSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *OrderTracer
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	h.Observe(1)
+	tr.Transition(1, 0, StagePlaced, 0)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments should read zero")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile should be NaN")
+	}
+	if tr.Tail(10) != nil || tr.Pending() != 0 {
+		t.Fatal("nil tracer should be inert")
+	}
+}
+
+func TestRegistryInterning(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Labels{"a": "1", "b": "2"})
+	b := r.Counter("x_total", "ignored second help", Labels{"b": "2", "a": "1"})
+	if a != b {
+		t.Fatal("same (name, labels) must intern to one instrument")
+	}
+	c := r.Counter("x_total", "help", Labels{"a": "2", "b": "2"})
+	if a == c {
+		t.Fatal("different labels must be distinct series")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "help", Labels{"x": "1"})
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid name")
+		}
+	}()
+	r.Counter("bad-name", "help", nil)
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{1, 2, 4, 8}, nil)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); math.Abs(got-119.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 119.5", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 2 || p50 > 4 {
+		t.Fatalf("p50 = %g, want within (2,4]", p50)
+	}
+	// overflow bucket clamps to largest finite bound
+	if got := h.Quantile(0.999); got != 8 {
+		t.Fatalf("p99.9 = %g, want clamp to 8", got)
+	}
+	empty := r.Histogram("h2_seconds", "help", []float64{1}, nil)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramBadBucketsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending buckets")
+		}
+	}()
+	r.Histogram("h", "help", []float64{2, 1}, nil)
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", DurationBuckets, nil)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Sum(); math.Abs(got-float64(goroutines*per)*0.001) > 1e-6 {
+		t.Fatalf("sum = %g", got)
+	}
+}
+
+func TestGather(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "help", nil).Add(3)
+	r.Gauge("a", "help", Labels{"x": "1"}).Set(7)
+	h := r.Histogram("c_seconds", "help", []float64{1, 10}, nil)
+	h.Observe(0.5)
+	h.Observe(5)
+	pts := r.Gather()
+	if len(pts) != 3 {
+		t.Fatalf("gather returned %d points, want 3", len(pts))
+	}
+	if pts[0].Name != "a" || pts[0].Value != 7 || pts[0].Labels["x"] != "1" {
+		t.Fatalf("unexpected first point %+v", pts[0])
+	}
+	if pts[1].Name != "b_total" || pts[1].Value != 3 {
+		t.Fatalf("unexpected second point %+v", pts[1])
+	}
+	if pts[2].Name != "c_seconds" || pts[2].Count != 2 || pts[2].Sum != 5.5 || pts[2].P50 == 0 {
+		t.Fatalf("unexpected histogram point %+v", pts[2])
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name with HELP/TYPE headers,
+// series sorted by label set, histograms expanded to cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var prevFamily string
+	for _, in := range r.sorted() {
+		m := in.getMeta()
+		if m.name != prevFamily {
+			help, kind := r.helpFor(m.name)
+			if help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, kind)
+			prevFamily = m.name
+		}
+		switch v := in.(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, labelBlock(m.labels, "", 0), formatFloat(float64(v.Value())))
+		case *Gauge:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, labelBlock(m.labels, "", 0), formatFloat(v.Value()))
+		case *Histogram:
+			var cum uint64
+			for i, b := range v.bounds {
+				cum += v.counts[i].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name, labelBlock(m.labels, "le", b), cum)
+			}
+			cum += v.counts[len(v.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.name, labelBlock(m.labels, "le", math.Inf(1)), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.name, labelBlock(m.labels, "", 0), formatFloat(v.Sum()))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.name, labelBlock(m.labels, "", 0), v.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// labelBlock renders `{k="v",...}` with the optional `le` bound appended,
+// or "" when there are no labels at all.
+func labelBlock(labels []labelPair, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, lp := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(lp.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(lp.v))
+		sb.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(leKey)
+		sb.WriteString(`="`)
+		sb.WriteString(formatFloat(le))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// CheckExposition validates a Prometheus text-format payload: sample syntax,
+// metric/label name legality, TYPE declarations preceding their samples, no
+// duplicate series, and — for histograms — cumulative non-decreasing
+// `le` buckets ending in a `+Inf` bucket that equals `_count`. It is the
+// validator behind cmd/promlint and the CI scrape smoke; it returns the
+// first problem found, annotated with its line number.
+func CheckExposition(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)
+	seen := make(map[string]int) // full series key -> line
+	type histState struct {
+		buckets  map[string]map[float64]float64 // sub-series (labels sans le) -> le -> cumulative
+		count    map[string]float64
+		hasCount map[string]bool
+	}
+	hists := make(map[string]*histState)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 {
+					return fmt.Errorf("line %d: %s comment without metric name", line, fields[1])
+				}
+				name := fields[2]
+				if !nameRe.MatchString(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", line, name)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return fmt.Errorf("line %d: TYPE without a type", line)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown type %q", line, fields[3])
+					}
+					if _, dup := types[name]; dup {
+						return fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+					}
+					types[name] = fields[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && (types[base] == "histogram" || types[base] == "summary") {
+				family = base
+				break
+			}
+		}
+		if typ, ok := types[family]; ok {
+			if typ == "histogram" {
+				if family == name {
+					return fmt.Errorf("line %d: histogram %q exposes a bare sample (want _bucket/_sum/_count)", line, name)
+				}
+			}
+		} else if family != name {
+			// suffix matched but no TYPE registered under the base: treat as its own family
+			family = name
+		}
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", line, name)
+		}
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("line %d: duplicate series %s (first at line %d)", line, key, prev)
+		}
+		seen[key] = line
+		if types[family] == "histogram" {
+			hs := hists[family]
+			if hs == nil {
+				hs = &histState{
+					buckets:  make(map[string]map[float64]float64),
+					count:    make(map[string]float64),
+					hasCount: make(map[string]bool),
+				}
+				hists[family] = hs
+			}
+			var le string
+			rest := make([]string, 0, len(labels))
+			for _, l := range labels {
+				if strings.HasPrefix(l, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(l, `le="`), `"`)
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			sub := canonicalLabels(rest)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", line)
+				}
+				bound, err := parseLe(le)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %v", line, le, err)
+				}
+				if hs.buckets[sub] == nil {
+					hs.buckets[sub] = make(map[float64]float64)
+				}
+				hs.buckets[sub][bound] = value
+			case strings.HasSuffix(name, "_count"):
+				hs.count[sub] = value
+				hs.hasCount[sub] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if line == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for family, hs := range hists {
+		for sub, buckets := range hs.buckets {
+			bounds := make([]float64, 0, len(buckets))
+			for b := range buckets {
+				bounds = append(bounds, b)
+			}
+			sort.Float64s(bounds)
+			prevCum := -1.0
+			hasInf := false
+			for _, b := range bounds {
+				cum := buckets[b]
+				if cum < prevCum {
+					return fmt.Errorf("histogram %s{%s}: bucket le=%g cumulative count %g < previous %g",
+						family, sub, b, cum, prevCum)
+				}
+				prevCum = cum
+				if math.IsInf(b, 1) {
+					hasInf = true
+				}
+			}
+			if !hasInf {
+				return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", family, sub)
+			}
+			if hs.hasCount[sub] && buckets[math.Inf(1)] != hs.count[sub] {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g",
+					family, sub, buckets[math.Inf(1)], hs.count[sub])
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value [timestamp]` into parts.
+func parseSample(s string) (name string, labels []string, value float64, err error) {
+	rest := s
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		name = s[:i]
+		j := strings.LastIndexByte(s, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unbalanced label braces in %q", s)
+		}
+		labels, err = splitLabels(s[i+1 : j])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(s[j+1:])
+	} else {
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sample %q missing value", s)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !nameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp]", s)
+	}
+	value, err = parseLe(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on top-level commas, validating each
+// `k="v"` pair (quotes required, escapes honoured).
+func splitLabels(body string) ([]string, error) {
+	var out []string
+	for len(body) > 0 {
+		body = strings.TrimLeft(body, ", ")
+		if body == "" {
+			break
+		}
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label %q missing '='", body)
+		}
+		k := strings.TrimSpace(body[:eq])
+		if !labelRe.MatchString(k) && k != "le" && k != "quantile" {
+			return nil, fmt.Errorf("invalid label name %q", k)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", k)
+		}
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("label %q value missing closing quote", k)
+		}
+		out = append(out, k+`="`+rest[1:i]+`"`)
+		body = rest[i+1:]
+	}
+	return out, nil
+}
+
+func canonicalLabels(labels []string) string {
+	s := append([]string(nil), labels...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+func parseLe(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

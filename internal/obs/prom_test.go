@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("foodmatch_rounds_total", "Completed assignment rounds.", nil).Add(12)
+	r.Gauge("foodmatch_pool_depth", "Orders in the unassigned pool.", nil).Set(42)
+	for _, phase := range []string{"drain", "match"} {
+		h := r.Histogram("foodmatch_round_phase_seconds", "Per-phase round latency.",
+			[]float64{0.001, 0.01, 0.1}, Labels{"phase": phase})
+		h.Observe(0.0005)
+		h.Observe(0.05)
+		h.Observe(5)
+	}
+	return r
+}
+
+func TestWritePrometheusAndCheck(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE foodmatch_rounds_total counter",
+		"foodmatch_rounds_total 12",
+		"# TYPE foodmatch_pool_depth gauge",
+		"foodmatch_pool_depth 42",
+		"# TYPE foodmatch_round_phase_seconds histogram",
+		`foodmatch_round_phase_seconds_bucket{phase="drain",le="0.001"} 1`,
+		`foodmatch_round_phase_seconds_bucket{phase="drain",le="+Inf"} 3`,
+		`foodmatch_round_phase_seconds_count{phase="drain"} 3`,
+		`foodmatch_round_phase_seconds_bucket{phase="match",le="0.1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// each family must declare TYPE exactly once
+	if strings.Count(out, "# TYPE foodmatch_round_phase_seconds ") != 1 {
+		t.Fatalf("TYPE declared more than once:\n%s", out)
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition failed validation: %v", err)
+	}
+}
+
+func TestCheckExpositionRejectsBadPayloads(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no type":          "foo 1\n",
+		"bad name":         "# TYPE 1bad counter\n1bad 1\n",
+		"bad value":        "# TYPE foo counter\nfoo abc\n",
+		"duplicate series": "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"duplicate type":   "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"unknown type":     "# TYPE foo widget\nfoo 1\n",
+		"missing inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"non-monotonic buckets": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 5\n",
+		"unquoted label": "# TYPE foo counter\nfoo{a=1} 1\n",
+	}
+	for name, payload := range cases {
+		if err := CheckExposition(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected validation error, got nil", name)
+		}
+	}
+}
+
+func TestCheckExpositionAcceptsRealFormats(t *testing.T) {
+	good := `# HELP go_goroutines Number of goroutines.
+# TYPE go_goroutines gauge
+go_goroutines 42
+# TYPE http_requests_total counter
+http_requests_total{code="200",path="/x"} 10 1700000000000
+http_requests_total{code="500",path="/x"} 1
+# TYPE rpc_seconds histogram
+rpc_seconds_bucket{le="0.1"} 9
+rpc_seconds_bucket{le="+Inf"} 10
+rpc_seconds_sum 1.5
+rpc_seconds_count 10
+`
+	if err := CheckExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "has \"quotes\" and \\slashes\\", Labels{"k": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `k="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("escaped exposition failed validation: %v", err)
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+// Phase is one timed span of a dispatch round, optionally nested: the
+// engine's phased round produces a tree like
+//
+//	drain → advance{shard0..K} → handoff{publish} →
+//	match{shardN{batch,sparsify,reshuffle,match}} → apply → replan → rebuild
+//
+// Phases ride on round stats (JSON-tagged), feed the slow-round structured
+// log, and are exported per round by the experiments harness' -obs-out
+// JSONL so offline runs produce the same telemetry as the online engine.
+type Phase struct {
+	Name     string  `json:"name"`
+	DurSec   float64 `json:"dur_sec"`
+	Children []Phase `json:"children,omitempty"`
+}
+
+// Sub appends a child span and returns the parent for chaining.
+func (p *Phase) Sub(name string, durSec float64, children ...Phase) *Phase {
+	p.Children = append(p.Children, Phase{Name: name, DurSec: durSec, Children: children})
+	return p
+}
+
+// Find returns the first direct child with the given name, or nil.
+func (p *Phase) Find(name string) *Phase {
+	for i := range p.Children {
+		if p.Children[i].Name == name {
+			return &p.Children[i]
+		}
+	}
+	return nil
+}

@@ -48,6 +48,9 @@ func (c *DistCache) Travel(from, to NodeID, t float64) float64 {
 	return c.Dist(from, to, t)
 }
 
+// RouterKind implements Kinded.
+func (c *DistCache) RouterKind() string { return "bounded" }
+
 // Row returns the full distance slice from `from` in the slot of t. The
 // slice is owned by the cache; callers must not mutate it.
 func (c *DistCache) Row(from NodeID, t float64) []float64 {

@@ -35,6 +35,13 @@ type Resettable interface {
 	Reset()
 }
 
+// Kinded is implemented by Routers that name their backend for telemetry:
+// the engine's sampled router-query histograms label series by this kind
+// (falling back to the dynamic type name). Purely observational.
+type Kinded interface {
+	RouterKind() string
+}
+
 // DijkstraRouter answers point-to-point queries with a target-pruned
 // Dijkstra per call — no memoisation, no expansion bound. It is the exact
 // reference backend; prefer a bounded or hub-label Router on hot paths.
@@ -58,6 +65,9 @@ func (r *DijkstraRouter) Travel(from, to NodeID, t float64) float64 {
 	r.pool.Put(e)
 	return d
 }
+
+// RouterKind implements Kinded.
+func (r *DijkstraRouter) RouterKind() string { return "dijkstra" }
 
 // NewBoundedRouter returns the bounded single-source backend: one Dijkstra
 // expansion per (source, slot) capped at boundSec seconds of travel,
@@ -133,6 +143,9 @@ func (r *LRURouter) Travel(from, to NodeID, t float64) float64 {
 	}
 	return d
 }
+
+// RouterKind implements Kinded.
+func (r *LRURouter) RouterKind() string { return "lru" }
 
 // Stats reports cache hits and misses since construction (or the last Reset).
 func (r *LRURouter) Stats() (hits, misses int64) {

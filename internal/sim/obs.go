@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// RoundTelemetry summarises one simulator window for Options.OnRound: the
+// offline mirror of the engine's RoundStats span tree. Phases names the
+// window's phase vocabulary — inject, advance, assign (with per-stage
+// pipeline children when the policy implements pipeline.StatsSource),
+// apply, replan.
+type RoundTelemetry struct {
+	// T is the simulation clock the window closed at.
+	T float64 `json:"t"`
+	// PoolSize / Vehicles / Assigned are |O(ℓ)|, |V(ℓ)| and the number of
+	// assignment decisions of the window.
+	PoolSize int `json:"pool"`
+	Vehicles int `json:"vehicles"`
+	Assigned int `json:"assigned"`
+	// LatencySec is the policy's Assign wall time (the window's dominant
+	// cost; the full phase breakdown is in Phases).
+	LatencySec float64 `json:"latency_sec"`
+	// Phases is the window's span tree.
+	Phases []obs.Phase `json:"phases"`
+}
+
+// assignSpan builds the assign phase with per-stage children when the
+// policy records pipeline stage stats.
+func assignSpan(assignSec float64, pol any) obs.Phase {
+	span := obs.Phase{Name: "assign", DurSec: assignSec}
+	if src, ok := pol.(pipeline.StatsSource); ok {
+		st := src.LastStats()
+		if st.TotalSec() > 0 {
+			span.Children = []obs.Phase{
+				{Name: "batch", DurSec: st.BatchSec},
+				{Name: "sparsify", DurSec: st.SparsifySec},
+				{Name: "reshuffle", DurSec: st.ReshuffleSec},
+				{Name: "match", DurSec: st.MatchSec},
+			}
+		}
+	}
+	return span
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/foodgraph"
 	"repro/internal/gps"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/roadnet"
 	"repro/internal/trace"
@@ -63,6 +64,12 @@ type Options struct {
 	// service-level lens the multi-day experiment harness reports next to
 	// XDT. 0 disables the counter.
 	SLASec float64
+	// OnRound, when set, receives one RoundTelemetry per window — the
+	// offline span tree (inject/advance/assign/apply/replan, with
+	// pipeline-stage children under assign when the policy records stage
+	// stats). The callback runs on the simulation goroutine; phase timing
+	// is only measured when it is non-nil, so the default run pays nothing.
+	OnRound func(RoundTelemetry)
 }
 
 // Simulator replays one day of orders under a policy.
@@ -223,13 +230,25 @@ func (s *Simulator) RunContext(ctx context.Context, start, end float64) *Metrics
 				}
 			}
 		}
+		var phT time.Time
+		var injectSec, advanceSec float64
+		if s.opts.OnRound != nil {
+			phT = time.Now()
+		}
 		s.injectOrders(wEnd)
+		if s.opts.OnRound != nil {
+			injectSec = time.Since(phT).Seconds()
+			phT = time.Now()
+		}
 		for _, vr := range s.vrts {
 			s.mover.Advance(vr, now, wEnd)
 		}
+		if s.opts.OnRound != nil {
+			advanceSec = time.Since(phT).Seconds()
+		}
 		s.clock = wEnd
 		s.rejectStale(wEnd)
-		s.window(ctx, wEnd)
+		s.window(ctx, wEnd, injectSec, advanceSec)
 		now = wEnd
 		if now >= end && s.idle() {
 			break
@@ -315,7 +334,9 @@ func (s *Simulator) world() *RoundWorld {
 }
 
 // window performs the end-of-window assignment round at time now.
-func (s *Simulator) window(ctx context.Context, now float64) {
+// injectSec/advanceSec are the already-measured leading phases of the
+// window's telemetry span tree (0 when Options.OnRound is unset).
+func (s *Simulator) window(ctx context.Context, now float64, injectSec, advanceSec float64) {
 	w := s.world()
 
 	// Build O(ℓ): the pool plus — when reshuffling — every vehicle's
@@ -330,6 +351,12 @@ func (s *Simulator) window(ctx context.Context, now float64) {
 	if len(orders) == 0 {
 		s.recordWindow(now, 0)
 		w.ReplanStripped(now, stripped, nil, nil)
+		if s.opts.OnRound != nil {
+			s.opts.OnRound(RoundTelemetry{T: now, Phases: []obs.Phase{
+				{Name: "inject", DurSec: injectSec},
+				{Name: "advance", DurSec: advanceSec},
+			}})
+		}
 		return
 	}
 
@@ -377,6 +404,10 @@ func (s *Simulator) window(ctx context.Context, now float64) {
 		Assignments: len(assignments), AssignSec: assignSec,
 	})
 
+	var phT time.Time
+	if s.opts.OnRound != nil {
+		phT = time.Now()
+	}
 	assignedVehicles := make(map[model.VehicleID]bool, len(assignments))
 	assignedOrders := make(map[model.OrderID]bool)
 	for _, ap := range w.ApplyAssignments(now, assignments, prevVehicle, assignedOrders, assignedVehicles) {
@@ -384,7 +415,25 @@ func (s *Simulator) window(ctx context.Context, now float64) {
 	}
 	restored := w.RestoreToIncumbent(now, orders, prevVehicle, assignedOrders)
 	s.pool = RebuildPool(orders, assignedOrders, s.pool[:0])
+	var applySec float64
+	if s.opts.OnRound != nil {
+		applySec = time.Since(phT).Seconds()
+		phT = time.Now()
+	}
 	w.ReplanStripped(now, stripped, assignedVehicles, restored)
+	if s.opts.OnRound != nil {
+		s.opts.OnRound(RoundTelemetry{
+			T: now, PoolSize: len(orders), Vehicles: len(vss),
+			Assigned: len(assignments), LatencySec: assignSec,
+			Phases: []obs.Phase{
+				{Name: "inject", DurSec: injectSec},
+				{Name: "advance", DurSec: advanceSec},
+				assignSpan(assignSec, s.pol),
+				{Name: "apply", DurSec: applySec},
+				{Name: "replan", DurSec: time.Since(phT).Seconds()},
+			},
+		})
+	}
 }
 
 func (s *Simulator) recordWindow(now, assignSec float64) {

@@ -68,6 +68,9 @@ func (r *AsyncRouter) Travel(from, to roadnet.NodeID, t float64) float64 {
 	return r.fallback.Travel(from, to, t)
 }
 
+// RouterKind implements roadnet.Kinded.
+func (r *AsyncRouter) RouterKind() string { return "hublabel" }
+
 // ensureBuilding starts one background label build for a slot, exactly once.
 func (r *AsyncRouter) ensureBuilding(slot int) {
 	if !r.state[slot].CompareAndSwap(slotIdle, slotBuilding) {

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"repro/internal/obs"
+)
+
+// NewLifecycleSink bridges the event stream into an obs.OrderTracer,
+// recording per-transition latency histograms and the optional event ring,
+// then forwards each event to next (which may be nil). The online engine
+// and the offline experiments harness both chain their user-facing sinks
+// through this adapter so lifecycle telemetry is identical in both modes.
+// The adapter only reads events — it can never perturb decisions.
+func NewLifecycleSink(tr *obs.OrderTracer, next Sink) Sink {
+	if next == nil {
+		next = Discard
+	}
+	return lifecycleSink{tr: tr, next: next}
+}
+
+type lifecycleSink struct {
+	tr   *obs.OrderTracer
+	next Sink
+}
+
+func (s lifecycleSink) Emit(e Event) {
+	if st, ok := stageFor(e.Kind); ok {
+		s.tr.Transition(int64(e.Order), int64(e.Vehicle), st, e.T)
+	}
+	s.next.Emit(e)
+}
+
+func stageFor(k Kind) (obs.Stage, bool) {
+	switch k {
+	case OrderPlaced:
+		return obs.StagePlaced, true
+	case OrderAdmitted:
+		return obs.StageAdmitted, true
+	case OrderAssigned:
+		return obs.StageAssigned, true
+	case OrderReleased:
+		return obs.StageReleased, true
+	case OrderPickedUp:
+		return obs.StagePickedUp, true
+	case OrderDelivered:
+		return obs.StageDelivered, true
+	case OrderRejected:
+		return obs.StageRejected, true
+	}
+	return 0, false
+}

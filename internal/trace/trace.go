@@ -23,7 +23,12 @@ type Kind string
 
 // Event kinds.
 const (
-	OrderPlaced    Kind = "order_placed"
+	OrderPlaced Kind = "order_placed"
+	// OrderAdmitted marks the order entering the dispatch pool. In the online
+	// engine its T is the admission clock, so T(admitted) - T(placed) is the
+	// submit-queue plus future-order wait; offline injection admits within the
+	// window that covers placement.
+	OrderAdmitted  Kind = "order_admitted"
 	OrderAssigned  Kind = "order_assigned"
 	OrderReleased  Kind = "order_released" // reshuffled back to the pool
 	OrderRejected  Kind = "order_rejected"
