@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	foodmatch "repro"
+)
+
+// checkpointFile is the checkpoint document's name inside -wal-dir. The
+// write is temp-file + rename, so the name either points at a complete
+// document or does not exist.
+const checkpointFile = "checkpoint.json"
+
+// durability is the daemon's crash-safety plane: the ingestion WAL plus the
+// atomic checkpoint cycle. Boot order is restore checkpoint → replay WAL
+// records past its high-waters → start the engine at the restored clock;
+// every checkpoint truncates the WAL segments it makes redundant.
+type durability struct {
+	dir string
+	wal *foodmatch.WAL
+	eng *foodmatch.Engine
+
+	// mu serializes checkpoint cycles: the rename and the WAL
+	// rotate/truncate that follows must not interleave between a periodic
+	// tick, an admin request and the shutdown checkpoint.
+	mu sync.Mutex
+}
+
+// openWAL opens the ingestion write-ahead log in dir with its operational
+// counters registered on reg (served by GET /metrics.prom alongside the
+// engine's own instruments).
+func openWAL(dir string, syncEvery int, reg *foodmatch.ObsRegistry) (*foodmatch.WAL, []foodmatch.WALRecord, error) {
+	appendsOrder := reg.Counter("foodmatchd_wal_appends_total",
+		"WAL records appended, by kind.", map[string]string{"kind": "order"})
+	appendsPing := reg.Counter("foodmatchd_wal_appends_total",
+		"WAL records appended, by kind.", map[string]string{"kind": "ping"})
+	fsyncSec := reg.Histogram("foodmatchd_wal_fsync_seconds",
+		"WAL fsync latency.", foodmatch.ObsExpBuckets(100e-6, 4, 10), nil)
+	replayed := reg.Counter("foodmatchd_wal_replayed_total",
+		"WAL records recovered at boot.", nil)
+	truncated := reg.Counter("foodmatchd_wal_truncated_total",
+		"WAL segments deleted by checkpoint truncation.", nil)
+	return foodmatch.OpenWAL(dir, foodmatch.WALOptions{
+		SyncEvery: syncEvery,
+		Metrics: &foodmatch.WALMetrics{
+			AppendsOrder: appendsOrder.Inc,
+			AppendsPing:  appendsPing.Inc,
+			Fsync:        fsyncSec.Observe,
+			Replayed:     func(n int) { replayed.Add(int64(n)) },
+			Truncated:    func(n int) { truncated.Add(int64(n)) },
+		},
+	})
+}
+
+// restoreEngine rebuilds engine state from dir: the checkpoint document (if
+// one exists) and the recovered WAL records past its high-waters. Returns
+// the clock to resume at (meaningful only when restored) and the highest
+// order id seen anywhere, so the HTTP id allocator starts above it.
+func restoreEngine(eng *foodmatch.Engine, dir string, recs []foodmatch.WALRecord) (clock float64, maxOrderID int64, restored bool, err error) {
+	f, err := os.Open(filepath.Join(dir, checkpointFile))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// First boot (or the checkpoint was never written): the WAL alone
+		// carries every accepted ingestion, replayed below from seq 1.
+	case err != nil:
+		return 0, 0, false, err
+	default:
+		defer f.Close()
+		doc, rerr := foodmatch.ReadEngineCheckpoint(f)
+		if rerr != nil {
+			return 0, 0, false, fmt.Errorf("%s: %w", checkpointFile, rerr)
+		}
+		if rerr := eng.RestoreCheckpoint(doc); rerr != nil {
+			return 0, 0, false, fmt.Errorf("restore %s: %w", checkpointFile, rerr)
+		}
+		restored = true
+		clock = float64(doc.Clock)
+		for _, o := range doc.Orders {
+			maxOrderID = max(maxOrderID, o.ID)
+		}
+		log.Printf("foodmatchd: restored checkpoint: clock=%.0fs orders=%d vehicles=%d",
+			clock, len(doc.Orders), len(doc.Vehicles))
+	}
+	orders, pings, err := eng.ReplayWAL(recs)
+	if err != nil {
+		return 0, 0, restored, fmt.Errorf("wal replay: %w", err)
+	}
+	if orders > 0 || pings > 0 {
+		log.Printf("foodmatchd: replayed WAL: %d orders, %d pings past the checkpoint", orders, pings)
+	}
+	for _, r := range recs {
+		if r.Order != nil {
+			maxOrderID = max(maxOrderID, r.Order.ID)
+		}
+	}
+	return clock, maxOrderID, restored, nil
+}
+
+// checkpoint runs one durable checkpoint cycle: capture the full engine
+// state at the round barrier, write it to a temp file, fsync, rename over
+// checkpoint.json, then rotate the WAL and delete the segments the document
+// now covers. If anything fails before the rename the previous checkpoint
+// (and the full WAL) remain the recovery source, so a crash mid-cycle never
+// loses state.
+func (d *durability) checkpoint() (*foodmatch.EngineCheckpoint, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "checkpoint-*.tmp")
+	if err != nil {
+		return nil, err
+	}
+	doc, err := d.eng.WriteCheckpoint(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(d.dir, checkpointFile))
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return nil, err
+	}
+	if df, derr := os.Open(d.dir); derr == nil {
+		// Make the rename itself durable before truncating the WAL records
+		// the new document supersedes.
+		_ = df.Sync()
+		_ = df.Close()
+	}
+	if err := d.wal.Rotate(); err != nil {
+		return nil, fmt.Errorf("wal rotate: %w", err)
+	}
+	if _, err := d.wal.TruncateThrough(doc.WALTruncateSeq()); err != nil {
+		return nil, fmt.Errorf("wal truncate: %w", err)
+	}
+	return doc, nil
+}
+
+// checkpointAndLog is the fire-and-report form used by the periodic ticker
+// and the shutdown path.
+func (d *durability) checkpointAndLog(when string) {
+	doc, err := d.checkpoint()
+	if err != nil {
+		log.Printf("foodmatchd: %s checkpoint failed: %v", when, err)
+		return
+	}
+	summary, _ := json.Marshal(map[string]any{
+		"clock": float64(doc.Clock), "orders": len(doc.Orders),
+		"wal_truncate_seq": doc.WALTruncateSeq(), "wal_segments": d.wal.Segments(),
+	})
+	log.Printf("foodmatchd: %s checkpoint %s", when, summary)
+}

@@ -1,0 +1,262 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	foodmatch "repro"
+)
+
+func testCity(t *testing.T) (*foodmatch.City, *foodmatch.Config) {
+	t.Helper()
+	city, err := foodmatch.LoadCity("CityB", foodmatch.DefaultScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city, foodmatch.ExperimentConfig("CityB", foodmatch.DefaultScale)
+}
+
+// TestMaxBodyLimit is the 413 regression test: ingestion payloads beyond the
+// configured cap are rejected before the JSON decoder buffers them, on both
+// POST /orders and POST /vehicles/{id}/ping, while well-formed requests at
+// normal size keep working.
+func TestMaxBodyLimit(t *testing.T) {
+	city, cfg := testCity(t)
+	eng, err := foodmatch.NewEngine(city.G, city.Fleet(0.2, cfg.MaxO, 1), foodmatch.EngineConfig{
+		Pipeline: cfg, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng, city, ServerOptions{MaxBodyBytes: 1024}))
+	defer ts.Close()
+
+	big := `{"restaurant_node":12,"customer_node":400,"items":2,"prep_sec":540,"pad":"` +
+		strings.Repeat("x", 4096) + `"}`
+	resp, err := http.Post(ts.URL+"/orders", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized order: got %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/vehicles/1/ping", "application/json",
+		strings.NewReader(`{"node":37,"pad":"`+strings.Repeat("y", 4096)+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ping: got %d, want 413", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/orders", "application/json",
+		strings.NewReader(`{"restaurant_node":12,"customer_node":400,"items":2,"prep_sec":540}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("normal order under the cap: got %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestAdminCheckpointDisabled pins the no-durability behaviour: without a
+// WAL, POST /admin/checkpoint is a 404, not a crash.
+func TestAdminCheckpointDisabled(t *testing.T) {
+	city, cfg := testCity(t)
+	eng, err := foodmatch.NewEngine(city.G, city.Fleet(0.1, cfg.MaxO, 1), foodmatch.EngineConfig{
+		Pipeline: cfg, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng, city, ServerOptions{}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("admin checkpoint without -wal-dir: got %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCrashRecoveryRoundTrip is the daemon recovery path end to end, in
+// process: boot with a WAL, ingest orders over HTTP, checkpoint via the
+// admin endpoint, ingest more (covered only by the WAL), abandon everything
+// without any clean shutdown — the kill — then boot a second daemon stack
+// from the same directory and verify zero accepted orders were lost, the
+// clock resumed, and newly allocated order ids do not collide.
+func TestCrashRecoveryRoundTrip(t *testing.T) {
+	city, cfg := testCity(t)
+	dir := t.TempDir()
+
+	boot := func(firstBoot bool) (*foodmatch.Engine, *durability, int64, float64, bool) {
+		reg := foodmatch.NewObsRegistry()
+		wlog, recs, err := openWAL(dir, 1, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := foodmatch.NewEngine(city.G, city.Fleet(0.1, cfg.MaxO, 1), foodmatch.EngineConfig{
+			Pipeline: cfg, Shards: 1, Obs: reg, WAL: wlog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if firstBoot && len(recs) != 0 {
+			t.Fatalf("first boot recovered %d WAL records", len(recs))
+		}
+		clock, maxID, restored, err := restoreEngine(eng, dir, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng, &durability{dir: dir, wal: wlog, eng: eng}, maxID, clock, restored
+	}
+
+	eng, dur, _, _, restored := boot(true)
+	if restored {
+		t.Fatal("first boot claims a checkpoint restore")
+	}
+	ts := httptest.NewServer(NewServer(eng, city, ServerOptions{Checkpoint: dur.checkpoint}))
+
+	// Orders far enough in the future to still be scheduled (not delivered)
+	// at the kill, so the restored pool counts are directly comparable.
+	postOrder := func(placedAt float64) int64 {
+		body := fmt.Sprintf(`{"restaurant_node":12,"customer_node":400,"items":1,"prep_sec":300,"placed_at":%g}`, placedAt)
+		resp, err := http.Post(ts.URL+"/orders", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("order rejected: %d", resp.StatusCode)
+		}
+		var or struct {
+			Order int64 `json:"order"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+			t.Fatal(err)
+		}
+		return or.Order
+	}
+	const preCkpt, postCkpt = 4, 3
+	for i := 0; i < preCkpt; i++ {
+		postOrder(80_000 + float64(i))
+	}
+	eng.Step(66_000) // drain into the scheduled buffer; a round boundary for the cut
+
+	resp, err := http.Post(ts.URL+"/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck struct {
+		Clock  float64 `json:"clock"`
+		Orders int     `json:"orders"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ck.Orders != preCkpt || ck.Clock != 66_000 {
+		t.Fatalf("admin checkpoint: status %d, %d orders at clock %.0f (want %d at 66000)",
+			resp.StatusCode, ck.Orders, ck.Clock, preCkpt)
+	}
+
+	var lastID int64
+	for i := 0; i < postCkpt; i++ {
+		lastID = postOrder(81_000 + float64(i))
+	}
+	// Kill: no Stop, no WAL close, no shutdown checkpoint. Only the admin
+	// checkpoint and the fsynced WAL survive.
+	ts.Close()
+
+	eng2, dur2, maxID, clock, restored := boot(false)
+	if !restored {
+		t.Fatal("second boot did not restore the checkpoint")
+	}
+	if clock != 66_000 {
+		t.Errorf("restored clock %.0f, want 66000", clock)
+	}
+	if maxID != lastID {
+		t.Errorf("max recovered order id %d, want %d", maxID, lastID)
+	}
+	snap := eng2.Snapshot()
+	if snap.ScheduledDepth != preCkpt+postCkpt {
+		t.Errorf("restored scheduled depth %d, want %d (lost accepted orders)",
+			snap.ScheduledDepth, preCkpt+postCkpt)
+	}
+	if snap.OrdersIngested != preCkpt+postCkpt {
+		t.Errorf("restored ingested counter %d, want %d", snap.OrdersIngested, preCkpt+postCkpt)
+	}
+
+	// The rebooted daemon keeps serving: start the window clock at the
+	// restored time (the daemon's boot path), wait for readiness, then
+	// check new order ids land above everything recovered and another
+	// checkpoint cycle succeeds against the running engine.
+	ts2 := httptest.NewServer(NewServer(eng2, city, ServerOptions{
+		Checkpoint: dur2.checkpoint, FirstOrderID: maxID,
+	}))
+	defer ts2.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := eng2.StartContext(ctx, clock, 3600); err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		r, err := http.Get(ts2.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz after recovery never turned 200 (last %d)", r.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if id := postOrder2(t, ts2.URL, 82_000); id != maxID+1 {
+		t.Errorf("first post-recovery order id %d, want %d", id, maxID+1)
+	}
+	resp, err = http.Post(ts2.URL+"/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-recovery checkpoint: %d", resp.StatusCode)
+	}
+}
+
+func postOrder2(t *testing.T, base string, placedAt float64) int64 {
+	t.Helper()
+	body := fmt.Sprintf(`{"restaurant_node":12,"customer_node":400,"items":1,"prep_sec":300,"placed_at":%g}`, placedAt)
+	resp, err := http.Post(base+"/orders", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("order rejected: %d", resp.StatusCode)
+	}
+	var or struct {
+		Order int64 `json:"order"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		t.Fatal(err)
+	}
+	return or.Order
+}

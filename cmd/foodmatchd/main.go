@@ -24,6 +24,13 @@
 // The engine clock starts at -start hours (default the dinner peak) and
 // advances ∆ simulation seconds every ∆/timescale wall seconds, so demos
 // replay city time faster than reality; -timescale 1 runs in real time.
+//
+// With -wal-dir the daemon is crash-safe: every accepted order and ping is
+// appended to a write-ahead log before it is queued, checkpoints capture the
+// full dispatch state (periodically with -checkpoint, on demand with
+// POST /admin/checkpoint, and on clean shutdown), and the next boot with the
+// same directory restores the checkpoint, replays the WAL tail and resumes
+// the clock where it stopped. See the README's "Durability" section.
 package main
 
 import (
@@ -33,7 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +69,18 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "when set, serve net/http/pprof on this address (e.g. localhost:6060)")
 		slowRound = flag.Float64("slowround", 0, "wall seconds; rounds slower than this dump their span tree as a structured log line (0 = off)")
 		traceRing = flag.Int("tracering", 4096, "order-lifecycle event ring capacity for GET /trace/orders (0 = off)")
+
+		// Durability (see the README's "Durability" section).
+		walDir    = flag.String("wal-dir", "", "durability directory: WAL segments + checkpoint.json; on boot, restore+replay from it (empty = no durability)")
+		walSync   = flag.Int("wal-sync", 1, "fsync the WAL every N appends (1 = every accepted record)")
+		ckptEvery = flag.Duration("checkpoint", 0, "wall-clock interval between automatic checkpoints (0 = only on shutdown and POST /admin/checkpoint)")
+
+		// HTTP edge hardening.
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server.ReadTimeout: full request (headers+body) read budget")
+		readHdrTO    = flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout: header read budget (slowloris guard)")
+		writeTimeout = flag.Duration("write-timeout", 0, "http.Server.WriteTimeout (0 = none: GET /assignments streams indefinitely)")
+		idleTimeout  = flag.Duration("idle-timeout", 120*time.Second, "http.Server.IdleTimeout: keep-alive connection reap")
+		maxBodyBytes = flag.Int64("max-body", 64<<10, "ingestion request body cap in bytes (413 beyond)")
 	)
 	flag.Parse()
 
@@ -129,33 +148,121 @@ func main() {
 		ecfg.MinSamples = *minSamp
 	}
 
+	// Durability, part 1: the WAL must exist before the engine so accepted
+	// ingestions are logged from the first request, and the engine must see
+	// the shared registry so GET /metrics.prom carries WAL counters too.
+	var (
+		walLog  *foodmatch.WAL
+		walRecs []foodmatch.WALRecord
+	)
+	if *walDir != "" {
+		if ecfg.Obs == nil {
+			ecfg.Obs = foodmatch.NewObsRegistry()
+		}
+		walLog, walRecs, err = openWAL(*walDir, *walSync, ecfg.Obs)
+		if err != nil {
+			fatal(fmt.Errorf("wal: %w", err))
+		}
+		ecfg.WAL = walLog
+	}
+
 	fleet := city.Fleet(*fleetFrac, cfg.MaxO, *seed)
 	eng, err := foodmatch.NewEngine(trueG, fleet, ecfg)
 	if err != nil {
 		fatal(err)
 	}
 
+	// Durability, part 2: rebuild state from the previous run — restore the
+	// checkpoint document, replay WAL records past its high-waters, resume
+	// the clock where it stopped, and start the order-id allocator above
+	// every id the recovered state already uses.
+	startSim := *startHour * 3600
+	var dur *durability
+	var firstOrderID int64
+	if walLog != nil {
+		clock, maxID, restored, rerr := restoreEngine(eng, *walDir, walRecs)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if restored {
+			startSim = clock
+		}
+		firstOrderID = maxID
+		dur = &durability{dir: *walDir, wal: walLog, eng: eng}
+	}
+
 	// SIGINT/SIGTERM cancel the context, which halts the engine's window
 	// clock mid-tick; the explicit drain below finishes in-flight work.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := eng.StartContext(ctx, *startHour*3600, *timeScale); err != nil {
+	if err := eng.StartContext(ctx, startSim, *timeScale); err != nil {
 		fatal(err)
 	}
 
-	if *debugAddr != "" {
-		// pprof lives on its own listener so profiling stays off the
-		// public API surface; DefaultServeMux carries the net/http/pprof
-		// handlers registered by the import above.
+	if dur != nil && *ckptEvery > 0 {
 		go func() {
-			log.Printf("foodmatchd: pprof on %s/debug/pprof/", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil && err != http.ErrServerClosed {
-				log.Printf("foodmatchd: debug listener: %v", err)
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					dur.checkpointAndLog("periodic")
+				}
 			}
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: NewServer(eng, city, ServerOptions{Learner: learner, Scenario: sc.Name})}
+	if *debugAddr != "" {
+		// pprof lives on its own listener — and its own mux — so profiling
+		// stays off the public API surface and nothing else that registers
+		// on DefaultServeMux can leak onto the debug port. No WriteTimeout:
+		// profile?seconds=N streams for as long as the client asked.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: *readHdrTO,
+			IdleTimeout:       *idleTimeout,
+		}
+		go func() {
+			log.Printf("foodmatchd: pprof on %s/debug/pprof/", *debugAddr)
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("foodmatchd: debug listener: %v", err)
+			}
+		}()
+		go func() {
+			// The debug server dies with the signal context, like the engine.
+			<-ctx.Done()
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dsrv.Shutdown(dctx)
+		}()
+	}
+
+	sopts := ServerOptions{
+		Learner:      learner,
+		Scenario:     sc.Name,
+		MaxBodyBytes: *maxBodyBytes,
+		FirstOrderID: firstOrderID,
+	}
+	if dur != nil {
+		sopts.Checkpoint = dur.checkpoint
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           NewServer(eng, city, sopts),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHdrTO,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	go func() {
 		log.Printf("foodmatchd: %s @ %.0f nodes, %d vehicles, %d shards, ∆=%.0fs, %s on %s (scenario=%s learn=%v)",
 			*cityName, float64(city.G.NumNodes()), len(fleet), *shards, cfg.Delta, *polName, *addr, sc.Name, *learn)
@@ -176,6 +283,16 @@ func main() {
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Printf("foodmatchd: forced close after drain timeout: %v", err)
 		_ = srv.Close()
+	}
+
+	if dur != nil {
+		// One final checkpoint with the rounds stopped and the HTTP edge
+		// drained, so a clean SIGTERM restart boots from the document alone
+		// with an (almost) empty WAL behind it.
+		dur.checkpointAndLog("shutdown")
+		if err := walLog.Close(); err != nil {
+			log.Printf("foodmatchd: wal close: %v", err)
+		}
 	}
 
 	// Flush the final metrics snapshot so operators keep the run's totals.

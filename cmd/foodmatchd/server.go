@@ -23,6 +23,7 @@ import (
 //	GET  /roadnet             dynamic road network status (epoch, slot, learner)
 //	GET  /healthz             liveness
 //	GET  /readyz              readiness (engine started + first round done)
+//	POST /admin/checkpoint    force a durable checkpoint + WAL truncation
 type Server struct {
 	eng    *foodmatch.Engine
 	city   *foodmatch.City
@@ -39,12 +40,32 @@ type ServerOptions struct {
 	// Scenario names the true-graph perturbation the daemon was started
 	// with (echoed on /roadnet).
 	Scenario string
+	// MaxBodyBytes caps ingestion request bodies (orders, pings); oversized
+	// requests get 413. 0 = the 64 KiB default.
+	MaxBodyBytes int64
+	// FirstOrderID seeds the order-id allocator: the first order served is
+	// FirstOrderID+1. Crash-recovery boots pass the highest order id found
+	// in the checkpoint and WAL so new ids never collide with restored ones.
+	FirstOrderID int64
+	// Checkpoint, when set, backs POST /admin/checkpoint: write a durable
+	// engine checkpoint and truncate the WAL behind it. Nil = durability
+	// disabled (no -wal-dir).
+	Checkpoint func() (*foodmatch.EngineCheckpoint, error)
 }
+
+// defaultMaxBody caps ingestion payloads when ServerOptions leaves
+// MaxBodyBytes zero: far above any legitimate order or ping document, far
+// below anything that could pressure memory.
+const defaultMaxBody = 64 << 10
 
 // NewServer wires the handlers around an engine. city provides coordinate
 // snapping for lat/lon payloads (restaurants, customers, pings).
 func NewServer(eng *foodmatch.Engine, city *foodmatch.City, opts ServerOptions) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBody
+	}
 	s := &Server{eng: eng, city: city, opts: opts, mux: http.NewServeMux()}
+	s.nextID.Store(opts.FirstOrderID)
 	s.mux.HandleFunc("POST /orders", s.handleOrder)
 	s.mux.HandleFunc("POST /vehicles/{id}/ping", s.handlePing)
 	s.mux.HandleFunc("GET /assignments", s.handleAssignments)
@@ -57,7 +78,27 @@ func NewServer(eng *foodmatch.Engine, city *foodmatch.City, opts ServerOptions) 
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /admin/checkpoint", s.handleAdminCheckpoint)
 	return s
+}
+
+// decodeBody decodes a JSON request body under the MaxBodyBytes cap. It
+// writes the error response itself — 413 when the cap is exceeded, 400 for
+// malformed JSON — and reports whether the handler may proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"%s payload exceeds %d bytes", what, tooBig.Limit)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, "bad %s payload: %v", what, err)
+	return false
 }
 
 // ServeHTTP implements http.Handler.
@@ -136,8 +177,7 @@ func (s *Server) resolveNode(node *int64, pt *latLon) (foodmatch.NodeID, error) 
 
 func (s *Server) handleOrder(w http.ResponseWriter, r *http.Request) {
 	var req orderRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad order payload: %v", err)
+	if !s.decodeBody(w, r, "order", &req) {
 		return
 	}
 	rest, err := s.resolveNode(req.RestaurantNode, req.Restaurant)
@@ -217,8 +257,7 @@ func (s *Server) handlePing(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req pingRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad ping payload: %v", err)
+	if !s.decodeBody(w, r, "ping", &req) {
 		return
 	}
 	vid := foodmatch.VehicleID(id)
@@ -377,6 +416,28 @@ func (s *Server) handleTraceOrders(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleAdminCheckpoint forces a durable checkpoint: the full engine state
+// is written (atomically) to the durability directory and the WAL is
+// truncated behind it. Returns a small summary of what was captured.
+func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Checkpoint == nil {
+		httpError(w, http.StatusNotFound, "durability disabled (start with -wal-dir)")
+		return
+	}
+	doc, err := s.opts.Checkpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"clock":            float64(doc.Clock),
+		"orders":           len(doc.Orders),
+		"vehicles":         len(doc.Vehicles),
+		"wal_truncate_seq": doc.WALTruncateSeq(),
+	})
 }
 
 // handleReadyz reports readiness: the engine loop is running and has

@@ -63,6 +63,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spindex"
 	"repro/internal/trace"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -449,6 +450,66 @@ var ErrEngineQueueFull = engine.ErrQueueFull
 // fleet. Drive it with Start (real-time window clock) or Step (replay).
 func NewEngine(g *Graph, fleet []*Vehicle, cfg EngineConfig) (*Engine, error) {
 	return engine.New(g, fleet, cfg)
+}
+
+// Durability re-exports: the ingestion write-ahead log and the full engine
+// checkpoint document (see internal/wal, internal/engine and the README's
+// "Durability" section). The crash-safety contract: every accepted order and
+// ping is WAL-appended before it is queued; a checkpoint taken at the round
+// barrier captures the complete dispatch state (pools, scheduled orders,
+// vehicle plans and mid-edge motion, counters, learned weights) plus the WAL
+// high-waters, so boot = restore checkpoint + replay WAL records past the
+// high-waters.
+type (
+	// WAL is the segmented, checksummed ingestion write-ahead log.
+	WAL = wal.Log
+	// WALOptions tunes WAL durability (fsync cadence) and metrics hooks.
+	WALOptions = wal.Options
+	// WALMetrics is the WAL's observability callback set (all fields
+	// optional).
+	WALMetrics = wal.Metrics
+	// WALRecord is one logged ingestion event (an order or a ping).
+	WALRecord = wal.Record
+	// WALOrderRecord / WALPingRecord are the per-kind payloads.
+	WALOrderRecord = wal.OrderRecord
+	WALPingRecord  = wal.PingRecord
+	// EngineCheckpoint is the versioned full-state document written by
+	// Engine.WriteCheckpoint and consumed by Engine.RestoreCheckpoint.
+	EngineCheckpoint = engine.Checkpoint
+)
+
+// WAL record kinds (WALRecord.Kind).
+const (
+	WALKindOrder = wal.KindOrder
+	WALKindPing  = wal.KindPing
+)
+
+// ErrEngineUsed reports a restore attempted on an engine that already ran.
+var ErrEngineUsed = engine.ErrEngineUsed
+
+// NewObsRegistry returns an empty observability registry — pass it as
+// EngineConfig.Obs to share one exposition surface between the engine and
+// other instrumented components (foodmatchd adds its WAL counters to the
+// same registry so GET /metrics.prom carries both).
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ObsExpBuckets returns n exponential histogram buckets starting at start
+// with the given growth factor (for ObsRegistry.Histogram).
+func ObsExpBuckets(start, factor float64, n int) []float64 {
+	return obs.ExpBuckets(start, factor, n)
+}
+
+// OpenWAL opens (or creates) a write-ahead log in dir and replays every
+// intact record from existing segments; pass the returned records to
+// Engine.ReplayWAL after restoring a checkpoint.
+func OpenWAL(dir string, opt WALOptions) (*WAL, []WALRecord, error) {
+	return wal.Open(dir, opt)
+}
+
+// ReadEngineCheckpoint parses and version-checks a checkpoint document
+// written by Engine.WriteCheckpoint.
+func ReadEngineCheckpoint(r io.Reader) (*EngineCheckpoint, error) {
+	return engine.ReadCheckpoint(r)
 }
 
 // GPS data pipeline re-exports (Section V-A: weights learned from pings).

@@ -36,6 +36,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spindex"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // NewHubLabelRouter returns a Config.NewRouter factory for the hub-label
@@ -156,6 +157,23 @@ type Config struct {
 	// at the end of the round (after stats are final, outside any engine
 	// lock the callback could want); keep it cheap or hand off.
 	OnSlowRound func(RoundStats)
+
+	// WAL, when set, is the ingestion write-ahead log: every accepted order
+	// and ping is appended (durably, per the log's sync policy) *before* it
+	// is enqueued, so a crash between acceptance and the next checkpoint
+	// loses nothing — ReplayWAL re-delivers the tail past the checkpoint's
+	// drained high-waters. The engine owns the append path but not the log's
+	// lifecycle: callers Open/Rotate/TruncateThrough/Close it (see
+	// Engine.CheckpointState for the truncation bound).
+	WAL *wal.Log
+
+	// phaseHook, when set (in-package tests only), is called at the start of
+	// each round phase with its name (drain, advance, handoff, match, apply,
+	// replan, rebuild) — the fault-injection seam: a hook that panics
+	// simulates a crash at exactly that phase, with roundMu released by
+	// StepContext's deferred unlock and only the on-disk WAL + checkpoint
+	// surviving.
+	phaseHook func(phase string)
 }
 
 // vehiclePing is one queued location/status update.
@@ -164,6 +182,15 @@ type vehiclePing struct {
 	node roadnet.NodeID
 	// shift updates, seconds since midnight; NaN = leave unchanged.
 	activeFrom, activeTo float64
+	// seq is the ping's WAL sequence number (0 when no WAL is configured).
+	seq uint64
+}
+
+// queuedOrder is one queued order placement with its WAL sequence number
+// (0 when no WAL is configured).
+type queuedOrder struct {
+	o   *model.Order
+	seq uint64
 }
 
 // motionRt wraps one vehicle's movement state with its shard residency: the
@@ -249,8 +276,22 @@ type Engine struct {
 	// (identical across shards by construction).
 	pol policy.Policy
 
-	orderCh chan *model.Order
+	orderCh chan queuedOrder
 	pingCh  chan vehiclePing
+
+	// walMu makes WAL-append + channel-send atomic per producer: with the
+	// consumer only ever shrinking the channels, a capacity check under the
+	// mutex guarantees the send cannot block, and the atomicity guarantees
+	// channel order equals WAL sequence order per kind — the invariant the
+	// drained high-waters (walOrderSeq/walPingSeq, owned by roundMu) rely on
+	// for exact-once replay.
+	walMu sync.Mutex
+	// walOrderSeq / walPingSeq are the per-kind drained high-waters: every
+	// WAL record of that kind with seq <= the high-water has been applied to
+	// engine state. Owned by roundMu (updated at drain, captured by
+	// CheckpointState, advanced by ReplayWAL).
+	walOrderSeq uint64
+	walPingSeq  uint64
 
 	// roundMu serialises rounds and whole-world reads (Idle). World state is
 	// shard-resident: during a round's parallel phases each shard goroutine
@@ -274,6 +315,9 @@ type Engine struct {
 	// clockBits mirrors clock for lock-free readers (RefreshWeights and
 	// Roadnet must not wait out a round).
 	clockBits atomic.Uint64
+	// futureLen mirrors len(future) for lock-free Snapshot reads
+	// (Metrics.ScheduledDepth).
+	futureLen atomic.Int64
 
 	// statMu guards the engine-global counters (ingestion, admission, round
 	// aggregates); the movement-plane counters live per shard.
@@ -368,7 +412,7 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 		cfg:     cfg,
 		sh:      newSharder(g, cfg.Shards),
 		pol:     cfg.NewPolicy(),
-		orderCh: make(chan *model.Order, cfg.QueueSize),
+		orderCh: make(chan queuedOrder, cfg.QueueSize),
 		pingCh:  make(chan vehiclePing, cfg.QueueSize),
 		byID:    make(map[model.VehicleID]*sim.Motion, len(fleet)),
 		rtByID:  make(map[model.VehicleID]*motionRt, len(fleet)),
@@ -501,23 +545,65 @@ func (e *Engine) SubmitOrder(o *model.Order) error {
 	if o.Customer < 0 || int(o.Customer) >= e.g.NumNodes() {
 		return fmt.Errorf("engine: order %d customer at invalid node %d", o.ID, o.Customer)
 	}
+	if e.cfg.WAL != nil {
+		return e.submitOrderWAL(o)
+	}
 	select {
-	case e.orderCh <- o:
-		e.statMu.Lock()
-		e.stats.ingested++
-		e.statMu.Unlock()
-		if e.eo != nil {
-			e.eo.cIngested.Inc()
-		}
+	case e.orderCh <- queuedOrder{o: o}:
+		e.countOrderAccepted()
 		return nil
 	default:
-		e.statMu.Lock()
-		e.stats.shedOrders++
-		e.statMu.Unlock()
-		if e.eo != nil {
-			e.eo.cShedOrders.Inc()
-		}
+		e.countOrderShed()
 		return ErrQueueFull
+	}
+}
+
+// submitOrderWAL is the durable accept path: under walMu the bounded queue's
+// free capacity is checked first (the round drain only ever shrinks it, so a
+// send after a successful check cannot block), then the order is appended to
+// the log, then enqueued. Append-before-enqueue means an acknowledged order
+// is on disk; the capacity pre-check means a shed order is *not* (no ghost
+// replays of placements the client saw rejected).
+func (e *Engine) submitOrderWAL(o *model.Order) error {
+	e.walMu.Lock()
+	if len(e.orderCh) == cap(e.orderCh) {
+		e.walMu.Unlock()
+		e.countOrderShed()
+		return ErrQueueFull
+	}
+	seq, err := e.cfg.WAL.AppendOrder(wal.OrderRecord{
+		ID:         int64(o.ID),
+		Restaurant: int64(o.Restaurant),
+		Customer:   int64(o.Customer),
+		PlacedAt:   o.PlacedAt,
+		Items:      o.Items,
+		PrepSec:    o.Prep,
+	})
+	if err != nil {
+		e.walMu.Unlock()
+		return fmt.Errorf("engine: order %d wal append: %w", o.ID, err)
+	}
+	e.orderCh <- queuedOrder{o: o, seq: seq}
+	e.walMu.Unlock()
+	e.countOrderAccepted()
+	return nil
+}
+
+func (e *Engine) countOrderAccepted() {
+	e.statMu.Lock()
+	e.stats.ingested++
+	e.statMu.Unlock()
+	if e.eo != nil {
+		e.eo.cIngested.Inc()
+	}
+}
+
+func (e *Engine) countOrderShed() {
+	e.statMu.Lock()
+	e.stats.shedOrders++
+	e.statMu.Unlock()
+	if e.eo != nil {
+		e.eo.cShedOrders.Inc()
 	}
 }
 
@@ -541,23 +627,64 @@ func (e *Engine) ping(p vehiclePing) error {
 	if p.node != roadnet.Invalid && (p.node < 0 || int(p.node) >= e.g.NumNodes()) {
 		return fmt.Errorf("engine: vehicle %d ping at invalid node %d", p.id, p.node)
 	}
+	if e.cfg.WAL != nil {
+		return e.pingWAL(p)
+	}
 	select {
 	case e.pingCh <- p:
-		e.statMu.Lock()
-		e.stats.pingsIngested++
-		e.statMu.Unlock()
-		if e.eo != nil {
-			e.eo.cPingsIngested.Inc()
-		}
+		e.countPingAccepted()
 		return nil
 	default:
-		e.statMu.Lock()
-		e.stats.shedPings++
-		e.statMu.Unlock()
-		if e.eo != nil {
-			e.eo.cPingsShed.Inc()
-		}
+		e.countPingShed()
 		return ErrQueueFull
+	}
+}
+
+// pingWAL is the durable accept path for vehicle updates; same protocol as
+// submitOrderWAL (capacity check, append, enqueue — atomically under walMu).
+func (e *Engine) pingWAL(p vehiclePing) error {
+	rec := wal.PingRecord{Vehicle: int64(p.id), Node: int64(p.node)}
+	if !math.IsNaN(p.activeFrom) {
+		v := p.activeFrom
+		rec.ActiveFrom = &v
+	}
+	if !math.IsNaN(p.activeTo) {
+		v := p.activeTo
+		rec.ActiveTo = &v
+	}
+	e.walMu.Lock()
+	if len(e.pingCh) == cap(e.pingCh) {
+		e.walMu.Unlock()
+		e.countPingShed()
+		return ErrQueueFull
+	}
+	seq, err := e.cfg.WAL.AppendPing(rec)
+	if err != nil {
+		e.walMu.Unlock()
+		return fmt.Errorf("engine: vehicle %d wal append: %w", p.id, err)
+	}
+	p.seq = seq
+	e.pingCh <- p
+	e.walMu.Unlock()
+	e.countPingAccepted()
+	return nil
+}
+
+func (e *Engine) countPingAccepted() {
+	e.statMu.Lock()
+	e.stats.pingsIngested++
+	e.statMu.Unlock()
+	if e.eo != nil {
+		e.eo.cPingsIngested.Inc()
+	}
+}
+
+func (e *Engine) countPingShed() {
+	e.statMu.Lock()
+	e.stats.shedPings++
+	e.statMu.Unlock()
+	if e.eo != nil {
+		e.eo.cPingsShed.Inc()
 	}
 }
 

@@ -159,10 +159,13 @@ type Metrics struct {
 	RoundSecMax     float64 `json:"round_sec_max"`
 	OrdersPerSimSec float64 `json:"orders_per_sim_sec"`
 
-	// Queue depths sampled now.
+	// Queue depths sampled now. ScheduledDepth counts admitted orders whose
+	// placement time is still in the future (the scheduled buffer) — after a
+	// crash-recovery boot it shows how much replayed work is waiting to open.
 	OrderQueueDepth int `json:"order_queue"`
 	PingQueueDepth  int `json:"ping_queue"`
 	PoolDepth       int `json:"pool"`
+	ScheduledDepth  int `json:"scheduled"`
 
 	// PerShard is the zone-by-zone breakdown of the shard-resident state.
 	PerShard []ShardMetrics `json:"per_shard"`
@@ -197,6 +200,7 @@ func (e *Engine) Snapshot() Metrics {
 		LastRound:       c.lastRound,
 		OrderQueueDepth: len(e.orderCh),
 		PingQueueDepth:  len(e.pingCh),
+		ScheduledDepth:  int(e.futureLen.Load()),
 		PerShard:        make([]ShardMetrics, len(e.shards)),
 	}
 	for i, s := range e.shards {

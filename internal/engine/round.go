@@ -53,6 +53,7 @@ func (e *Engine) StepContext(ctx context.Context, now float64) RoundStats {
 	if now < e.clock {
 		now = e.clock // the clock never runs backwards
 	}
+	e.phase("drain")
 	e.drainPings(now)
 	e.drainOrders(now)
 	drainSec := time.Since(t0).Seconds()
@@ -119,17 +120,41 @@ func (e *Engine) drainOrders(now float64) {
 	arrived := false
 	for {
 		select {
-		case o := <-e.orderCh:
+		case qo := <-e.orderCh:
+			o := qo.o
 			if o.PlacedAt <= 0 {
 				o.PlacedAt = now
 			}
 			e.future = append(e.future, o)
 			arrived = true
+			if qo.seq > e.walOrderSeq {
+				e.walOrderSeq = qo.seq
+			}
 		default:
+			e.bumpHighWater(&e.walOrderSeq, func() bool { return len(e.orderCh) == 0 })
 			e.admitFuture(now, arrived)
 			return
 		}
 	}
+}
+
+// bumpHighWater advances a drained high-water to cover the whole log when
+// the channel is verifiably empty: under walMu no append/enqueue is in
+// flight, so an empty channel means every appended record of this kind has
+// been drained — the high-water can jump to the newest assigned sequence
+// even if the last drained record of this kind is older. This keeps both
+// high-waters tight (and so WAL truncation effective) when one kind is idle.
+func (e *Engine) bumpHighWater(hw *uint64, empty func() bool) {
+	if e.cfg.WAL == nil {
+		return
+	}
+	e.walMu.Lock()
+	if empty() {
+		if f := e.cfg.WAL.NextSeq() - 1; f > *hw {
+			*hw = f
+		}
+	}
+	e.walMu.Unlock()
 }
 
 // admitFuture moves matured orders from the future buffer into their
@@ -170,6 +195,7 @@ func (e *Engine) admitFuture(now float64, arrived bool) {
 		e.cfg.Trace.Emit(trace.Event{Kind: trace.OrderAdmitted, T: now, Order: o.ID})
 	}
 	e.future = e.future[:n]
+	e.futureLen.Store(int64(n))
 }
 
 // drainPings applies queued vehicle updates. Pings relocate only idle
@@ -182,31 +208,41 @@ func (e *Engine) drainPings(now float64) {
 	for {
 		select {
 		case p := <-e.pingCh:
-			rt := e.rtByID[p.id]
-			if rt == nil {
-				continue
-			}
-			mo := rt.mo
-			if !math.IsNaN(p.activeFrom) {
-				mo.V.ActiveFrom = p.activeFrom
-			}
-			if !math.IsNaN(p.activeTo) {
-				mo.V.ActiveTo = p.activeTo
-			}
-			if p.node != roadnet.Invalid {
-				if e.dyn != nil {
-					e.dyn.learner.ObserveNode(int64(p.id), now, p.node)
-				}
-				if e.mover.Relocate(mo, p.node) {
-					if s := e.sh.shardOf(mo.V.Node); s != int(rt.shard) {
-						e.unhomeMotion(rt)
-						e.homeMotion(rt, s)
-						e.pingHandoffs++
-					}
-				}
+			e.applyPing(p, now)
+			if p.seq > e.walPingSeq {
+				e.walPingSeq = p.seq
 			}
 		default:
+			e.bumpHighWater(&e.walPingSeq, func() bool { return len(e.pingCh) == 0 })
 			return
+		}
+	}
+}
+
+// applyPing is the drain-side effect of one vehicle update (shared with WAL
+// replay, which applies recovered pings at the restored clock). roundMu held.
+func (e *Engine) applyPing(p vehiclePing, now float64) {
+	rt := e.rtByID[p.id]
+	if rt == nil {
+		return
+	}
+	mo := rt.mo
+	if !math.IsNaN(p.activeFrom) {
+		mo.V.ActiveFrom = p.activeFrom
+	}
+	if !math.IsNaN(p.activeTo) {
+		mo.V.ActiveTo = p.activeTo
+	}
+	if p.node != roadnet.Invalid {
+		if e.dyn != nil {
+			e.dyn.learner.ObserveNode(int64(p.id), now, p.node)
+		}
+		if e.mover.Relocate(mo, p.node) {
+			if s := e.sh.shardOf(mo.V.Node); s != int(rt.shard) {
+				e.unhomeMotion(rt)
+				e.homeMotion(rt, s)
+				e.pingHandoffs++
+			}
 		}
 	}
 }
@@ -261,6 +297,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	// learner's float accumulations and of rejection events) stays fully
 	// deterministic across runs, honouring the Config.Workers contract even
 	// at Shards>1.
+	e.phase("advance")
 	phT := time.Now()
 	ph := make([]phase1Out, len(e.shards))
 	e.forEachShard(e.cfg.Workers > 1, func(s *shardState) {
@@ -271,6 +308,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	// ---- Serial handoff barrier. A weight publish due this round lands
 	// first, so the matching phase below already pins the fresh epoch (the
 	// learner has seen all of this round's traversals by now).
+	e.phase("handoff")
 	phT = time.Now()
 	pubSec := e.maybeRefreshWeights(now)
 	stats.Epoch = e.currentEpoch()
@@ -320,6 +358,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 
 	// ---- Parallel phase 2: every zone's pipeline on its own policy
 	// instance, distance cache and pinned weight epoch.
+	e.phase("match")
 	phT = time.Now()
 	var wg sync.WaitGroup
 	for s := range e.shards {
@@ -366,6 +405,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	// the same code path the offline simulator runs). Zones hold disjoint
 	// vehicles, so decisions never conflict; sequential application keeps
 	// the world state single-writer.
+	e.phase("apply")
 	phT = time.Now()
 	w := &sim.RoundWorld{
 		ByID:    e.byID,
@@ -420,6 +460,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	// serial and deterministic), then fan the expensive replanning out per
 	// zone: each restored or stripped vehicle replans on the distance cache
 	// of the zone its node is in, one goroutine per zone.
+	e.phase("replan")
 	phT = time.Now()
 	restored := w.DecideRestores(now, orders, prevVehicle, assignedOrders)
 	e.replanParallel(now, stripped, assignedVehicles, restored)
@@ -427,6 +468,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 
 	// Rebuild the zone pools from the unassigned remainder (orders return
 	// to their restaurant's home zone).
+	e.phase("rebuild")
 	phT = time.Now()
 	for _, s := range e.shards {
 		s.pool = s.pool[:0]
@@ -468,6 +510,14 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 		Assignments: stats.AssignedOrders, AssignSec: stats.AssignSecMax,
 	})
 	return stats
+}
+
+// phase announces a round-phase boundary to the fault-injection hook (no-op
+// in production: the hook is settable only from in-package tests).
+func (e *Engine) phase(name string) {
+	if e.cfg.phaseHook != nil {
+		e.cfg.phaseHook(name)
+	}
 }
 
 // forEachShard runs fn over every shard — one goroutine each when parallel,

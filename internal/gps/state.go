@@ -149,6 +149,24 @@ func (l *StreamLearner) LoadState(r io.Reader) error {
 	return l.base.ImportState(&st)
 }
 
+// State snapshots the streaming learner's accumulators as a typed document
+// (the in-memory form of SaveState) — what the engine embeds in its full
+// checkpoint. Safe to call concurrently with observation ingest.
+func (l *StreamLearner) State() *LearnerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base.ExportState()
+}
+
+// RestoreState merges a State snapshot into the learner (the typed
+// counterpart of LoadState; see SpeedLearner.ImportState for the merge and
+// validation semantics).
+func (l *StreamLearner) RestoreState(st *LearnerState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base.ImportState(st)
+}
+
 // EndDay closes out one replay day: the per-vehicle ping trails (last
 // node-aligned observation and buffered raw chunks) are discarded while the
 // learned estimates are kept. Multi-day replays that restart each day's

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/roadnet"
+)
+
+// MotionState is the serialisable form of a Motion's movement bookkeeping:
+// the residual node path of the current leg and the vehicle's progress along
+// the edge it is currently driving. Together with the Vehicle's own fields
+// (Node, Plan, Onboard, Pending) it is everything needed to resume movement
+// mid-leg after an engine restart — a restored vehicle finishes the edge it
+// was on instead of snapping back to its last node.
+type MotionState struct {
+	// Path is the remaining node path of the current leg; Path[0] is the
+	// node being driven towards. Empty when parked or between legs.
+	Path []roadnet.NodeID `json:"path,omitempty"`
+	// EdgeRemaining/EdgeTotal/EdgeLenM describe progress on the edge
+	// V.Node -> Path[0]; EdgeFrom/EdgeEnterT record where and when the
+	// vehicle entered it.
+	EdgeRemaining float64        `json:"edge_remaining,omitempty"`
+	EdgeTotal     float64        `json:"edge_total,omitempty"`
+	EdgeLenM      float64        `json:"edge_len_m,omitempty"`
+	EdgeFrom      roadnet.NodeID `json:"edge_from,omitempty"`
+	EdgeEnterT    float64        `json:"edge_enter_t,omitempty"`
+}
+
+// ExportState snapshots the motion's movement bookkeeping. The caller must
+// not be advancing the motion concurrently (the engine exports at the round
+// barrier, where each motion is quiescent).
+func (mo *Motion) ExportState() MotionState {
+	st := MotionState{
+		EdgeRemaining: mo.edgeRemaining,
+		EdgeTotal:     mo.edgeTotal,
+		EdgeLenM:      mo.edgeLenM,
+		EdgeFrom:      mo.edgeFrom,
+		EdgeEnterT:    mo.edgeEnterT,
+	}
+	if len(mo.path) > 0 {
+		st.Path = append([]roadnet.NodeID(nil), mo.path...)
+	}
+	return st
+}
+
+// ImportState restores movement bookkeeping exported by ExportState. Nodes
+// are validated against g (the graph the motion will be advanced on) so a
+// checkpoint from a different city cannot install an undrivable path.
+func (mo *Motion) ImportState(st MotionState, g *roadnet.Graph) error {
+	for _, n := range st.Path {
+		if n < 0 || int(n) >= g.NumNodes() {
+			return fmt.Errorf("sim: motion state for vehicle %d: path node %d out of range", mo.V.ID, n)
+		}
+	}
+	if st.EdgeRemaining < 0 || st.EdgeTotal < 0 || st.EdgeRemaining > st.EdgeTotal {
+		return fmt.Errorf("sim: motion state for vehicle %d: edge progress %v/%v invalid",
+			mo.V.ID, st.EdgeRemaining, st.EdgeTotal)
+	}
+	mo.path = append(mo.path[:0], st.Path...)
+	mo.edgeRemaining = st.EdgeRemaining
+	mo.edgeTotal = st.EdgeTotal
+	mo.edgeLenM = st.EdgeLenM
+	mo.edgeFrom = st.EdgeFrom
+	mo.edgeEnterT = st.EdgeEnterT
+	return nil
+}

@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustAppendOrder(t *testing.T, l *Log, id int64) uint64 {
+	t.Helper()
+	seq, err := l.AppendOrder(OrderRecord{ID: id, Restaurant: 1, Customer: 2, Items: 1, PrepSec: 480})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func mustAppendPing(t *testing.T, l *Log, vid int64) uint64 {
+	t.Helper()
+	seq, err := l.AppendPing(PingRecord{Vehicle: vid, Node: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// TestWALRoundTrip pins the append → close → reopen → replay loop: every
+// record comes back in order with its kind and payload intact.
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir recovered %d records", len(recs))
+	}
+	if seq := mustAppendOrder(t, l, 100); seq != 1 {
+		t.Fatalf("first seq %d, want 1", seq)
+	}
+	if seq := mustAppendPing(t, l, 42); seq != 2 {
+		t.Fatalf("second seq %d, want 2", seq)
+	}
+	mustAppendOrder(t, l, 101)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recs))
+	}
+	if recs[0].Kind != KindOrder || recs[0].Order.ID != 100 || recs[0].Seq != 1 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Kind != KindPing || recs[1].Ping.Vehicle != 42 || recs[1].Seq != 2 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	if recs[2].Order.ID != 101 {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+	if next := l2.NextSeq(); next != 4 {
+		t.Fatalf("NextSeq %d, want 4", next)
+	}
+	// New appends continue the sequence.
+	if seq := mustAppendOrder(t, l2, 102); seq != 4 {
+		t.Fatalf("post-recovery seq %d, want 4", seq)
+	}
+}
+
+// TestWALTornTailTolerated drops a partial final line (the crash landed
+// mid-write) and keeps everything before it — and repairs the file so the
+// next recovery is clean too.
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppendOrder(t, l, 1)
+	mustAppendOrder(t, l, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"seq":3,"k":"order"`); err != nil { // no newline: torn
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Order.ID != 2 {
+		t.Fatalf("recovered %d records after torn tail, want the 2 intact ones", len(recs))
+	}
+
+	// The tear was truncated away: a third recovery sees a clean log.
+	l3, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after repair: %v", err)
+	}
+	defer l3.Close()
+	if len(recs) != 2 {
+		t.Fatalf("post-repair recovery found %d records, want 2", len(recs))
+	}
+}
+
+// TestWALMidFileCorruptionRejected: a flipped byte anywhere before the tail
+// must fail recovery loudly, not silently drop an acknowledged record.
+func TestWALMidFileCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppendOrder(t, l, 1)
+	mustAppendOrder(t, l, 2)
+	mustAppendOrder(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], `"id":2`, `"id":9`, 1) // payload no longer matches CRC
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupted middle record recovered without error (err=%v)", err)
+	}
+}
+
+// TestWALRotateTruncate pins the checkpoint dance: rotate, truncate through
+// the checkpointed sequence, and only covered segments disappear.
+func TestWALRotateTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppendOrder(t, l, 1) // seq 1
+	mustAppendOrder(t, l, 2) // seq 2
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppendOrder(t, l, 3) // seq 3, new segment
+	if got := l.Segments(); got != 2 {
+		t.Fatalf("%d segments after rotate, want 2", got)
+	}
+
+	// A checkpoint that drained through seq 1 covers no whole segment.
+	if n, err := l.TruncateThrough(1); err != nil || n != 0 {
+		t.Fatalf("TruncateThrough(1) = %d, %v; want 0 removed", n, err)
+	}
+	// Through seq 2: the first segment (1..2) is covered; the active one
+	// survives.
+	n, err := l.TruncateThrough(2)
+	if err != nil || n != 1 {
+		t.Fatalf("TruncateThrough(2) = %d, %v; want 1 removed", n, err)
+	}
+	if got := l.Segments(); got != 1 {
+		t.Fatalf("%d segments after truncate, want 1", got)
+	}
+	// The surviving record is still recoverable.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 3 || recs[0].Order.ID != 3 {
+		t.Fatalf("post-truncate recovery = %+v, want just seq 3", recs)
+	}
+}
+
+// TestWALRotateEmptyReuses: rotating an empty active segment must not stack
+// empty files (repeated checkpoints on a quiet engine).
+func TestWALRotateEmptyReuses(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Segments(); got != 1 {
+		t.Fatalf("%d segments after 5 empty rotates, want 1", got)
+	}
+	mustAppendOrder(t, l, 1)
+}
+
+// TestWALMetricsHooks exercises the counter callbacks.
+func TestWALMetricsHooks(t *testing.T) {
+	dir := t.TempDir()
+	var orders, pings, fsyncs, replayed int
+	m := &Metrics{
+		AppendsOrder: func() { orders++ },
+		AppendsPing:  func() { pings++ },
+		Fsync:        func(float64) { fsyncs++ },
+		Replayed:     func(n int) { replayed += n },
+	}
+	l, _, err := Open(dir, Options{Metrics: m, SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppendOrder(t, l, 1)
+	mustAppendPing(t, l, 2)
+	mustAppendOrder(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if orders != 2 || pings != 1 {
+		t.Fatalf("append counters = %d orders, %d pings", orders, pings)
+	}
+	if fsyncs < 2 { // one batched sync at seq 2, one on Close
+		t.Fatalf("fsyncs = %d, want >= 2", fsyncs)
+	}
+	if _, _, err := Open(dir, Options{Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 3 {
+		t.Fatalf("replayed = %d, want 3", replayed)
+	}
+}
