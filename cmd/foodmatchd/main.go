@@ -57,6 +57,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		polName   = flag.String("policy", "foodmatch", "assignment policy: foodmatch|km|greedy|reyes")
 		shards    = flag.Int("shards", 4, "geographic zone shards K")
+		resplit   = flag.Float64("resplit", 900, "simulation seconds between demand-driven shard re-splits (0 = keep the boot-time node-balanced split)")
 		delta     = flag.Float64("delta", 0, "accumulation window seconds (0 = city default)")
 		queue     = flag.Int("queue", 4096, "ingestion queue capacity")
 		fleetFrac = flag.Float64("fleet", 1.0, "fraction of the city fleet to register")
@@ -117,9 +118,10 @@ func main() {
 			p, _ := foodmatch.PolicyByName(*polName)
 			return p
 		},
-		Shards:    *shards,
-		QueueSize: *queue,
-		TraceRing: *traceRing,
+		Shards:     *shards,
+		QueueSize:  *queue,
+		TraceRing:  *traceRing,
+		ResplitSec: *resplit,
 	}
 	if *slowRound > 0 {
 		ecfg.SlowRoundSec = *slowRound

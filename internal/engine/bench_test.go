@@ -15,23 +15,32 @@ import (
 // maximum-pressure round, this is the steady-state shape: warm distance
 // caches, pools carried between rounds, and the phased round's parallel
 // sections (per-shard advance, match, replan) running against each other.
+// Elastic re-splitting runs at its daemon-default cadence, so the replay
+// pays (and measures) the demand-weighted re-split plus cache warm-up, and
+// the reported balance-max/mean metric — per-shard pool totals over loaded
+// post-re-split rounds — lands in CI's BENCH_step.json artifact next to the
+// timings.
 //
 //	go test ./internal/engine -bench StepParallel -benchtime 3x
 func BenchmarkStepParallel(b *testing.B) {
 	city := workload.MustPreset("CityB", workload.DefaultScale, 1)
 	start := 19.0 * 3600
-	const rounds = 6
+	const rounds = 20
 	cfg := model.DefaultConfig()
 	end := start + float64(rounds)*cfg.Delta
 	orders := workload.OrderStreamWindow(city, 1, start, end)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			b.ReportMetric(float64(len(orders)), "orders/replay")
+			var loads []roundLoad
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				fresh := workload.OrderStreamWindow(city, 1, start, end)
 				fleet := city.Fleet(1.0, cfg.MaxO, 1)
-				e, err := New(city.G, fleet, Config{Pipeline: cfg, Shards: shards, QueueSize: len(fresh) + 1})
+				e, err := New(city.G, fleet, Config{
+					Pipeline: cfg, Shards: shards, QueueSize: len(fresh) + 1,
+					ResplitSec: 900,
+				})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -40,6 +49,7 @@ func BenchmarkStepParallel(b *testing.B) {
 				e.clockBits.Store(math.Float64bits(start))
 				e.roundMu.Unlock()
 				next := 0
+				loads = loads[:0]
 				b.StartTimer()
 				for now := start + cfg.Delta; now <= end; now += cfg.Delta {
 					for next < len(fresh) && fresh[next].PlacedAt < now {
@@ -48,7 +58,17 @@ func BenchmarkStepParallel(b *testing.B) {
 						}
 						next++
 					}
-					e.Step(now)
+					stats := e.Step(now)
+					load := roundLoad{epoch: stats.ShardEpoch}
+					for _, s := range stats.Shards {
+						load.shards = append(load.shards, s.Orders)
+					}
+					loads = append(loads, load)
+				}
+			}
+			if shards > 1 {
+				if ratio, measured := shardBalanceRatio(loads); measured > 0 {
+					b.ReportMetric(ratio, "balance-max/mean")
 				}
 			}
 		})

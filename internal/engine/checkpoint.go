@@ -83,6 +83,13 @@ type CheckpointOrder struct {
 	PickedUpAt F64   `json:"picked_up_at,omitempty"`
 }
 
+// CheckpointDemand is one node's order-arrival count — the sparse encoding
+// of the demand vectors (nodes ascending, zero counts omitted).
+type CheckpointDemand struct {
+	Node int64 `json:"node"`
+	N    int64 `json:"n"`
+}
+
 // CheckpointStop is one route-plan stop (order referenced by ID).
 type CheckpointStop struct {
 	Node  int64 `json:"node"`
@@ -135,6 +142,8 @@ type CheckpointCounters struct {
 	Handoffs      int64 `json:"handoffs"`
 	VehHandoffs   int64 `json:"veh_handoffs"`
 	Rounds        int64 `json:"rounds"`
+	Resplits      int64 `json:"resplits,omitempty"`
+	ResplitMoves  int64 `json:"resplit_moves,omitempty"`
 	RoundSecTotal F64   `json:"round_sec_total,omitempty"`
 	RoundSecMax   F64   `json:"round_sec_max,omitempty"`
 	SimStart      F64   `json:"sim_start,omitempty"`
@@ -164,15 +173,27 @@ type Checkpoint struct {
 	// WALOrderSeq / WALPingSeq: every WAL record of that kind with sequence
 	// <= the high-water is reflected in this checkpoint; replay applies only
 	// records past them (see Engine.ReplayWAL, Checkpoint.WALTruncateSeq).
-	WALOrderSeq  uint64              `json:"wal_order_seq,omitempty"`
-	WALPingSeq   uint64              `json:"wal_ping_seq,omitempty"`
-	PingHandoffs int                 `json:"ping_handoffs,omitempty"`
-	Orders       []CheckpointOrder   `json:"orders"`
-	Future       []int64             `json:"future,omitempty"`
-	Pool         []int64             `json:"pool,omitempty"`
-	Vehicles     []CheckpointVehicle `json:"vehicles"`
-	Counters     CheckpointCounters  `json:"counters"`
-	Learner      *gps.LearnerState   `json:"learner,omitempty"`
+	WALOrderSeq  uint64 `json:"wal_order_seq,omitempty"`
+	WALPingSeq   uint64 `json:"wal_ping_seq,omitempty"`
+	PingHandoffs int    `json:"ping_handoffs,omitempty"`
+	// Elastic-sharding plane: the partition generation, the simulation time
+	// of the last re-split decision (absent = never), the live per-node
+	// demand accumulator, and the demand vector the current partition was
+	// built from (absent while the initial node-balanced partition stands).
+	// Restore rebuilds the identical weighted sharder from PartDemand before
+	// re-homing pools and vehicles, so a crashed-after-re-split engine
+	// resumes on the same zones. All omitempty: pre-elastic documents parse
+	// as a never-re-split engine.
+	ShardEpoch  uint64              `json:"shard_epoch,omitempty"`
+	LastResplit *F64                `json:"last_resplit,omitempty"`
+	Demand      []CheckpointDemand  `json:"demand,omitempty"`
+	PartDemand  []CheckpointDemand  `json:"part_demand,omitempty"`
+	Orders      []CheckpointOrder   `json:"orders"`
+	Future      []int64             `json:"future,omitempty"`
+	Pool        []int64             `json:"pool,omitempty"`
+	Vehicles    []CheckpointVehicle `json:"vehicles"`
+	Counters    CheckpointCounters  `json:"counters"`
+	Learner     *gps.LearnerState   `json:"learner,omitempty"`
 }
 
 // WALTruncateSeq is the highest WAL sequence this checkpoint provably
@@ -215,6 +236,8 @@ func (e *Engine) CheckpointState() *Checkpoint {
 		Handoffs:      st.handoffs,
 		VehHandoffs:   st.vehHandoffs,
 		Rounds:        st.rounds,
+		Resplits:      st.resplits,
+		ResplitMoves:  st.resplitMoves,
 		RoundSecTotal: F64(st.roundSecTotal),
 		RoundSecMax:   F64(st.roundSecMax),
 		SimStart:      F64(st.simStart),
@@ -238,6 +261,18 @@ func (e *Engine) CheckpointState() *Checkpoint {
 	return c
 }
 
+// sparseDemand encodes a dense per-node demand vector sparsely (nodes
+// ascending, zero counts omitted); nil in, nil out.
+func sparseDemand(demand []int64) []CheckpointDemand {
+	var out []CheckpointDemand
+	for n, d := range demand {
+		if d != 0 {
+			out = append(out, CheckpointDemand{Node: int64(n), N: d})
+		}
+	}
+	return out
+}
+
 // checkpointLocked builds the world-state half of the document. roundMu held.
 func (e *Engine) checkpointLocked() *Checkpoint {
 	c := &Checkpoint{
@@ -247,6 +282,13 @@ func (e *Engine) checkpointLocked() *Checkpoint {
 		WALOrderSeq:  e.walOrderSeq,
 		WALPingSeq:   e.walPingSeq,
 		PingHandoffs: e.pingHandoffs,
+		ShardEpoch:   e.shardEpoch.Load(),
+		Demand:       sparseDemand(e.demand),
+		PartDemand:   sparseDemand(e.partDemand),
+	}
+	if !math.IsInf(e.lastResplitT, -1) {
+		lr := F64(e.lastResplitT)
+		c.LastResplit = &lr
 	}
 	seen := make(map[model.OrderID]bool)
 	addOrder := func(o *model.Order) {
@@ -429,6 +471,16 @@ func (e *Engine) RestoreCheckpoint(c *Checkpoint) error {
 			return fmt.Errorf("engine: checkpoint pool order %d not in order table", id)
 		}
 	}
+	for _, d := range c.Demand {
+		if d.Node < 0 || d.Node >= int64(nodes) || d.N < 0 {
+			return fmt.Errorf("engine: checkpoint demand entry at node %d invalid", d.Node)
+		}
+	}
+	for _, d := range c.PartDemand {
+		if d.Node < 0 || d.Node >= int64(nodes) || d.N < 0 {
+			return fmt.Errorf("engine: checkpoint partition demand entry at node %d invalid", d.Node)
+		}
+	}
 	if len(c.Vehicles) != len(e.motions) {
 		return fmt.Errorf("engine: checkpoint has %d vehicles, fleet has %d", len(c.Vehicles), len(e.motions))
 	}
@@ -461,6 +513,40 @@ func (e *Engine) RestoreCheckpoint(c *Checkpoint) error {
 	}
 
 	// ---- Rebuild the world.
+	// The elastic-sharding plane comes first: pools and vehicles below
+	// re-home through e.sh.shardOf, so when the checkpointing engine had
+	// re-split, the identical weighted partition must stand before they do
+	// (demandWeights is pure and deterministic, so the same PartDemand
+	// vector rebuilds the same zones; a post-restore re-split then composes
+	// exactly as it would have uncrashed).
+	for i := range e.demand {
+		e.demand[i] = 0
+	}
+	e.demandTotal = 0
+	for _, d := range c.Demand {
+		e.demand[d.Node] = d.N
+		e.demandTotal += d.N
+	}
+	e.partDemand = nil
+	if len(c.PartDemand) > 0 {
+		part := make([]int64, e.g.NumNodes())
+		for _, d := range c.PartDemand {
+			part[d.Node] = d.N
+		}
+		e.partDemand = part
+		sh := newSharderWeighted(e.g, e.cfg.Shards, demandWeights(part))
+		sh.relabelToMatch(e.canonSh)
+		e.sh = sh
+	}
+	e.lastResplitT = math.Inf(-1)
+	if c.LastResplit != nil {
+		e.lastResplitT = float64(*c.LastResplit)
+	}
+	e.shardEpoch.Store(c.ShardEpoch)
+	if e.eo != nil {
+		e.eo.gShardEpoch.Set(float64(c.ShardEpoch))
+	}
+
 	orders := make(map[int64]*model.Order, len(byID))
 	for id, co := range byID {
 		orders[id] = &model.Order{
@@ -578,6 +664,8 @@ func (e *Engine) RestoreCheckpoint(c *Checkpoint) error {
 		handoffs:      c.Counters.Handoffs,
 		vehHandoffs:   c.Counters.VehHandoffs,
 		rounds:        c.Counters.Rounds,
+		resplits:      c.Counters.Resplits,
+		resplitMoves:  c.Counters.ResplitMoves,
 		roundSecTotal: float64(c.Counters.RoundSecTotal),
 		roundSecMax:   float64(c.Counters.RoundSecMax),
 		simStart:      float64(c.Counters.SimStart),

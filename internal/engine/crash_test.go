@@ -22,19 +22,26 @@ type crashPanic struct{ phase string }
 // crashOutcome is what a full run (crashed+resumed or golden) ends with.
 type crashOutcome struct {
 	delivered, rejected, assigned int64
+	resplits                      int64
 	total                         int
 }
 
-// goldenCrashOutcome memoises the uncrashed CityB reference run shared by
-// every fault-injection subtest.
-var goldenCrashOutcome = sync.OnceValue(func() crashOutcome {
+// crashGoldenRun drives the uncrashed CityB reference replay. mutate
+// (optional) adjusts the engine Config — the re-split composition test uses
+// it to run the same fault-injection harness on a multi-shard elastic
+// engine.
+func crashGoldenRun(mutate func(*Config)) crashOutcome {
 	city := testCityB
 	start, end := 18.0*3600, 18.5*3600
 	orders := workload.OrderStreamWindow(city, 1, start, end)
 	fleet := city.Fleet(1.0, testConfig().MaxO, 1)
-	e, err := New(city.G, fleet, Config{
+	cfg := Config{
 		Pipeline: testConfig(), Shards: 1, Workers: 1, QueueSize: len(orders) + 16,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e, err := New(city.G, fleet, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -55,8 +62,29 @@ var goldenCrashOutcome = sync.OnceValue(func() crashOutcome {
 	snap := e.Snapshot()
 	return crashOutcome{
 		delivered: snap.Delivered, rejected: snap.Rejected,
-		assigned: snap.Assigned, total: len(orders),
+		assigned: snap.Assigned, resplits: snap.Resplits, total: len(orders),
 	}
+}
+
+// goldenCrashOutcome memoises the uncrashed CityB reference run shared by
+// every fault-injection subtest.
+var goldenCrashOutcome = sync.OnceValue(func() crashOutcome {
+	return crashGoldenRun(nil)
+})
+
+// resplitCrashCfg is the elastic-sharding configuration the re-split
+// composition tests share: two zones, deterministic Workers=1, and a
+// cadence that fires a demand-driven re-split a handful of rounds into the
+// dinner replay.
+func resplitCrashCfg(cfg *Config) {
+	cfg.Shards = 2
+	cfg.ResplitSec = 300
+}
+
+// goldenResplitOutcome memoises the uncrashed reference run for the
+// re-split configuration.
+var goldenResplitOutcome = sync.OnceValue(func() crashOutcome {
+	return crashGoldenRun(resplitCrashCfg)
 })
 
 // crashResumeTrial drives the CityB dinner slice through a WAL-backed
@@ -66,6 +94,15 @@ var goldenCrashOutcome = sync.OnceValue(func() crashOutcome {
 // it. ckptEvery is the checkpoint cadence in rounds; 0 disables
 // checkpointing entirely, so recovery runs from the WAL alone.
 func crashResumeTrial(t *testing.T, targetPhase string, crashRound, ckptEvery int) crashOutcome {
+	return crashResumeTrialCfg(t, targetPhase, crashRound, ckptEvery, nil)
+}
+
+// crashResumeTrialCfg is crashResumeTrial with a Config mutator applied to
+// both the crashed engine and the recovery engine (the daemon reboots with
+// the same flags it crashed under). crashRound < 0 kills at the *first*
+// occurrence of targetPhase — the only usable targeting for phases that run
+// on a cadence rather than every round, like "resplit".
+func crashResumeTrialCfg(t *testing.T, targetPhase string, crashRound, ckptEvery int, mutate func(*Config)) crashOutcome {
 	t.Helper()
 	city := testCityB
 	start, end := 18.0*3600, 18.5*3600
@@ -84,12 +121,20 @@ func crashResumeTrial(t *testing.T, targetPhase string, crashRound, ckptEvery in
 		Pipeline: testConfig(), Shards: 1, Workers: 1,
 		QueueSize: len(orders) + 16, WAL: wlog,
 	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	round := 0
+	crashed := false
 	cfg.phaseHook = func(ph string) {
 		if ph == "drain" {
 			round++
 		}
-		if round == crashRound && ph == targetPhase {
+		if crashed {
+			return // the dead engine's hook: the trial crashes once
+		}
+		if (round == crashRound || crashRound < 0) && ph == targetPhase {
+			crashed = true
 			panic(crashPanic{ph})
 		}
 	}
@@ -151,10 +196,14 @@ func crashResumeTrial(t *testing.T, targetPhase string, crashRound, ckptEvery in
 				t.Fatalf("reopen wal: %v", err)
 			}
 			fleet2 := city.Fleet(1.0, testConfig().MaxO, 1)
-			e2, err := New(city.G, fleet2, Config{
+			cfg2 := Config{
 				Pipeline: testConfig(), Shards: 1, Workers: 1,
 				QueueSize: len(orders) + 16, WAL: wlog2,
-			})
+			}
+			if mutate != nil {
+				mutate(&cfg2)
+			}
+			e2, err := New(city.G, fleet2, cfg2)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,7 +247,7 @@ func crashResumeTrial(t *testing.T, targetPhase string, crashRound, ckptEvery in
 	snap := e.Snapshot()
 	return crashOutcome{
 		delivered: snap.Delivered, rejected: snap.Rejected,
-		assigned: snap.Assigned, total: len(orders),
+		assigned: snap.Assigned, resplits: snap.Resplits, total: len(orders),
 	}
 }
 
@@ -264,6 +313,57 @@ func TestCrashResumeAtEveryPhase(t *testing.T) {
 			t.Errorf("WAL-only resumed outcome %+v, golden %+v", got, golden)
 		}
 	})
+}
+
+// TestCrashResumeAtResplit extends the phase-kill walker to the elastic
+// sharding plane: a two-shard engine with a forced re-split cadence is
+// killed inside (and around) the "resplit" barrier phase, recovered from
+// checkpoint+WAL — so the restored engine rebuilds the demand-weighted
+// partition, replays, and re-executes the erased re-split — and must
+// converge to the uncrashed run's exact lifecycle counts, including the
+// re-split count itself.
+func TestCrashResumeAtResplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CityB fault-injection replays are slow")
+	}
+	golden := goldenResplitOutcome()
+	if golden.delivered == 0 {
+		t.Fatal("golden resplit run delivered nothing; workload broken")
+	}
+	if golden.resplits == 0 {
+		t.Fatal("golden resplit run never re-split; the composition test measures nothing")
+	}
+	cases := []struct {
+		name       string
+		phase      string
+		crashRound int
+		ckptEvery  int
+	}{
+		// Killed inside the re-split itself, with checkpoints every window:
+		// recovery restores a pre-re-split cut and must re-execute the
+		// re-split during the erased-window replay.
+		{"resplit-ckpt", "resplit", -1, 1},
+		// Killed inside the re-split with no checkpoint at all: recovery
+		// replays the WAL from the start of time and re-splits on the way.
+		{"resplit-wal-only", "resplit", -1, 0},
+		// Killed at the barrier and match phases of a round after the first
+		// re-split: the checkpoint restored here carries a re-split
+		// partition (PartDemand), composing restore → re-split → replay.
+		{"handoff-post-resplit", "handoff", 6, 3},
+		{"match-post-resplit", "match", 6, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := crashResumeTrialCfg(t, tc.phase, tc.crashRound, tc.ckptEvery, resplitCrashCfg)
+			if got != golden {
+				t.Errorf("resumed outcome %+v, golden %+v", got, golden)
+			}
+			if got.delivered+got.rejected != int64(got.total) {
+				t.Errorf("delivered %d + rejected %d != %d submitted orders (lost or stuck)",
+					got.delivered, got.rejected, got.total)
+			}
+		})
+	}
 }
 
 // TestCheckpointRoundTripDeterministic checkpoints a mid-replay engine,

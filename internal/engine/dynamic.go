@@ -319,6 +319,15 @@ type RoadnetStatus struct {
 	LastPublish      float64 `json:"last_publish"`
 	RefreshSec       float64 `json:"refresh_sec"`
 	MinSamples       int     `json:"min_samples"`
+	// ShardEpoch counts demand-driven re-splits of the zone sharder since
+	// boot (0 = the initial node-balanced KD split is still live); Resplits
+	// is the same event as a monotone counter, and ResplitSec the configured
+	// cadence (0 = elastic re-splitting disabled). Sharding is a property of
+	// the decision plane, not the learner, so these are populated for static
+	// engines too.
+	ShardEpoch uint64  `json:"shard_epoch"`
+	Resplits   int64   `json:"resplits"`
+	ResplitSec float64 `json:"resplit_sec"`
 	// Learner is the streaming learner's throughput (nil when static).
 	Learner *gps.StreamStats `json:"learner,omitempty"`
 }
@@ -328,9 +337,14 @@ type RoadnetStatus struct {
 func (e *Engine) Roadnet() RoadnetStatus {
 	clock := math.Float64frombits(e.clockBits.Load())
 	st := RoadnetStatus{
-		Clock: clock,
-		Slot:  roadnet.Slot(clock),
+		Clock:      clock,
+		Slot:       roadnet.Slot(clock),
+		ShardEpoch: e.shardEpoch.Load(),
+		ResplitSec: e.cfg.ResplitSec,
 	}
+	e.statMu.Lock()
+	st.Resplits = e.stats.resplits
+	e.statMu.Unlock()
 	if e.dyn == nil {
 		return st
 	}

@@ -102,10 +102,11 @@ type Config struct {
 	NewRouter func(g *roadnet.Graph) roadnet.Router
 	// Workers bounds the goroutines advancing vehicle movement between
 	// rounds; 0 defaults to GOMAXPROCS. The budget is split across zone
-	// shards in proportion to their resident fleets (minimum one goroutine
-	// per shard, so a hotspot zone gets the workers its share warrants);
-	// Workers=1 makes movement — and so the learner's observation order —
-	// fully deterministic.
+	// shards in proportion to their resident fleets by largest-remainder
+	// allocation (shares sum to min(Workers, fleet) — a hotspot zone gets
+	// the workers its share warrants, and no share is silently lost to
+	// flooring); Workers=1 makes movement — and so the learner's
+	// observation order — fully deterministic.
 	Workers int
 	// Trace receives the engine event stream (nil = discard). The sink must
 	// be safe for concurrent use: shards emit from their own goroutines.
@@ -132,6 +133,14 @@ type Config struct {
 	// published epoch (they fall back to the decision graph's prior);
 	// 0 defaults to 3.
 	MinSamples int
+	// ResplitSec is the simulation-time cadence of demand-driven shard
+	// re-splits: every ResplitSec the handoff barrier rebuilds the KD
+	// partition weighted by observed order arrivals per node and migrates
+	// vehicles, pools, caches and policies onto the new zones exactly-once
+	// (see round.go's maybeResplit). 0 (the default) disables re-splitting
+	// and keeps the static node-balanced partition; values < 2 shards
+	// always no-op.
+	ResplitSec float64
 
 	// Obs is the metrics registry the engine records into (round latency
 	// histograms, per-phase spans, pipeline-stage timings, router query
@@ -168,8 +177,9 @@ type Config struct {
 	WAL *wal.Log
 
 	// phaseHook, when set (in-package tests only), is called at the start of
-	// each round phase with its name (drain, advance, handoff, match, apply,
-	// replan, rebuild) — the fault-injection seam: a hook that panics
+	// each round phase with its name (drain, advance, handoff, resplit,
+	// match, apply, replan, rebuild; resplit fires only when a demand-driven
+	// re-split actually executes) — the fault-injection seam: a hook that panics
 	// simulates a crash at exactly that phase, with roundMu released by
 	// StepContext's deferred unlock and only the on-disk WAL + checkpoint
 	// surviving.
@@ -266,12 +276,18 @@ type Engine struct {
 	g *roadnet.Graph
 	// decG is the decision plane's base graph (what epoch 0 serves);
 	// see Config.DecisionGraph.
-	decG   *roadnet.Graph
-	dyn    *dynamicState // nil = static road network
-	cfg    Config
-	sh     *sharder
-	mover  *sim.Mover // hook-less: plan swaps, relocations, RoundWorld
-	shards []*shardState
+	decG *roadnet.Graph
+	dyn  *dynamicState // nil = static road network
+	cfg  Config
+	sh   *sharder
+	// canonSh is the boot-time node-balanced partition, kept as the fixed
+	// relabelling reference for demand-driven re-splits (see
+	// sharder.relabelToMatch): every rebuilt partition names its zones to
+	// maximise overlap with this one, so re-splits migrate only the nodes
+	// whose zone genuinely changed.
+	canonSh *sharder
+	mover   *sim.Mover // hook-less: plan swaps, relocations, RoundWorld
+	shards  []*shardState
 	// pol is the prototype instance answering Reshuffles/SingleOrderMode
 	// (identical across shards by construction).
 	pol policy.Policy
@@ -311,6 +327,23 @@ type Engine struct {
 	// zone boundary since the last round closed (folded into that round's
 	// VehicleHandoffs; owned by roundMu).
 	pingHandoffs int
+
+	// demand counts order admissions per restaurant node since the last
+	// re-split (halved, not zeroed, at each re-split so the signal tracks a
+	// moving average of recent load); demandTotal is its sum. partDemand is
+	// the demand vector the *current* partition was built from (nil while
+	// the initial node-balanced partition stands) — checkpointed so restore
+	// rebuilds the identical sharder. lastResplitT is the simulation time of
+	// the last re-split decision (-Inf before the first). All owned by
+	// roundMu.
+	demand       []int64
+	demandTotal  int64
+	partDemand   []int64
+	lastResplitT float64
+
+	// shardEpoch counts executed re-splits; atomic so Snapshot and the
+	// /roadnet surface read it lock-free.
+	shardEpoch atomic.Uint64
 
 	// clockBits mirrors clock for lock-free readers (RefreshWeights and
 	// Roadnet must not wait out a round).
@@ -407,17 +440,20 @@ func New(g *roadnet.Graph, fleet []*model.Vehicle, cfg Config) (*Engine, error) 
 	}
 
 	e := &Engine{
-		g:       g,
-		decG:    decG,
-		cfg:     cfg,
-		sh:      newSharder(g, cfg.Shards),
-		pol:     cfg.NewPolicy(),
-		orderCh: make(chan queuedOrder, cfg.QueueSize),
-		pingCh:  make(chan vehiclePing, cfg.QueueSize),
-		byID:    make(map[model.VehicleID]*sim.Motion, len(fleet)),
-		rtByID:  make(map[model.VehicleID]*motionRt, len(fleet)),
-		slot:    -1,
-		eo:      eo,
+		g:            g,
+		decG:         decG,
+		cfg:          cfg,
+		sh:           newSharder(g, cfg.Shards),
+		canonSh:      newSharder(g, cfg.Shards),
+		pol:          cfg.NewPolicy(),
+		orderCh:      make(chan queuedOrder, cfg.QueueSize),
+		pingCh:       make(chan vehiclePing, cfg.QueueSize),
+		byID:         make(map[model.VehicleID]*sim.Motion, len(fleet)),
+		rtByID:       make(map[model.VehicleID]*motionRt, len(fleet)),
+		slot:         -1,
+		demand:       make([]int64, g.NumNodes()),
+		lastResplitT: math.Inf(-1),
+		eo:           eo,
 	}
 	if cfg.Learner != nil {
 		e.dyn = &dynamicState{

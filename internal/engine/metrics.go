@@ -25,6 +25,8 @@ type counters struct {
 	rejected      int64 // unallocated past RejectAfter
 	handoffs      int64 // orders served by a neighbouring zone
 	vehHandoffs   int64 // vehicles re-homed across a zone boundary
+	resplits      int64 // demand-driven shard re-splits executed
+	resplitMoves  int64 // vehicles migrated across re-split boundaries
 
 	rounds        int64
 	roundSecTotal float64
@@ -72,6 +74,12 @@ type RoundStats struct {
 	// re-homed onto the neighbouring shard at the round barrier.
 	Handoffs        int `json:"handoffs"`
 	VehicleHandoffs int `json:"vehicle_handoffs"`
+	// ShardEpoch is the shard-partition generation the round ran on (bumped
+	// by every demand-driven re-split; 0 = the initial node-balanced
+	// partition). ResplitMoves counts vehicles migrated by a re-split that
+	// executed at this round's barrier (0 on rounds without one).
+	ShardEpoch   uint64 `json:"shard_epoch,omitempty"`
+	ResplitMoves int    `json:"resplit_moves,omitempty"`
 	// LatencySec is the full wall-clock cost of the round (movement,
 	// partition, matching, application); AssignSecMax is the slowest
 	// zone's matching time — the critical path of the parallel section.
@@ -107,6 +115,9 @@ type ShardMetrics struct {
 	PoolDepth int `json:"pool"`
 	// Epoch is the weight epoch the shard's router currently serves.
 	Epoch uint64 `json:"epoch"`
+	// ShardEpoch is the partition generation the zone's geometry belongs to
+	// (engine-wide; repeated per shard so each zone row is self-describing).
+	ShardEpoch uint64 `json:"shard_epoch,omitempty"`
 	// Rounds and the advance/assign timings describe the shard's share of
 	// the phased round (totals and most recent round).
 	Rounds          int64   `json:"rounds"`
@@ -147,6 +158,12 @@ type Metrics struct {
 	Handoffs      int64 `json:"handoffs"`
 	// VehicleHandoffs counts vehicles re-homed across zone boundaries.
 	VehicleHandoffs int64 `json:"vehicle_handoffs"`
+	// ShardEpoch is the current shard-partition generation; Resplits /
+	// ResplitMoves total the demand-driven re-splits executed and the
+	// vehicles they migrated.
+	ShardEpoch   uint64 `json:"shard_epoch,omitempty"`
+	Resplits     int64  `json:"resplits,omitempty"`
+	ResplitMoves int64  `json:"resplit_moves,omitempty"`
 
 	// Quality aggregates (the paper's metrics, online).
 	XDTSec  float64 `json:"xdt_sec"`
@@ -195,6 +212,9 @@ func (e *Engine) Snapshot() Metrics {
 		Rejected:        c.rejected,
 		Handoffs:        c.handoffs,
 		VehicleHandoffs: c.vehHandoffs,
+		ShardEpoch:      e.shardEpoch.Load(),
+		Resplits:        c.resplits,
+		ResplitMoves:    c.resplitMoves,
 		Rounds:          c.rounds,
 		RoundSecMax:     c.roundSecMax,
 		LastRound:       c.lastRound,
@@ -205,10 +225,11 @@ func (e *Engine) Snapshot() Metrics {
 	}
 	for i, s := range e.shards {
 		sm := ShardMetrics{
-			Shard:     s.id,
-			Vehicles:  int(s.vehLen.Load()),
-			PoolDepth: int(s.poolLen.Load()),
-			Epoch:     s.router.Epoch(),
+			Shard:      s.id,
+			Vehicles:   int(s.vehLen.Load()),
+			PoolDepth:  int(s.poolLen.Load()),
+			Epoch:      s.router.Epoch(),
+			ShardEpoch: m.ShardEpoch,
 		}
 		s.hookMu.Lock()
 		sm.Delivered = s.hooks.delivered

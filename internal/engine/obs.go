@@ -40,14 +40,17 @@ type engineObs struct {
 	cDelivered, cStranded             *obs.Counter
 	cHandoffs, cVehHandoffs, cRounds  *obs.Counter
 	cPublishes, cPublishesPatched     *obs.Counter
+	cResplits, cResplitMoves          *obs.Counter
 
 	// Queue/pool gauges, sampled at the end of every round.
 	gOrderQueue, gPingQueue, gPool *obs.Gauge
-	gClock, gEpoch                 *obs.Gauge
+	gClock, gEpoch, gShardEpoch    *obs.Gauge
 }
 
 // roundPhases and pipelineStages are the fixed phase/stage vocabularies of
-// the phased round (round.go) — histogram label values and span names.
+// the phased round (round.go) — histogram label values and span names. The
+// resplit step is a child span under handoff (like weight publishes), not a
+// top-level phase.
 var roundPhases = []string{"drain", "advance", "handoff", "match", "apply", "replan", "rebuild"}
 
 var pipelineStages = []string{"batch", "sparsify", "reshuffle", "match"}
@@ -118,6 +121,10 @@ func newEngineObs(reg *obs.Registry, shards, traceRing int) *engineObs {
 		"Published weight epochs by publish mode.", obs.Labels{"mode": "full"})
 	eo.cPublishesPatched = reg.Counter("foodmatch_weight_publishes_total", "",
 		obs.Labels{"mode": "patched"})
+	eo.cResplits = reg.Counter("foodmatch_resplits_total",
+		"Demand-driven shard re-splits executed at the handoff barrier.", nil)
+	eo.cResplitMoves = reg.Counter("foodmatch_resplit_moves_total",
+		"Vehicles migrated across zone boundaries by shard re-splits.", nil)
 
 	eo.gOrderQueue = reg.Gauge("foodmatch_queue_depth",
 		"Ingestion queue depth sampled at the end of the last round.",
@@ -129,6 +136,8 @@ func newEngineObs(reg *obs.Registry, shards, traceRing int) *engineObs {
 		"Engine simulation clock (seconds since midnight).", nil)
 	eo.gEpoch = reg.Gauge("foodmatch_weight_epoch",
 		"Currently served weight epoch (0 = static base weights).", nil)
+	eo.gShardEpoch = reg.Gauge("foodmatch_shard_epoch",
+		"Current shard-partition generation (0 = initial node-balanced KD split).", nil)
 	return eo
 }
 
@@ -138,7 +147,7 @@ func newEngineObs(reg *obs.Registry, shards, traceRing int) *engineObs {
 // atomic adds only, and the span tree is a handful of small allocations
 // whose names are the static phase vocabulary.
 func (eo *engineObs) recordPhases(ph []phase1Out, work []shardWork,
-	drainSec, advanceSec, handoffSec, pubSec, matchSec, applySec, replanSec, rebuildSec float64) []obs.Phase {
+	drainSec, advanceSec, handoffSec, pubSec, resplitSec, matchSec, applySec, replanSec, rebuildSec float64) []obs.Phase {
 
 	eo.phase["drain"].Observe(drainSec)
 	eo.phase["advance"].Observe(advanceSec)
@@ -156,7 +165,10 @@ func (eo *engineObs) recordPhases(ph []phase1Out, work []shardWork,
 	}
 	handoff := obs.Phase{Name: "handoff", DurSec: handoffSec}
 	if pubSec > 0 {
-		handoff.Children = []obs.Phase{{Name: "publish", DurSec: pubSec}}
+		handoff.Children = append(handoff.Children, obs.Phase{Name: "publish", DurSec: pubSec})
+	}
+	if resplitSec > 0 {
+		handoff.Children = append(handoff.Children, obs.Phase{Name: "resplit", DurSec: resplitSec})
 	}
 	match := obs.Phase{Name: "match", DurSec: matchSec}
 	for si := range work {

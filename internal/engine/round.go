@@ -28,7 +28,9 @@ import (
 //	parallel per shard: advance movement, reject stale pool orders,
 //	         strip reshuffleable orders, build the zone's vehicle set
 //	serial   handoff barrier: publish due weight epochs, re-home vehicles
-//	         that crossed a zone boundary, partition the round's orders
+//	         that crossed a zone boundary, run a due demand-driven shard
+//	         re-split (migrating residency exactly-once and warming the new
+//	         zones' distance caches), partition the round's orders
 //	         (pressure-based boundary handoff)
 //	parallel per shard: the assignment pipeline (batching → FoodGraph →
 //	         matching) on the shard's pinned weight epoch
@@ -182,6 +184,9 @@ func (e *Engine) admitFuture(now float64, arrived bool) {
 		s.pool = append(s.pool, o)
 		s.newOrders = append(s.newOrders, o)
 		s.poolLen.Store(int64(len(s.pool)))
+		// Admission is the demand signal the elastic sharder re-splits on.
+		e.demand[o.Restaurant]++
+		e.demandTotal++
 		e.statMu.Lock()
 		e.stats.admitted++
 		e.statMu.Unlock()
@@ -299,9 +304,16 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	// at Shards>1.
 	e.phase("advance")
 	phT := time.Now()
+	// The movement-worker budget is allocated across shards serially, before
+	// the fan-out, so the shares see a consistent fleet census.
+	sizes := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		sizes[i] = len(s.motions)
+	}
+	shares := advanceShares(e.cfg.Workers, sizes)
 	ph := make([]phase1Out, len(e.shards))
 	e.forEachShard(e.cfg.Workers > 1, func(s *shardState) {
-		ph[s.id] = e.shardPhase1(s, t0, now, reshuffle, singleOrder)
+		ph[s.id] = e.shardPhase1(s, shares[s.id], t0, now, reshuffle, singleOrder)
 	})
 	advanceSec := time.Since(phT).Seconds()
 
@@ -317,7 +329,6 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	var orders []*model.Order
 	prevVehicle := make(map[model.OrderID]model.VehicleID)
 	stripped := make(map[model.VehicleID]bool)
-	availTotal := 0
 	stats.VehicleHandoffs += e.pingHandoffs // ping re-homes since last round
 	e.pingHandoffs = 0
 	for si := range ph {
@@ -330,19 +341,42 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 		for id := range out.strippedVeh {
 			stripped[id] = true
 		}
-		work[si].vehicles = out.vehicles
-		availTotal += len(out.vehicles)
 	}
 	// Re-home the boundary crossers: the vehicle leaves its old zone's
-	// resident list and (when available) joins the *new* zone's V(ℓ) — a
-	// crosser is matched by exactly one shard.
+	// resident list for the zone its node is in — a crosser is matched by
+	// exactly one shard. Counted against the pre-re-split partition.
 	for si := range ph {
 		for _, em := range ph[si].emigrants {
 			e.unhomeMotion(em.rt)
 			e.homeMotion(em.rt, em.target)
 			stats.VehicleHandoffs++
+		}
+	}
+
+	// A due demand-driven re-split executes here: after boundary re-homing,
+	// before V(ℓ)/O(ℓ) bucketing — so the match phase below already runs on
+	// the new zones and this round's pool rebuild re-buckets through the new
+	// sharder (pools migrate without a dedicated pass).
+	resplit, resplitMoves, resplitSec := e.maybeResplit(now)
+	stats.ShardEpoch = e.shardEpoch.Load()
+	stats.ResplitMoves = resplitMoves
+
+	// Bucket V(ℓ) by each available vehicle's current zone: stay-homes in
+	// shard order, then emigrants in shard order — identical slice contents
+	// to the pre-elastic direct assignment whenever no re-split ran.
+	availTotal := 0
+	for si := range ph {
+		for _, vs := range ph[si].vehicles {
+			t := e.sh.shardOf(vs.Node)
+			work[t].vehicles = append(work[t].vehicles, vs)
+			availTotal++
+		}
+	}
+	for si := range ph {
+		for _, em := range ph[si].emigrants {
 			if em.vs != nil {
-				work[em.target].vehicles = append(work[em.target].vehicles, em.vs)
+				t := e.sh.shardOf(em.vs.Node)
+				work[t].vehicles = append(work[t].vehicles, em.vs)
 				availTotal++
 			}
 		}
@@ -353,6 +387,11 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 	// Partition O(ℓ) by restaurant zone with the cross-shard handoff rule.
 	if len(orders) > 0 && availTotal > 0 {
 		stats.Handoffs = e.partitionOrders(orders, work)
+	}
+	if resplit {
+		// Fresh zones start with cold distance rows; warm them by parallel
+		// bounded SSSP before the match phase queries them.
+		e.warmShards(work, now)
 	}
 	handoffSec := time.Since(phT).Seconds()
 
@@ -501,7 +540,7 @@ func (e *Engine) runRound(ctx context.Context, t0, now, drainSec float64) RoundS
 
 	if eo != nil {
 		stats.Phases = eo.recordPhases(ph, work,
-			drainSec, advanceSec, handoffSec, pubSec, matchSec, applySec, replanSec, rebuildSec)
+			drainSec, advanceSec, handoffSec, pubSec, resplitSec, matchSec, applySec, replanSec, rebuildSec)
 	}
 
 	e.cfg.Trace.Emit(trace.Event{
@@ -547,7 +586,7 @@ func (e *Engine) forEachShard(parallel bool, fn func(s *shardState)) {
 // boundary-crossing emigrants. It runs on the shard's own goroutine and
 // touches only shard-resident state (trace sinks, stream subscribers and
 // the learner synchronise internally).
-func (e *Engine) shardPhase1(s *shardState, t0, t1 float64, reshuffle, singleOrder bool) phase1Out {
+func (e *Engine) shardPhase1(s *shardState, advWorkers int, t0, t1 float64, reshuffle, singleOrder bool) phase1Out {
 	cfg := e.cfg.Pipeline
 	var out phase1Out
 
@@ -565,7 +604,7 @@ func (e *Engine) shardPhase1(s *shardState, t0, t1 float64, reshuffle, singleOrd
 	s.newOrders = s.newOrders[:0]
 
 	adv := time.Now()
-	e.advanceShard(s, t0, t1)
+	e.advanceShard(s, advWorkers, t0, t1)
 	out.advanceSec = time.Since(adv).Seconds()
 
 	// Reject pool orders unallocated longer than RejectAfter.
@@ -627,20 +666,62 @@ func (e *Engine) shardPhase1(s *shardState, t0, t1 float64, reshuffle, singleOrd
 	return out
 }
 
+// advanceShares splits the movement-worker budget across shards in
+// proportion to their resident fleets by largest remainder: integer quotas
+// budget·sizeᵢ/Σsize floor first, then the leftover goes one-by-one to the
+// largest fractional remainders (lowest shard id on ties), capped at each
+// shard's fleet size. Shares always sum to min(budget, Σsize) — the old
+// per-shard floor could silently sum to well under the budget on skewed
+// fleets (e.g. budget 7 over fleets 3/3/3/3 ran only 4 workers).
+func advanceShares(budget int, sizes []int) []int {
+	shares := make([]int, len(sizes))
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if total == 0 || budget <= 0 {
+		return shares
+	}
+	if budget > total {
+		budget = total
+	}
+	type rem struct{ frac, id int }
+	rems := make([]rem, 0, len(sizes))
+	allocated := 0
+	for i, n := range sizes {
+		q := budget * n / total
+		shares[i] = q
+		allocated += q
+		rems = append(rems, rem{frac: budget*n - q*total, id: i})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].id < rems[b].id
+	})
+	for _, r := range rems {
+		if allocated >= budget {
+			break
+		}
+		if shares[r.id] < sizes[r.id] {
+			shares[r.id]++
+			allocated++
+		}
+	}
+	return shares
+}
+
 // advanceShard moves the shard's resident vehicles through [t0, t1) on the
-// shard's own mover. The engine's Workers budget is split across shards in
-// proportion to their resident populations (a dinner-peak hotspot zone gets
-// the workers its fleet share warrants, not an even 1/K slice); within its
-// share a shard fans its motions out over a small worker pool (each vehicle
-// touched by exactly one goroutine; the graph is read-only; hooks and the
-// trace sink synchronise internally).
-func (e *Engine) advanceShard(s *shardState, t0, t1 float64) {
+// shard's own mover, fanning its motions out over `workers` goroutines from
+// the engine-wide budget (allocated by advanceShares at the top of the
+// round: a dinner-peak hotspot zone gets the workers its fleet share
+// warrants, not an even 1/K slice). Each vehicle is touched by exactly one
+// goroutine; the graph is read-only; hooks and the trace sink synchronise
+// internally. Shares of 0 or 1 run inline on the shard's own goroutine.
+func (e *Engine) advanceShard(s *shardState, workers int, t0, t1 float64) {
 	if t1 <= t0 || len(s.motions) == 0 {
 		return
-	}
-	workers := e.cfg.Workers * len(s.motions) / len(e.motions)
-	if workers < 1 {
-		workers = 1
 	}
 	if workers > len(s.motions) {
 		workers = len(s.motions)
@@ -700,14 +781,25 @@ func (e *Engine) replanParallel(now float64, stripped, assigned, restored map[mo
 // within BoundaryM of a neighbouring zone) and the neighbour is under less
 // pressure — fewer orders queued per available vehicle — in which case it is
 // handed off. Returns the handoff count.
+//
+// The pressure score feeds back on work[s].orders as the loop assigns, so
+// the visit order must be canonical or an order's handoff decision would
+// depend on its position in the pool slice (phase-1 collection order):
+// orders are visited in ascending order id. Ties are explicit: the home
+// zone wins at equal pressure (strict <), and among eligible neighbours the
+// lowest shard id wins (nearShards iterates ascending; the first winner at
+// a given pressure stands).
 func (e *Engine) partitionOrders(orders []*model.Order, work []shardWork) int {
 	if len(work) == 1 {
 		work[0].orders = orders
 		return 0
 	}
+	seq := make([]*model.Order, len(orders))
+	copy(seq, orders)
+	sort.Slice(seq, func(a, b int) bool { return seq[a].ID < seq[b].ID })
 	handoffs := 0
 	var near []int
-	for _, o := range orders {
+	for _, o := range seq {
 		home := e.sh.shardOf(o.Restaurant)
 		best := home
 		if len(work[home].vehicles) == 0 || len(work[home].orders) >= len(work[home].vehicles) {
@@ -730,6 +822,141 @@ func (e *Engine) partitionOrders(orders []*model.Order, work []shardWork) int {
 		work[best].orders = append(work[best].orders, o)
 	}
 	return handoffs
+}
+
+// maybeResplit executes a demand-driven shard re-split when the cadence is
+// due: it rebuilds the KD partition weighted by order arrivals per node
+// (demandWeights) and migrates every vehicle onto the new zones
+// exactly-once. It runs inside the serial handoff barrier — roundMu held,
+// no parallel phase in flight — so residency moves need no synchronisation
+// beyond the atomic length mirrors. Pools need no dedicated migration pass:
+// this round's rebuild phase re-buckets the unassigned remainder through
+// the new sharder, and admissions/replans route through shardOf from here
+// on. Movers, DistCaches, routers and policy instances are zone-scoped (the
+// zone's *meaning* changes, the instance stays), so they move with the
+// shard slot; the caller warms the distance caches for the new zone
+// geometry. Returns whether a re-split executed, how many vehicles changed
+// zones, and the wall-clock cost.
+func (e *Engine) maybeResplit(now float64) (bool, int, float64) {
+	if e.cfg.ResplitSec <= 0 || len(e.shards) < 2 {
+		return false, 0, 0
+	}
+	if now-e.lastResplitT < e.cfg.ResplitSec {
+		return false, 0, 0
+	}
+	// Too little signal to beat the node-balanced prior: skip the churn and
+	// wait out a full cadence period (mirrors maybeRefreshWeights's
+	// quiet-period handling).
+	if e.demandTotal < int64(4*len(e.shards)) {
+		e.lastResplitT = now
+		return false, 0, 0
+	}
+	e.phase("resplit")
+	t0 := time.Now()
+	e.lastResplitT = now
+	part := make([]int64, len(e.demand))
+	copy(part, e.demand)
+	e.partDemand = part
+	sh := newSharderWeighted(e.g, e.cfg.Shards, demandWeights(part))
+	sh.relabelToMatch(e.canonSh)
+	e.sh = sh
+	// Halve (don't zero) the live counters: the next re-split sees an
+	// exponentially decayed moving average of arrivals, not only the last
+	// period's.
+	var total int64
+	for i, d := range e.demand {
+		e.demand[i] = d >> 1
+		total += d >> 1
+	}
+	e.demandTotal = total
+	moves := e.rehomeAll()
+	e.shardEpoch.Add(1)
+	e.statMu.Lock()
+	e.stats.resplits++
+	e.stats.resplitMoves += int64(moves)
+	e.statMu.Unlock()
+	if e.eo != nil {
+		e.eo.cResplits.Inc()
+		e.eo.cResplitMoves.Add(int64(moves))
+		e.eo.gShardEpoch.Set(float64(e.shardEpoch.Load()))
+	}
+	return true, moves, time.Since(t0).Seconds()
+}
+
+// demandWeights converts a per-node demand vector into KD split weights:
+// raw counts plus a small uniform prior (total/(4n) per node) so
+// zero-demand spans still carry weight — demand dominates once the city is
+// warm, the prior keeps cold corners from collapsing into slivers. Pure
+// and deterministic: checkpoint restore rebuilds the identical partition
+// from the persisted vector.
+func demandWeights(demand []int64) []float64 {
+	var total int64
+	for _, d := range demand {
+		total += d
+	}
+	prior := float64(total) / float64(4*len(demand))
+	w := make([]float64, len(demand))
+	for i, d := range demand {
+		w[i] = float64(d) + prior
+	}
+	return w
+}
+
+// rehomeAll rebuilds every shard's resident list against the current
+// sharder in stable fleet order (deterministic regardless of the swap-
+// removal history), returning how many vehicles changed zones.
+func (e *Engine) rehomeAll() int {
+	moves := 0
+	for _, s := range e.shards {
+		s.motions = s.motions[:0]
+	}
+	for _, mo := range e.motions {
+		rt := e.rtByID[mo.V.ID]
+		target := e.sh.shardOf(mo.V.Node)
+		if target != int(rt.shard) {
+			moves++
+		}
+		st := e.shards[target]
+		rt.shard = int32(target)
+		rt.pos = int32(len(st.motions))
+		st.motions = append(st.motions, rt)
+	}
+	for _, s := range e.shards {
+		s.vehLen.Store(int64(len(s.motions)))
+	}
+	return moves
+}
+
+// warmShards pre-builds the distance rows freshly re-split zones will need:
+// one bounded SSSP per distinct restaurant in each zone's order partition,
+// on both the zone's SDT admission cache and its router's memoised backend,
+// in parallel across shards before the match phase reads them. Warming is
+// pure cache fill — rows are exact, so no decision can change; the slot
+// reset below replicates exactly what the match goroutine (router) and next
+// round's phase 1 (SDT) would do, so the warmed rows are not dropped later.
+func (e *Engine) warmShards(work []shardWork, now float64) {
+	e.forEachShard(e.cfg.Workers > 1, func(s *shardState) {
+		if s.sdtSlot != e.slot {
+			s.sdtSlot = e.slot
+			s.sdt.Reset()
+		}
+		_, router := s.router.Acquire()
+		if s.slot != e.slot {
+			s.slot = e.slot
+			if r, ok := router.(roadnet.Resettable); ok {
+				r.Reset()
+			}
+		}
+		seen := make(map[roadnet.NodeID]bool, len(work[s.id].orders))
+		for _, o := range work[s.id].orders {
+			if seen[o.Restaurant] {
+				continue
+			}
+			seen[o.Restaurant] = true
+			s.sdt.Row(o.Restaurant, now)
+			router.Travel(o.Restaurant, o.Restaurant, now)
+		}
+	})
 }
 
 // pressure scores a zone's load for the handoff rule: queued orders per

@@ -61,8 +61,19 @@ func (b *bbox) distM(p geo.Point) float64 {
 	return math.Hypot(dLat*mPerDegLat, dLon*mPerDegLon)
 }
 
-// newSharder builds a K-way partition of g's nodes.
+// newSharder builds a K-way partition of g's nodes balanced by node count.
 func newSharder(g *roadnet.Graph, k int) *sharder {
+	return newSharderWeighted(g, k, nil)
+}
+
+// newSharderWeighted builds a K-way partition of g's nodes where each
+// recursive cut balances total node weight instead of node count. Weights
+// are indexed by node id; nil means uniform, which reproduces newSharder's
+// partition exactly (the weighted cut degenerates to the same integer
+// quantile). Every shard is guaranteed at least one node regardless of how
+// degenerate the weight vector is: the cut is clamped so each side keeps at
+// least as many nodes as shards it still has to produce.
+func newSharderWeighted(g *roadnet.Graph, k int, w []float64) *sharder {
 	n := g.NumNodes()
 	if k < 1 {
 		k = 1
@@ -75,7 +86,7 @@ func newSharder(g *roadnet.Graph, k int) *sharder {
 	for i := range idx {
 		idx[i] = i
 	}
-	sh.split(g, idx, k, 0)
+	sh.split(g, idx, k, 0, w)
 	for i := range sh.boxes {
 		sh.boxes[i] = emptyBox()
 	}
@@ -86,8 +97,63 @@ func newSharder(g *roadnet.Graph, k int) *sharder {
 	return sh
 }
 
+// relabelToMatch permutes sh's zone ids to maximise node overlap with ref's
+// zones (greedy max-overlap matching; ties break to the lowest new id, then
+// the lowest ref id — fully deterministic). Without this, a re-split whose
+// geometry barely moved can still relabel every zone wholesale — migrating
+// the whole fleet and orphaning every zone's warm distance cache for what
+// is substantively the same partition. Relabelling against the *canonical*
+// node-balanced partition (not the previous demand split) keeps the result
+// a pure function of (graph, k, weights), which is what lets checkpoint
+// restore rebuild the identical partition from the persisted demand vector.
+// No-op when the zone counts differ.
+func (sh *sharder) relabelToMatch(ref *sharder) {
+	k := sh.k
+	if ref == nil || ref.k != k || k < 2 {
+		return
+	}
+	overlap := make([][]int, k) // [new zone][ref zone] -> shared nodes
+	for n := range overlap {
+		overlap[n] = make([]int, k)
+	}
+	for node, nz := range sh.of {
+		overlap[nz][ref.of[node]]++
+	}
+	perm := make([]int, k) // new zone id -> relabelled id
+	for n := range perm {
+		perm[n] = -1
+	}
+	used := make([]bool, k)
+	for assigned := 0; assigned < k; assigned++ {
+		bestN, bestO, best := -1, -1, -1
+		for n := 0; n < k; n++ {
+			if perm[n] >= 0 {
+				continue
+			}
+			for o := 0; o < k; o++ {
+				if used[o] {
+					continue
+				}
+				if overlap[n][o] > best {
+					best, bestN, bestO = overlap[n][o], n, o
+				}
+			}
+		}
+		perm[bestN] = bestO
+		used[bestO] = true
+	}
+	for i, z := range sh.of {
+		sh.of[i] = int32(perm[z])
+	}
+	boxes := make([]bbox, k)
+	for n, o := range perm {
+		boxes[o] = sh.boxes[n]
+	}
+	sh.boxes = boxes
+}
+
 // split recursively assigns idx's nodes to shards [base, base+k).
-func (sh *sharder) split(g *roadnet.Graph, idx []int, k, base int) {
+func (sh *sharder) split(g *roadnet.Graph, idx []int, k, base int, w []float64) {
 	if k <= 1 {
 		for _, i := range idx {
 			sh.of[i] = int32(base)
@@ -118,8 +184,31 @@ func (sh *sharder) split(g *roadnet.Graph, idx []int, k, base int) {
 	})
 	kl := k / 2
 	cut := len(idx) * kl / k
-	sh.split(g, idx[:cut], kl, base)
-	sh.split(g, idx[cut:], k-kl, base+kl)
+	if w != nil {
+		// Weighted quantile: the left side takes the longest prefix whose
+		// weight stays within kl/k of the total. Exact division keeps the
+		// uniform case identical to the integer quantile above.
+		total := 0.0
+		for _, i := range idx {
+			total += w[i]
+		}
+		target := total * float64(kl) / float64(k)
+		acc := 0.0
+		cut = 0
+		for cut < len(idx) && acc+w[idx[cut]] <= target {
+			acc += w[idx[cut]]
+			cut++
+		}
+	}
+	// Each side must keep at least one node per shard it still produces.
+	if lo := kl; cut < lo {
+		cut = lo
+	}
+	if hi := len(idx) - (k - kl); cut > hi {
+		cut = hi
+	}
+	sh.split(g, idx[:cut], kl, base, w)
+	sh.split(g, idx[cut:], k-kl, base+kl, w)
 }
 
 // shardOf returns the home shard of a node.
