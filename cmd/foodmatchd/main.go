@@ -51,25 +51,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cityName  = flag.String("city", "CityB", "Table II city preset")
-		scale     = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		polName   = flag.String("policy", "foodmatch", "assignment policy: foodmatch|km|greedy|reyes")
-		shards    = flag.Int("shards", 4, "geographic zone shards K")
-		resplit   = flag.Float64("resplit", 900, "simulation seconds between demand-driven shard re-splits (0 = keep the boot-time node-balanced split)")
-		delta     = flag.Float64("delta", 0, "accumulation window seconds (0 = city default)")
-		queue     = flag.Int("queue", 4096, "ingestion queue capacity")
-		fleetFrac = flag.Float64("fleet", 1.0, "fraction of the city fleet to register")
-		startHour = flag.Float64("start", 18, "simulation clock start, hours since midnight")
-		timeScale = flag.Float64("timescale", 60, "simulation seconds per wall second")
-		scenario  = flag.String("scenario", "none", "true-traffic perturbation: none|rain:<mult>|rush:<factor>[,...]")
-		learn     = flag.Bool("learn", false, "learn per-slot edge weights from live traffic and hot-swap routers")
-		refresh   = flag.Float64("refresh", 900, "simulation seconds between weight-epoch publishes")
-		minSamp   = flag.Int("minsamples", 3, "observations required before a learned cell is published")
-		debugAddr = flag.String("debug-addr", "", "when set, serve net/http/pprof on this address (e.g. localhost:6060)")
-		slowRound = flag.Float64("slowround", 0, "wall seconds; rounds slower than this dump their span tree as a structured log line (0 = off)")
-		traceRing = flag.Int("tracering", 4096, "order-lifecycle event ring capacity for GET /trace/orders (0 = off)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		cityName   = flag.String("city", "CityB", "Table II city preset")
+		scale      = flag.Float64("scale", foodmatch.DefaultScale, "workload scale (1.0 = paper size)")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		polName    = flag.String("policy", "foodmatch", "assignment policy: foodmatch|km|greedy|reyes")
+		routerKind = flag.String("router", "bounded", "shortest-path backend: bounded|dijkstra|hublabel|cch")
+		shards     = flag.Int("shards", 4, "geographic zone shards K")
+		resplit    = flag.Float64("resplit", 900, "simulation seconds between demand-driven shard re-splits (0 = keep the boot-time node-balanced split)")
+		delta      = flag.Float64("delta", 0, "accumulation window seconds (0 = city default)")
+		queue      = flag.Int("queue", 4096, "ingestion queue capacity")
+		fleetFrac  = flag.Float64("fleet", 1.0, "fraction of the city fleet to register")
+		startHour  = flag.Float64("start", 18, "simulation clock start, hours since midnight")
+		timeScale  = flag.Float64("timescale", 60, "simulation seconds per wall second")
+		scenario   = flag.String("scenario", "none", "true-traffic perturbation: none|rain:<mult>|rush:<factor>[,...]")
+		learn      = flag.Bool("learn", false, "learn per-slot edge weights from live traffic and hot-swap routers")
+		refresh    = flag.Float64("refresh", 900, "simulation seconds between weight-epoch publishes")
+		minSamp    = flag.Int("minsamples", 3, "observations required before a learned cell is published")
+		debugAddr  = flag.String("debug-addr", "", "when set, serve net/http/pprof on this address (e.g. localhost:6060)")
+		slowRound  = flag.Float64("slowround", 0, "wall seconds; rounds slower than this dump their span tree as a structured log line (0 = off)")
+		traceRing  = flag.Int("tracering", 4096, "order-lifecycle event ring capacity for GET /trace/orders (0 = off)")
 
 		// Durability (see the README's "Durability" section).
 		walDir    = flag.String("wal-dir", "", "durability directory: WAL segments + checkpoint.json; on boot, restore+replay from it (empty = no durability)")
@@ -122,6 +123,19 @@ func main() {
 		QueueSize:  *queue,
 		TraceRing:  *traceRing,
 		ResplitSec: *resplit,
+	}
+	switch *routerKind {
+	case "bounded":
+		// Leave NewRouter nil: the engine defaults to its bounded-SSSP
+		// distance cache.
+	case "dijkstra":
+		ecfg.NewRouter = foodmatch.NewDijkstraRouter
+	case "hublabel":
+		ecfg.NewRouter = foodmatch.NewHubLabelRouter(0, false)
+	case "cch":
+		ecfg.NewRouter = foodmatch.NewCCHRouter()
+	default:
+		fatal(fmt.Errorf("unknown -router %q (want bounded|dijkstra|hublabel|cch)", *routerKind))
 	}
 	if *slowRound > 0 {
 		ecfg.SlowRoundSec = *slowRound

@@ -197,4 +197,56 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServerRoadnetRouterStatus pins GET /roadnet's router-backend report:
+// the active backend kind and, for backends that track customization work
+// (CCH), the full vs incremental counters.
+func TestServerRoadnetRouterStatus(t *testing.T) {
+	city, err := foodmatch.LoadCity("CityA", foodmatch.DefaultScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := foodmatch.ExperimentConfig("CityA", foodmatch.DefaultScale)
+	fleet := city.Fleet(1.0, cfg.MaxO, 1)
+	eng, err := foodmatch.NewEngine(city.G, fleet, foodmatch.EngineConfig{
+		Pipeline:  cfg,
+		Shards:    2,
+		NewRouter: foodmatch.NewCCHRouter(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(eng, city, ServerOptions{}))
+	defer ts.Close()
+
+	eng.Step(18*3600 + cfg.Delta) // one round: forces router queries
+
+	resp, err := http.Get(ts.URL + "/roadnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /roadnet: %d", resp.StatusCode)
+	}
+	var st struct {
+		Router string `json:"router"`
+		Metric *struct {
+			Full        int64 `json:"full_customizations"`
+			Incremental int64 `json:"incremental_customizations"`
+		} `json:"metric"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Router != "cch" {
+		t.Fatalf("router = %q, want cch", st.Router)
+	}
+	if st.Metric == nil {
+		t.Fatal("metric missing for CCH backend")
+	}
+	if st.Metric.Incremental != 0 {
+		t.Fatalf("static engine reported %d incremental customizations", st.Metric.Incremental)
+	}
+}
+
 func ptr[T any](v T) *T { return &v }

@@ -421,6 +421,16 @@ func NewHubLabelRouter(spBound float64, syncBuild bool) func(*Graph) Router {
 	return engine.NewHubLabelRouter(spBound, syncBuild)
 }
 
+// NewCCHRouter returns an EngineConfig.NewRouter factory for the
+// customizable contraction hierarchy backend: topology preprocessing runs
+// once, per-slot metrics customize lazily, and weight epochs published
+// through the learner's incremental patch path re-customize only the dirty
+// cells (O(dirty), not O(|E|)). The factory is stateful — use one per
+// engine.
+func NewCCHRouter() func(*Graph) Router {
+	return engine.NewCCHRouter()
+}
+
 // Online dispatch engine re-exports: the concurrent, zone-sharded service
 // that runs the assignment pipeline against a live order/vehicle stream.
 type (

@@ -133,11 +133,21 @@ func Run(rt roadnet.Router, orders []*model.Order, opt Options) *Result {
 	liveCount := len(nodes)
 	res.AvgCostTrace = append(res.AvgCostTrace, sumCost/float64(liveCount))
 
+	// With a finite radius the O(n²) candidate loop probes pairwise
+	// first-pickup distances; precompute them with one many-to-many query
+	// per distinct restaurant instead of one point query per ordered pair.
+	// Merged batches always start at some member order's restaurant, so the
+	// table stays closed under merges.
+	var radii *radiusTable
+	if !math.IsInf(opt.Radius, 1) {
+		radii = newRadiusTable(rt, orders, opt.Now)
+	}
+
 	h := &edgeHeap{}
 	// Initial candidate edges.
 	for i := 0; i < len(nodes); i++ {
 		for j := i + 1; j < len(nodes); j++ {
-			pushEdge(sp, h, nodes, i, j, opt)
+			pushEdge(sp, radii, h, nodes, i, j, opt)
 		}
 	}
 
@@ -173,7 +183,7 @@ func Run(rt roadnet.Router, orders []*model.Order, opt Options) *Result {
 		// Connect the merged node to all live nodes.
 		for k := 0; k < mi; k++ {
 			if !nodes[k].dead {
-				pushEdge(sp, h, nodes, k, mi, opt)
+				pushEdge(sp, radii, h, nodes, k, mi, opt)
 			}
 		}
 	}
@@ -202,9 +212,49 @@ func singleton(sp roadnet.SPFunc, o *model.Order, now float64) (*model.Batch, bo
 	return &model.Batch{Orders: []*model.Order{o}, Plan: plan, Cost: cost}, true
 }
 
+// radiusTable memoises pairwise travel times between the window's distinct
+// restaurant nodes — the universe every batch's first pickup is drawn from —
+// with one many-to-many query per node instead of one point query per
+// ordered candidate pair.
+type radiusTable struct {
+	rt   roadnet.Router
+	now  float64
+	pos  map[roadnet.NodeID]int32
+	rows [][]float64
+}
+
+func newRadiusTable(rt roadnet.Router, orders []*model.Order, now float64) *radiusTable {
+	t := &radiusTable{rt: rt, now: now, pos: make(map[roadnet.NodeID]int32)}
+	var nodes []roadnet.NodeID
+	for _, o := range orders {
+		if _, ok := t.pos[o.Restaurant]; !ok {
+			t.pos[o.Restaurant] = int32(len(nodes))
+			nodes = append(nodes, o.Restaurant)
+		}
+	}
+	t.rows = make([][]float64, len(nodes))
+	for i, u := range nodes {
+		t.rows[i] = roadnet.TravelMany(rt, u, nodes, now)
+	}
+	return t
+}
+
+// dist returns SP(u,v,now); nodes outside the table (impossible for batches
+// built from this window's orders, but cheap to keep correct) fall back to a
+// point query.
+func (t *radiusTable) dist(u, v roadnet.NodeID) float64 {
+	iu, uok := t.pos[u]
+	iv, vok := t.pos[v]
+	if uok && vok {
+		return t.rows[iu][iv]
+	}
+	return t.rt.Travel(u, v, t.now)
+}
+
 // pushEdge evaluates the merge of nodes i and j and, when feasible, pushes
-// the candidate edge onto the heap.
-func pushEdge(sp roadnet.SPFunc, h *edgeHeap, nodes []*batchNode, i, j int, opt Options) {
+// the candidate edge onto the heap. radii is non-nil iff opt.Radius is
+// finite.
+func pushEdge(sp roadnet.SPFunc, radii *radiusTable, h *edgeHeap, nodes []*batchNode, i, j int, opt Options) {
 	bi, bj := nodes[i].batch, nodes[j].batch
 	if len(bi.Orders)+len(bj.Orders) > opt.MaxO {
 		return
@@ -215,9 +265,9 @@ func pushEdge(sp roadnet.SPFunc, h *edgeHeap, nodes []*batchNode, i, j int, opt 
 	if math.IsInf(bi.Cost, 1) || math.IsInf(bj.Cost, 1) {
 		return
 	}
-	if !math.IsInf(opt.Radius, 1) {
-		d := sp(bi.FirstPickupNode(), bj.FirstPickupNode(), opt.Now)
-		dr := sp(bj.FirstPickupNode(), bi.FirstPickupNode(), opt.Now)
+	if radii != nil {
+		d := radii.dist(bi.FirstPickupNode(), bj.FirstPickupNode())
+		dr := radii.dist(bj.FirstPickupNode(), bi.FirstPickupNode())
 		if d > opt.Radius && dr > opt.Radius {
 			return
 		}

@@ -330,6 +330,27 @@ type RoadnetStatus struct {
 	ResplitSec float64 `json:"resplit_sec"`
 	// Learner is the streaming learner's throughput (nil when static).
 	Learner *gps.StreamStats `json:"learner,omitempty"`
+	// Router names the active shortest-path backend kind serving shard 0's
+	// current epoch ("bounded", "dijkstra", "hublabel", "cch", …).
+	Router string `json:"router"`
+	// Metric carries the backend's customization counters when the backend
+	// tracks them (the CCH router: full vs incremental re-customizations).
+	Metric *roadnet.MetricStats `json:"metric,omitempty"`
+}
+
+// metricStatser unwraps decorator layers (timedRouter et al.) until it finds
+// a backend reporting customization stats.
+func metricStatser(r roadnet.Router) (roadnet.MetricStatser, bool) {
+	for {
+		if ms, ok := r.(roadnet.MetricStatser); ok {
+			return ms, true
+		}
+		u, ok := r.(interface{ Unwrap() roadnet.Router })
+		if !ok {
+			return nil, false
+		}
+		r = u.Unwrap()
+	}
 }
 
 // Roadnet snapshots the dynamic road network plane. Safe to call from any
@@ -345,6 +366,14 @@ func (e *Engine) Roadnet() RoadnetStatus {
 	e.statMu.Lock()
 	st.Resplits = e.stats.resplits
 	e.statMu.Unlock()
+	if len(e.shards) > 0 {
+		_, r := e.shards[0].router.Acquire()
+		st.Router = routerKind(r)
+		if ms, ok := metricStatser(r); ok {
+			m := ms.MetricStats()
+			st.Metric = &m
+		}
+	}
 	if e.dyn == nil {
 		return st
 	}

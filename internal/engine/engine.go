@@ -63,6 +63,19 @@ func NewHubLabelRouter(spBound float64, syncBuild bool) func(*roadnet.Graph) roa
 	}
 }
 
+// NewCCHRouter returns a Config.NewRouter factory for the customizable
+// contraction hierarchy backend. One stateful factory backs every shard and
+// every published weight epoch: topology preprocessing runs once, each
+// epoch's metric customizes lazily per slot, and epochs produced by the
+// learner's incremental PatchReweighted publishes re-customize only the
+// arcs their dirty cells reach (Graph.PatchProvenance) instead of the whole
+// hierarchy. Shards publishing the same snapshot share one metric, so the
+// customization cost is per epoch, not per shard.
+func NewCCHRouter() func(*roadnet.Graph) roadnet.Router {
+	f := roadnet.NewCCHFactory()
+	return f.NewRouter
+}
+
 // Errors surfaced to producers. A full queue is backpressure, not failure:
 // callers decide whether to retry, shed, or block.
 var (
@@ -257,6 +270,11 @@ type shardState struct {
 	newOrders []*model.Order
 	sdt       *roadnet.DistCache
 	sdtSlot   int
+	// sdtOrders / sdtTargets are round-scratch for grouping newOrders by
+	// (restaurant, slot) so each group's SDTs resolve through one batched
+	// row query; retained across rounds to keep the hot path alloc-free.
+	sdtOrders  []*model.Order
+	sdtTargets []roadnet.NodeID
 
 	// poolLen / vehLen mirror len(pool) / len(motions) for lock-free
 	// Snapshot reads while a round is mutating the real slices.

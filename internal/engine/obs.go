@@ -226,6 +226,20 @@ func (t *timedRouter) Travel(from, to roadnet.NodeID, at float64) float64 {
 	return d
 }
 
+// TravelMany forwards the batched query path (sampled like Travel, one
+// observation per batch) so the decorator never degrades a many-to-many
+// backend to per-pair queries.
+func (t *timedRouter) TravelMany(from roadnet.NodeID, targets []roadnet.NodeID, at float64) []float64 {
+	t.n++
+	if t.n%routerSampleEvery != 0 {
+		return roadnet.TravelMany(t.inner, from, targets, at)
+	}
+	start := time.Now()
+	d := roadnet.TravelMany(t.inner, from, targets, at)
+	t.hist.Observe(time.Since(start).Seconds())
+	return d
+}
+
 // Reset forwards to the inner router's cache reset (slot boundaries).
 func (t *timedRouter) Reset() {
 	if r, ok := t.inner.(roadnet.Resettable); ok {

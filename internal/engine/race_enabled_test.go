@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; heavyweight
+// value-identity replays use it to stay inside the package test timeout.
+const raceEnabled = true

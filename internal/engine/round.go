@@ -598,8 +598,37 @@ func (e *Engine) shardPhase1(s *shardState, advWorkers int, t0, t1 float64, resh
 		s.sdtSlot = e.slot
 		s.sdt.Reset()
 	}
-	for _, o := range s.newOrders {
-		o.SDT = o.Prep + s.sdt.Dist(o.Restaurant, o.Customer, o.PlacedAt)
+	// Group same-(restaurant, slot) orders so each group's SDTs resolve
+	// through one batched row read. Values are identical to per-order point
+	// queries (same memoised row); the grouping only collapses the lookups.
+	s.sdtOrders = append(s.sdtOrders[:0], s.newOrders...)
+	sort.SliceStable(s.sdtOrders, func(i, j int) bool {
+		a, b := s.sdtOrders[i], s.sdtOrders[j]
+		if a.Restaurant != b.Restaurant {
+			return a.Restaurant < b.Restaurant
+		}
+		return roadnet.Slot(a.PlacedAt) < roadnet.Slot(b.PlacedAt)
+	})
+	for i := 0; i < len(s.sdtOrders); {
+		o := s.sdtOrders[i]
+		j := i + 1
+		for j < len(s.sdtOrders) && s.sdtOrders[j].Restaurant == o.Restaurant &&
+			roadnet.Slot(s.sdtOrders[j].PlacedAt) == roadnet.Slot(o.PlacedAt) {
+			j++
+		}
+		if j-i == 1 {
+			o.SDT = o.Prep + s.sdt.Dist(o.Restaurant, o.Customer, o.PlacedAt)
+		} else {
+			s.sdtTargets = s.sdtTargets[:0]
+			for _, q := range s.sdtOrders[i:j] {
+				s.sdtTargets = append(s.sdtTargets, q.Customer)
+			}
+			d := s.sdt.TravelMany(o.Restaurant, s.sdtTargets, o.PlacedAt)
+			for k, q := range s.sdtOrders[i:j] {
+				q.SDT = q.Prep + d[k]
+			}
+		}
+		i = j
 	}
 	s.newOrders = s.newOrders[:0]
 

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/roadnet"
+	"repro/internal/routing"
+	"repro/internal/workload"
 )
 
 // The paper's scalability argument (Section IV-C): constructing the full
@@ -35,6 +37,84 @@ func benchmarkBuild(b *testing.B, nBatches, nVehicles, k int, bestFirst bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Build(g, sp, batches, vehicles, opt)
+	}
+}
+
+// countingRouter wraps the exact Dijkstra backend and meters the node
+// settles spent inside first-mile TravelMany calls only — the marginal-cost
+// point queries both arms issue identically are excluded, so the reported
+// settles/op isolates exactly what batching changes. The perpair arm
+// answers TravelMany by looping single-pair Travel (the fallback every
+// non-ManyRouter backend gets); the batched arm runs one shared search per
+// source with target-set early termination.
+type countingRouter struct {
+	inner   *roadnet.DijkstraRouter
+	batched bool
+	settles int64
+}
+
+func (c *countingRouter) Travel(u, v roadnet.NodeID, t float64) float64 {
+	return c.inner.Travel(u, v, t)
+}
+
+func (c *countingRouter) TravelMany(from roadnet.NodeID, targets []roadnet.NodeID, t float64) []float64 {
+	s0 := c.inner.Settles()
+	var out []float64
+	if c.batched {
+		out = c.inner.TravelMany(from, targets, t)
+	} else {
+		out = make([]float64, len(targets))
+		for i, to := range targets {
+			out[i] = c.inner.Travel(from, to, t)
+		}
+	}
+	c.settles += c.inner.Settles() - s0
+	return out
+}
+
+// BenchmarkFoodGraphBuild constructs the full FoodGraph for the CityB
+// dinner-peak order slice against the whole fleet, comparing per-pair
+// first-mile routing to the batched many-to-many path.
+func BenchmarkFoodGraphBuild(b *testing.B) {
+	city := workload.MustPreset("CityB", workload.DefaultScale, 1)
+	start, end := 18.0*3600, 18.5*3600
+	orders := workload.OrderStreamWindow(city, 1, start, end)
+	if len(orders) == 0 {
+		b.Fatal("no orders in the dinner slice")
+	}
+	rt := roadnet.NewDijkstraRouter(city.G)
+	sp := roadnet.SPFunc(rt.Travel)
+	var batches []*model.Batch
+	for _, o := range orders {
+		o.SDT = o.PlacedAt + routing.SDT(sp, o)
+		plan, cost, ok := routing.Optimize(sp, o.Restaurant, o.PlacedAt, nil, []*model.Order{o})
+		if !ok {
+			continue
+		}
+		batches = append(batches, &model.Batch{Orders: []*model.Order{o}, Plan: plan, Cost: cost})
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := city.G.NumNodes()
+	var vehicles []*VehicleState
+	for _, v := range city.Fleet(1.0, 3, 1) {
+		vehicles = append(vehicles, idleVehicle(v.ID, roadnet.NodeID(rng.Intn(n))))
+	}
+	opt := defaultOpts(len(batches), false)
+	opt.Now = end
+	for _, arm := range []struct {
+		name    string
+		batched bool
+	}{{"perpair", false}, {"batched", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			cr := &countingRouter{inner: rt, batched: arm.batched}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Build(city.G, cr, batches, vehicles, opt)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cr.settles)/float64(b.N), "settles/op")
+		})
 	}
 }
 

@@ -14,6 +14,7 @@ package foodgraph
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/model"
@@ -96,31 +97,70 @@ type Bipartite struct {
 	TrueEdges int
 }
 
+// buildScratch pools the per-Build working set: the batch start index, the
+// distinct first-pickup target list for many-to-many first-mile queries, and
+// the per-vehicle best-first search state (epoch-stamped visited array and
+// frontier heap) reused across every vehicle in the window.
+type buildScratch struct {
+	startIdx map[roadnet.NodeID][]int
+	targets  []roadnet.NodeID // distinct first-pickup nodes, first-encounter order
+	tpos     []int32          // per-batch index into targets
+	visited  []uint32
+	vepoch   uint32
+	pq       nodeHeap
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &buildScratch{startIdx: make(map[roadnet.NodeID][]int)} },
+}
+
 // Build constructs the FOODGRAPH for one accumulation window. Distances
-// come from the injected Router (any roadnet.SPFunc is one).
+// come from the injected Router (any roadnet.SPFunc is one); backends
+// implementing roadnet.ManyRouter serve each vehicle's first-mile distances
+// to every distinct pickup node with one batched query.
 func Build(g *roadnet.Graph, rt roadnet.Router, batches []*model.Batch, vehicles []*VehicleState, opt Options) *Bipartite {
 	sp := roadnet.SPFunc(rt.Travel)
 	nb, nv := len(batches), len(vehicles)
+	// Flat backing arrays: one allocation per matrix instead of one per row,
+	// and row slices carved with full-capacity bounds.
+	costBack := make([]float64, nb*nv)
+	for i := range costBack {
+		costBack[i] = opt.Omega
+	}
+	planBack := make([]*model.RoutePlan, nb*nv)
 	bp := &Bipartite{
 		Cost: make([][]float64, nb),
 		Plan: make([][]*model.RoutePlan, nb),
 	}
-	for i := range bp.Cost {
-		bp.Cost[i] = make([]float64, nv)
-		bp.Plan[i] = make([]*model.RoutePlan, nv)
-		for j := range bp.Cost[i] {
-			bp.Cost[i][j] = opt.Omega
-		}
+	for i := 0; i < nb; i++ {
+		bp.Cost[i] = costBack[i*nv : (i+1)*nv : (i+1)*nv]
+		bp.Plan[i] = planBack[i*nv : (i+1)*nv : (i+1)*nv]
 	}
 	if nb == 0 || nv == 0 {
 		return bp
 	}
 
-	// Index batches by their first pickup node (I(u) of Algorithm 2).
-	startIdx := make(map[roadnet.NodeID][]int, nb)
+	sc := scratchPool.Get().(*buildScratch)
+	defer scratchPool.Put(sc)
+
+	// Index batches by their first pickup node (I(u) of Algorithm 2) and
+	// assign each batch its slot in the distinct-target list.
+	clear(sc.startIdx)
+	sc.targets = sc.targets[:0]
+	if cap(sc.tpos) < nb {
+		sc.tpos = make([]int32, nb)
+	}
+	sc.tpos = sc.tpos[:nb]
 	for i, b := range batches {
 		u := b.FirstPickupNode()
-		startIdx[u] = append(startIdx[u], i)
+		lst := sc.startIdx[u]
+		if len(lst) == 0 {
+			sc.tpos[i] = int32(len(sc.targets))
+			sc.targets = append(sc.targets, u)
+		} else {
+			sc.tpos[i] = sc.tpos[lst[0]]
+		}
+		sc.startIdx[u] = append(lst, i)
 	}
 
 	// When the degree bound already admits every batch, best-first search
@@ -130,26 +170,30 @@ func Build(g *roadnet.Graph, rt roadnet.Router, batches []*model.Batch, vehicles
 
 	for j, vs := range vehicles {
 		if bestFirst {
-			bestFirstEdges(g, sp, batches, startIdx, vs, j, bp, opt)
+			bestFirstEdges(g, sp, batches, sc, vs, j, bp, opt)
 		} else {
-			fullEdges(sp, batches, vs, j, bp, opt)
+			fullEdges(rt, sp, batches, sc, vs, j, bp, opt)
 		}
 	}
 	return bp
 }
 
 // fullEdges computes the true marginal cost against every batch — the
-// quadratic construction of the unoptimised FOODGRAPH.
-func fullEdges(sp roadnet.SPFunc, batches []*model.Batch, vs *VehicleState, j int, bp *Bipartite, opt Options) {
+// quadratic construction of the unoptimised FOODGRAPH. One many-to-many
+// query resolves the vehicle's first-mile distance to every distinct pickup
+// node; batches sharing a pickup node share the answer.
+func fullEdges(rt roadnet.Router, sp roadnet.SPFunc, batches []*model.Batch, sc *buildScratch, vs *VehicleState, j int, bp *Bipartite, opt Options) {
+	fm := roadnet.TravelMany(rt, vs.Node, sc.targets, opt.Now)
 	for i, b := range batches {
-		setEdge(sp, b, vs, i, j, bp, opt)
+		setEdge(sp, b, vs, i, j, bp, opt, fm[sc.tpos[i]])
 	}
 }
 
 // bestFirstEdges is Algorithm 2 for a single vehicle: explore the road
 // network in ascending α-distance, attaching true-weight edges to batches
 // whose first pickup is at each settled node, until the vehicle has degree k.
-func bestFirstEdges(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch, startIdx map[roadnet.NodeID][]int, vs *VehicleState, j int, bp *Bipartite, opt Options) {
+func bestFirstEdges(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch, sc *buildScratch, vs *VehicleState, j int, bp *Bipartite, opt Options) {
+	startIdx := sc.startIdx
 	source := vs.Node
 	locPt := g.Point(source)
 	var destPt geo.Point
@@ -174,8 +218,21 @@ func bestFirstEdges(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch,
 	}
 
 	n := g.NumNodes()
-	visited := make([]bool, n)
-	var pq nodeHeap
+	// Epoch-stamped visited array and frontier heap, reused across every
+	// vehicle in the window (and across windows via the scratch pool).
+	if len(sc.visited) < n {
+		sc.visited = make([]uint32, n)
+	}
+	sc.vepoch++
+	if sc.vepoch == 0 { // stamp wrap: re-zero once per 2^32 searches
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.vepoch = 1
+	}
+	visited, ep := sc.visited, sc.vepoch
+	pq := &sc.pq
+	pq.reset()
 	pq.push(source, 0)
 	degree := 0
 	// Early exit once every batch-start node has been settled: nothing
@@ -183,20 +240,20 @@ func bestFirstEdges(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch,
 	startsLeft := len(startIdx)
 	for !pq.empty() && degree < opt.K && startsLeft > 0 {
 		u, du := pq.pop()
-		if visited[u] {
+		if visited[u] == ep {
 			continue
 		}
-		visited[u] = true
+		visited[u] = ep
 		if bis := startIdx[u]; len(bis) > 0 {
 			startsLeft--
 			for _, bi := range bis {
-				if setEdge(sp, batches[bi], vs, bi, j, bp, opt) {
+				if setEdge(sp, batches[bi], vs, bi, j, bp, opt, math.NaN()) {
 					degree++
 				}
 			}
 		}
 		for _, e := range g.OutEdges(u) {
-			if !visited[e.To] {
+			if visited[e.To] != ep {
 				pq.push(e.To, du+alphaWeight(e))
 			}
 		}
@@ -204,8 +261,10 @@ func bestFirstEdges(g *roadnet.Graph, sp roadnet.SPFunc, batches []*model.Batch,
 }
 
 // setEdge computes mCost(π, v) and installs the edge when feasible; returns
-// whether a true (non-Ω) edge was added.
-func setEdge(sp roadnet.SPFunc, b *model.Batch, vs *VehicleState, i, j int, bp *Bipartite, opt Options) bool {
+// whether a true (non-Ω) edge was added. fm is the precomputed first-mile
+// distance SP(loc(v), π[1]ʳ, Now) from a batched query, or NaN to resolve it
+// here (the best-first path, which must stay lazy to preserve its pruning).
+func setEdge(sp roadnet.SPFunc, b *model.Batch, vs *VehicleState, i, j int, bp *Bipartite, opt Options, fm float64) bool {
 	// Capacity feasibility (Definition 4).
 	if vs.BaseOrders()+len(b.Orders) > opt.MaxO {
 		return false
@@ -214,7 +273,10 @@ func setEdge(sp roadnet.SPFunc, b *model.Batch, vs *VehicleState, i, j int, bp *
 		return false
 	}
 	// The 45-minute first-mile guarantee.
-	if fm := sp(vs.Node, b.FirstPickupNode(), opt.Now); fm > opt.MaxFirstMile {
+	if math.IsNaN(fm) {
+		fm = sp(vs.Node, b.FirstPickupNode(), opt.Now)
+	}
+	if fm > opt.MaxFirstMile {
 		return false
 	}
 	plan, mc, ok := routing.MarginalCost(sp, vs.Node, opt.Now, vs.Onboard, vs.Keep, b.Orders)
@@ -295,6 +357,11 @@ func (h *nodeHeap) pop() (roadnet.NodeID, float64) {
 }
 
 func (h *nodeHeap) empty() bool { return len(h.node) == 0 }
+
+func (h *nodeHeap) reset() {
+	h.node = h.node[:0]
+	h.dist = h.dist[:0]
+}
 
 // KFor computes the degree bound k = max(kmin, KFactor·|O|/|V|) of
 // Section V-B, clamped to the number of batches.

@@ -1,0 +1,699 @@
+package roadnet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Customizable contraction hierarchies (CCH) split shortest-path work into
+// three phases with sharply different costs:
+//
+//   - preprocess: metric-independent. Contract the road topology in
+//     min-degree order, record the chordal supergraph's up-arcs and the
+//     elimination tree. Runs once per graph topology — weight epochs never
+//     touch it.
+//   - customize: metric-dependent. Resolve each up-arc's U (lower→upper) and
+//     D (upper→lower) travel time for one weight slot by relaxing lower
+//     triangles in contraction order. Runs per (epoch, slot), and — the
+//     point of this backend — incrementally: when an epoch was produced by
+//     Graph.PatchReweighted, only arcs reachable from the dirty cells are
+//     re-resolved, so steady-state publish cost scales with |dirty|, not
+//     |E|. The routing analogue of the patch itself.
+//   - query: two elimination-tree chain walks (no priority queue, no
+//     termination heuristics). TravelMany shares the forward walk across
+//     the whole target set.
+//
+// Determinism: customization is a pure min-fold over triangle relaxations;
+// the closed-form value of each arc does not depend on relaxation order, so
+// the incremental path lands bitwise-identical arrays to a full customize.
+
+// cchPrep is the metric-independent preprocessing product: immutable after
+// construction, shared by every metric built over the same topology.
+type cchPrep struct {
+	n    int
+	rank []int32 // contraction position per node
+	// Up-arc CSR keyed by lower endpoint; heads sorted by node id so
+	// findArc can binary-search.
+	upOff   []int32
+	upHead  []NodeID
+	arcFrom []NodeID // lower endpoint per arc
+	// Down CSR: for each node, the arcs it is the *upper* endpoint of.
+	downOff  []int32
+	downArcs []int32
+	// parent is the elimination tree: the minimum-rank up-neighbour.
+	parent []NodeID
+	// arcSeq lists arcs ascending by (rank[lower], rank[upper]) — the order
+	// in which triangle dependencies resolve.
+	arcSeq []int32
+	// Original-edge inputs per arc (CSR over arc index): baseU holds edge
+	// indices lower→upper, baseD upper→lower.
+	baseUOff, baseU []int32
+	baseDOff, baseD []int32
+
+	scratch sync.Pool // *cchScratch query state
+}
+
+type cchScratch struct {
+	fdist, bdist   []float64
+	fstamp, bstamp []uint32
+	// fwdEpoch stamps the forward chain (relaxed once per TravelMany and
+	// shared by every target); epoch stamps each backward walk.
+	fwdEpoch, epoch uint32
+}
+
+// cchSlotMetric holds one slot's customized arc weights.
+type cchSlotMetric struct {
+	up, down []float64
+}
+
+// cchStats is shared across every metric a CCHFactory produces, so
+// customization counts survive epoch swaps.
+type cchStats struct {
+	full, incremental atomic.Int64
+}
+
+// CCHMetric binds prep to one weight epoch's graph. Slots customize lazily
+// (first query builds, under a per-slot mutex) and are immutable once
+// published through the atomic pointer.
+type CCHMetric struct {
+	prep  *cchPrep
+	g     *Graph
+	stats *cchStats
+	slots [SlotsPerDay]atomic.Pointer[cchSlotMetric]
+	mu    [SlotsPerDay]sync.Mutex
+}
+
+// newCCHPrep contracts g's undirected skeleton in min-degree order and
+// assembles the chordal up-arc structure.
+func newCCHPrep(g *Graph) *cchPrep {
+	n := g.NumNodes()
+	adj := make([]map[NodeID]struct{}, n)
+	for u := 0; u < n; u++ {
+		adj[u] = make(map[NodeID]struct{})
+	}
+	for u := NodeID(0); int(u) < n; u++ {
+		for _, e := range g.OutEdges(u) {
+			if e.To != u {
+				adj[u][e.To] = struct{}{}
+				adj[e.To][u] = struct{}{}
+			}
+		}
+	}
+
+	// Lazy min-degree heap: entries carry the degree observed at push time
+	// and are dropped when stale.
+	type hent struct {
+		deg  int32
+		node NodeID
+	}
+	h := make([]hent, 0, n)
+	less := func(a, b hent) bool {
+		if a.deg != b.deg {
+			return a.deg < b.deg
+		}
+		return a.node < b.node
+	}
+	push := func(e hent) {
+		h = append(h, e)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	pop := func() hent {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= len(h) {
+				break
+			}
+			if c+1 < len(h) && less(h[c+1], h[c]) {
+				c++
+			}
+			if !less(h[c], h[i]) {
+				break
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+		return top
+	}
+	for u := 0; u < n; u++ {
+		push(hent{deg: int32(len(adj[u])), node: NodeID(u)})
+	}
+
+	rank := make([]int32, n)
+	contracted := make([]bool, n)
+	upNbrs := make([][]NodeID, n)
+	next := int32(0)
+	var ns []NodeID
+	for len(h) > 0 {
+		e := pop()
+		v := e.node
+		if contracted[v] || int(e.deg) != len(adj[v]) {
+			if !contracted[v] {
+				push(hent{deg: int32(len(adj[v])), node: v})
+			}
+			continue
+		}
+		contracted[v] = true
+		rank[v] = next
+		next++
+		ns = ns[:0]
+		for u := range adj[v] {
+			ns = append(ns, u)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		upNbrs[v] = append([]NodeID(nil), ns...)
+		// Elimination fill: v's remaining neighbours become a clique.
+		for i, a := range ns {
+			delete(adj[a], v)
+			for _, b := range ns[i+1:] {
+				if _, ok := adj[a][b]; !ok {
+					adj[a][b] = struct{}{}
+					adj[b][a] = struct{}{}
+				}
+			}
+		}
+	}
+
+	p := &cchPrep{n: n, rank: rank}
+	p.upOff = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		p.upOff[u+1] = p.upOff[u] + int32(len(upNbrs[u]))
+	}
+	nArcs := int(p.upOff[n])
+	p.upHead = make([]NodeID, 0, nArcs)
+	p.arcFrom = make([]NodeID, 0, nArcs)
+	p.parent = make([]NodeID, n)
+	for u := 0; u < n; u++ {
+		p.parent[u] = Invalid
+		best := int32(math.MaxInt32)
+		for _, w := range upNbrs[u] {
+			p.upHead = append(p.upHead, w)
+			p.arcFrom = append(p.arcFrom, NodeID(u))
+			if rank[w] < best {
+				best = rank[w]
+				p.parent[u] = w
+			}
+		}
+	}
+
+	// Down CSR (arcs grouped by upper endpoint).
+	p.downOff = make([]int32, n+1)
+	for _, w := range p.upHead {
+		p.downOff[w+1]++
+	}
+	for u := 0; u < n; u++ {
+		p.downOff[u+1] += p.downOff[u]
+	}
+	p.downArcs = make([]int32, nArcs)
+	fill := append([]int32(nil), p.downOff[:n]...)
+	for a := 0; a < nArcs; a++ {
+		w := p.upHead[a]
+		p.downArcs[fill[w]] = int32(a)
+		fill[w]++
+	}
+
+	// Arc processing order: ascending (rank[lower], rank[upper]) so every
+	// lower-triangle dependency resolves first.
+	p.arcSeq = make([]int32, nArcs)
+	for a := range p.arcSeq {
+		p.arcSeq[a] = int32(a)
+	}
+	sort.Slice(p.arcSeq, func(i, j int) bool {
+		return p.arcKey(p.arcSeq[i]) < p.arcKey(p.arcSeq[j])
+	})
+
+	// Original-edge inputs per arc.
+	cntU := make([]int32, nArcs)
+	cntD := make([]int32, nArcs)
+	for u := NodeID(0); int(u) < n; u++ {
+		for _, e := range g.OutEdges(u) {
+			if e.To == u {
+				continue
+			}
+			if rank[u] < rank[e.To] {
+				cntU[p.findArc(u, e.To)]++
+			} else {
+				cntD[p.findArc(e.To, u)]++
+			}
+		}
+	}
+	p.baseUOff = make([]int32, nArcs+1)
+	p.baseDOff = make([]int32, nArcs+1)
+	for a := 0; a < nArcs; a++ {
+		p.baseUOff[a+1] = p.baseUOff[a] + cntU[a]
+		p.baseDOff[a+1] = p.baseDOff[a] + cntD[a]
+	}
+	p.baseU = make([]int32, p.baseUOff[nArcs])
+	p.baseD = make([]int32, p.baseDOff[nArcs])
+	fu := append([]int32(nil), p.baseUOff[:nArcs]...)
+	fd := append([]int32(nil), p.baseDOff[:nArcs]...)
+	for u := NodeID(0); int(u) < n; u++ {
+		base := g.OutEdgeOffset(u)
+		for i, e := range g.OutEdges(u) {
+			if e.To == u {
+				continue
+			}
+			ei := int32(base + i)
+			if rank[u] < rank[e.To] {
+				a := p.findArc(u, e.To)
+				p.baseU[fu[a]] = ei
+				fu[a]++
+			} else {
+				a := p.findArc(e.To, u)
+				p.baseD[fd[a]] = ei
+				fd[a]++
+			}
+		}
+	}
+
+	p.scratch.New = func() any {
+		return &cchScratch{
+			fdist:  make([]float64, n),
+			bdist:  make([]float64, n),
+			fstamp: make([]uint32, n),
+			bstamp: make([]uint32, n),
+		}
+	}
+	return p
+}
+
+// arcKey orders arcs by (rank[lower], rank[upper]); triangle dependencies of
+// an arc always carry strictly smaller keys.
+func (p *cchPrep) arcKey(a int32) uint64 {
+	return uint64(uint32(p.rank[p.arcFrom[a]]))<<32 | uint64(uint32(p.rank[p.upHead[a]]))
+}
+
+// findArc returns the arc index for (lower, upper), or -1. Heads are
+// id-sorted per lower endpoint.
+func (p *cchPrep) findArc(lower, upper NodeID) int32 {
+	lo, hi := p.upOff[lower], p.upOff[lower+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.upHead[mid] < upper {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < p.upOff[lower+1] && p.upHead[lo] == upper {
+		return lo
+	}
+	return -1
+}
+
+func newCCHMetric(prep *cchPrep, g *Graph, stats *cchStats) *CCHMetric {
+	return &CCHMetric{prep: prep, g: g, stats: stats}
+}
+
+// slot returns slot s's customized arc weights, building them on first use.
+func (m *CCHMetric) slot(s int) *cchSlotMetric {
+	if sm := m.slots[s].Load(); sm != nil {
+		return sm
+	}
+	m.mu[s].Lock()
+	defer m.mu[s].Unlock()
+	if sm := m.slots[s].Load(); sm != nil {
+		return sm
+	}
+	sm := m.customizeFull(s)
+	m.slots[s].Store(sm)
+	return sm
+}
+
+// baseArc resolves an arc's original-edge minima for one slot.
+func (m *CCHMetric) baseArc(a int32, s int) (u, d float64) {
+	p := m.prep
+	u, d = math.Inf(1), math.Inf(1)
+	for _, ei := range p.baseU[p.baseUOff[a]:p.baseUOff[a+1]] {
+		if w := m.g.EdgeTimeSlot(m.g.edg[ei], s); w < u {
+			u = w
+		}
+	}
+	for _, ei := range p.baseD[p.baseDOff[a]:p.baseDOff[a+1]] {
+		if w := m.g.EdgeTimeSlot(m.g.edg[ei], s); w < d {
+			d = w
+		}
+	}
+	return u, d
+}
+
+// recomputeArc resolves arc a=(x,y) from its original edges and lower
+// triangles (z,x),(z,y). Every dependency carries a smaller arcKey, so both
+// the full in-order sweep and the key-ordered incremental pass see final
+// values — and since the result is a closed-form min over the same operand
+// set either way, both land the exact same floats.
+func (m *CCHMetric) recomputeArc(sm *cchSlotMetric, a int32, s int) (up, down float64) {
+	p := m.prep
+	x, y := p.arcFrom[a], p.upHead[a]
+	up, down = m.baseArc(a, s)
+	for _, a1 := range p.downArcs[p.downOff[x]:p.downOff[x+1]] {
+		z := p.arcFrom[a1]
+		a2 := p.findArc(z, y)
+		if a2 < 0 {
+			continue
+		}
+		// x→z→y and y→z→x through the lower triangle.
+		if v := sm.down[a1] + sm.up[a2]; v < up {
+			up = v
+		}
+		if v := sm.down[a2] + sm.up[a1]; v < down {
+			down = v
+		}
+	}
+	return up, down
+}
+
+// customizeFull resolves every arc for one slot in dependency order.
+func (m *CCHMetric) customizeFull(s int) *cchSlotMetric {
+	p := m.prep
+	nArcs := len(p.upHead)
+	sm := &cchSlotMetric{
+		up:   make([]float64, nArcs),
+		down: make([]float64, nArcs),
+	}
+	for _, a := range p.arcSeq {
+		sm.up[a], sm.down[a] = m.recomputeArc(sm, a, s)
+	}
+	if m.stats != nil {
+		m.stats.full.Add(1)
+	}
+	return sm
+}
+
+// customizeIncremental clones prev's arrays and re-resolves only the seeded
+// arcs plus whatever their changes reach. Arcs drain from a min-heap keyed
+// by arcKey; a change to arc (p,q) can only affect arcs between p's other
+// up-neighbours and q (which exist by the clique property) — all with
+// strictly larger keys, so the pass terminates and respects dependencies.
+func (m *CCHMetric) customizeIncremental(prev *cchSlotMetric, seeds []int32, s int) *cchSlotMetric {
+	p := m.prep
+	sm := &cchSlotMetric{
+		up:   append([]float64(nil), prev.up...),
+		down: append([]float64(nil), prev.down...),
+	}
+	queued := make(map[int32]bool, len(seeds)*4)
+	h := make([]int32, 0, len(seeds)*4)
+	less := func(a, b int32) bool { return p.arcKey(a) < p.arcKey(b) }
+	push := func(a int32) {
+		if queued[a] {
+			return
+		}
+		queued[a] = true
+		h = append(h, a)
+		for i := len(h) - 1; i > 0; {
+			pi := (i - 1) / 2
+			if !less(h[i], h[pi]) {
+				break
+			}
+			h[i], h[pi] = h[pi], h[i]
+			i = pi
+		}
+	}
+	pop := func() int32 {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= len(h) {
+				break
+			}
+			if c+1 < len(h) && less(h[c+1], h[c]) {
+				c++
+			}
+			if !less(h[c], h[i]) {
+				break
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+		return top
+	}
+	for _, a := range seeds {
+		push(a)
+	}
+	for len(h) > 0 {
+		a := pop()
+		queued[a] = false
+		ou, od := sm.up[a], sm.down[a]
+		nu, nd := m.recomputeArc(sm, a, s)
+		if nu == ou && nd == od {
+			continue
+		}
+		sm.up[a], sm.down[a] = nu, nd
+		lo, q := p.arcFrom[a], p.upHead[a]
+		for _, w := range p.upHead[p.upOff[lo]:p.upOff[lo+1]] {
+			if w == q {
+				continue
+			}
+			var dep int32
+			if p.rank[q] < p.rank[w] {
+				dep = p.findArc(q, w)
+			} else {
+				dep = p.findArc(w, q)
+			}
+			if dep >= 0 {
+				push(dep)
+			}
+		}
+	}
+	if m.stats != nil {
+		m.stats.incremental.Add(1)
+	}
+	return sm
+}
+
+// patched derives the metric for a PatchReweighted successor epoch: built
+// slots with dirty cells re-customize incrementally, built slots the patch
+// never touched share their arrays outright, and unbuilt slots stay lazy.
+func (m *CCHMetric) patched(g *Graph, dirty *DirtyCells) *CCHMetric {
+	nm := newCCHMetric(m.prep, g, m.stats)
+	// Seed arcs per slot from the dirty (edge, slot) cells.
+	p := m.prep
+	var seeds [SlotsPerDay][]int32
+	dirty.Range(func(u, v NodeID, slots uint32) {
+		if u == v {
+			return
+		}
+		var a int32
+		if p.rank[u] < p.rank[v] {
+			a = p.findArc(u, v)
+		} else {
+			a = p.findArc(v, u)
+		}
+		if a < 0 {
+			return
+		}
+		for s := 0; s < SlotsPerDay; s++ {
+			if slots&(1<<uint(s)) != 0 {
+				seeds[s] = append(seeds[s], a)
+			}
+		}
+	})
+	for s := 0; s < SlotsPerDay; s++ {
+		prev := m.slots[s].Load()
+		if prev == nil {
+			continue // never customized: first query full-builds off g
+		}
+		if len(seeds[s]) == 0 {
+			nm.slots[s].Store(prev) // untouched slot: weights identical
+			continue
+		}
+		nm.slots[s].Store(nm.customizeIncremental(prev, seeds[s], s))
+	}
+	return nm
+}
+
+// travel answers one (s, t) pair given an already-relaxed forward chain for
+// the source (fstamp marks chain nodes reached in sc.epoch).
+func (m *CCHMetric) travel(sc *cchScratch, sm *cchSlotMetric, from, to NodeID) float64 {
+	if from == to {
+		return 0
+	}
+	p := m.prep
+	sc.epoch++
+	ep := sc.epoch
+	sc.bdist[to] = 0
+	sc.bstamp[to] = ep
+	best := math.Inf(1)
+	for x := to; x != Invalid; x = p.parent[x] {
+		if sc.bstamp[x] != ep {
+			continue // unreachable so far; lower chain nodes all processed
+		}
+		dx := sc.bdist[x]
+		if sc.fstamp[x] == sc.fwdEpoch {
+			if v := sc.fdist[x] + dx; v < best {
+				best = v
+			}
+		}
+		for a := p.upOff[x]; a < p.upOff[x+1]; a++ {
+			nd := dx + sm.down[a]
+			if math.IsInf(nd, 1) {
+				continue
+			}
+			y := p.upHead[a]
+			if sc.bstamp[y] != ep || nd < sc.bdist[y] {
+				sc.bdist[y] = nd
+				sc.bstamp[y] = ep
+			}
+		}
+	}
+	return best
+}
+
+// forward relaxes the source's elimination-tree chain into fdist/fstamp.
+func (m *CCHMetric) forward(sc *cchScratch, sm *cchSlotMetric, from NodeID) {
+	p := m.prep
+	sc.fwdEpoch++
+	ep := sc.fwdEpoch
+	sc.fdist[from] = 0
+	sc.fstamp[from] = ep
+	for x := from; x != Invalid; x = p.parent[x] {
+		if sc.fstamp[x] != ep {
+			continue
+		}
+		dx := sc.fdist[x]
+		for a := p.upOff[x]; a < p.upOff[x+1]; a++ {
+			nd := dx + sm.up[a]
+			if math.IsInf(nd, 1) {
+				continue
+			}
+			y := p.upHead[a]
+			if sc.fstamp[y] != ep || nd < sc.fdist[y] {
+				sc.fdist[y] = nd
+				sc.fstamp[y] = ep
+			}
+		}
+	}
+}
+
+// Travel answers one time-dependent shortest-path query.
+func (m *CCHMetric) Travel(from, to NodeID, t float64) float64 {
+	if from == to {
+		return 0
+	}
+	sm := m.slot(Slot(t))
+	sc := m.prep.scratch.Get().(*cchScratch)
+	m.forward(sc, sm, from)
+	d := m.travel(sc, sm, from, to)
+	m.prep.scratch.Put(sc)
+	return d
+}
+
+// TravelMany shares one forward chain relaxation across the target set.
+func (m *CCHMetric) TravelMany(from NodeID, targets []NodeID, t float64) []float64 {
+	out := make([]float64, len(targets))
+	if len(targets) == 0 {
+		return out
+	}
+	sm := m.slot(Slot(t))
+	sc := m.prep.scratch.Get().(*cchScratch)
+	m.forward(sc, sm, from)
+	for i, to := range targets {
+		out[i] = m.travel(sc, sm, from, to)
+	}
+	m.prep.scratch.Put(sc)
+	return out
+}
+
+// Stats reports customization counts accumulated by the owning factory.
+func (m *CCHMetric) Stats() MetricStats {
+	if m.stats == nil {
+		return MetricStats{}
+	}
+	return MetricStats{
+		FullCustomizations:        m.stats.full.Load(),
+		IncrementalCustomizations: m.stats.incremental.Load(),
+	}
+}
+
+// CCHRouter adapts a CCHMetric to the Router interfaces. Safe for concurrent
+// use: query scratch is pooled and slot builds are mutex-guarded, so one
+// router (and one metric) can serve every engine shard.
+type CCHRouter struct {
+	m *CCHMetric
+}
+
+// Travel implements Router.
+func (r *CCHRouter) Travel(from, to NodeID, t float64) float64 {
+	return r.m.Travel(from, to, t)
+}
+
+// TravelMany implements ManyRouter.
+func (r *CCHRouter) TravelMany(from NodeID, targets []NodeID, t float64) []float64 {
+	return r.m.TravelMany(from, targets, t)
+}
+
+// RouterKind implements Kinded.
+func (r *CCHRouter) RouterKind() string { return "cch" }
+
+// Reset implements Resettable as a no-op: slot metrics are keyed by slot
+// already, so slot boundaries need no invalidation.
+func (r *CCHRouter) Reset() {}
+
+// MetricStats implements MetricStatser.
+func (r *CCHRouter) MetricStats() MetricStats { return r.m.Stats() }
+
+// CCHFactory builds CCH routers across weight epochs: preprocessing is done
+// once per topology, and each NewRouter call customizes the new epoch's
+// metric — incrementally when the epoch's PatchProvenance chains off the
+// metric the factory built last, from scratch otherwise. Hand its NewRouter
+// to engine.Config so every SwapRouter publish flows through it.
+type CCHFactory struct {
+	mu    sync.Mutex
+	prep  *cchPrep
+	cur   *CCHMetric
+	curID uint64
+	stats cchStats
+}
+
+// NewCCHFactory returns an empty factory; preprocessing happens on the
+// first NewRouter call.
+func NewCCHFactory() *CCHFactory { return &CCHFactory{} }
+
+// NewRouter returns a Router over g, reusing preprocessing and — when g was
+// patched off the previous epoch — prior customization work. Routers for
+// the same graph share one metric, so the engine's per-shard SwapRouters
+// publishing the same snapshot customize once, not once per shard.
+func (f *CCHFactory) NewRouter(g *Graph) Router {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.prep == nil {
+		f.prep = newCCHPrep(g)
+	}
+	id := g.ID()
+	if f.cur != nil && f.curID == id {
+		return &CCHRouter{m: f.cur}
+	}
+	var m *CCHMetric
+	if prevID, dirty, ok := g.PatchProvenance(); ok && f.cur != nil && f.curID == prevID {
+		m = f.cur.patched(g, dirty)
+	} else {
+		m = newCCHMetric(f.prep, g, &f.stats)
+	}
+	f.cur = m
+	f.curID = id
+	return &CCHRouter{m: m}
+}
+
+// Interface conformance.
+var (
+	_ Router        = (*CCHRouter)(nil)
+	_ ManyRouter    = (*CCHRouter)(nil)
+	_ Kinded        = (*CCHRouter)(nil)
+	_ Resettable    = (*CCHRouter)(nil)
+	_ MetricStatser = (*CCHRouter)(nil)
+)

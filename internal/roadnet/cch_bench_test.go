@@ -1,0 +1,61 @@
+package roadnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCCHCustomize measures metric customization on a CityB-sized
+// topology: a full arc sweep versus the incremental pass seeded from small
+// dirty-cell sets — the steady-state publish cost after a learner epoch. The
+// incremental arm includes the O(arcs) array clone the real publish pays,
+// so the ratio reported here is the end-to-end one.
+func BenchmarkCCHCustomize(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 784, 2300) // CityB density: 784 nodes, ~3k edges
+	prep := newCCHPrep(g)
+	m := newCCHMetric(prep, g, nil)
+	prev := m.slot(0)
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.customizeFull(0)
+		}
+	})
+	for _, nDirty := range []int{8, 32} {
+		// Seed from nDirty random original edges, mapped to their arcs the
+		// same way patched() maps dirty cells.
+		seeds := make([]int32, 0, nDirty)
+		seen := make(map[int32]bool, nDirty)
+		for len(seeds) < nDirty {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			outs := g.OutEdges(u)
+			if len(outs) == 0 {
+				continue
+			}
+			v := outs[rng.Intn(len(outs))].To
+			if u == v {
+				continue
+			}
+			var a int32
+			if prep.rank[u] < prep.rank[v] {
+				a = prep.findArc(u, v)
+			} else {
+				a = prep.findArc(v, u)
+			}
+			if a < 0 || seen[a] {
+				continue
+			}
+			seen[a] = true
+			seeds = append(seeds, a)
+		}
+		b.Run(fmt.Sprintf("incremental/dirty=%d", nDirty), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.customizeIncremental(prev, seeds, 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestCCHMatchesDijkstra pins the CCH query against the SSSP oracle on
+// random strongly connected graphs across slots. Hierarchy sums associate
+// min-plus terms differently from label-setting, so the comparison is
+// tolerance-based here; bitwise identity is pinned separately on integer
+// weights by the cross-backend suite.
+func TestCCHMatchesDijkstra(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 60, 180)
+		f := NewCCHFactory()
+		r := f.NewRouter(g)
+		e := NewSSSP(g)
+		for trial := 0; trial < 200; trial++ {
+			from := NodeID(rng.Intn(60))
+			to := NodeID(rng.Intn(60))
+			at := float64(rng.Intn(SlotsPerDay)) * 3600
+			want := e.Distance(from, to, at)
+			got := r.Travel(from, to, at)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("seed %d: cch(%d->%d, %v) = %v, dijkstra = %v", seed, from, to, at, got, want)
+			}
+		}
+	}
+}
+
+// TestCCHTravelManyMatchesTravel: the batched path shares the forward chain
+// but must land the exact same floats as per-pair queries.
+func TestCCHTravelManyMatchesTravel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 50, 120)
+	r := NewCCHFactory().NewRouter(g).(*CCHRouter)
+	for trial := 0; trial < 30; trial++ {
+		from := NodeID(rng.Intn(50))
+		targets := make([]NodeID, 1+rng.Intn(12))
+		for i := range targets {
+			targets[i] = NodeID(rng.Intn(50))
+		}
+		at := float64(rng.Intn(SlotsPerDay)) * 3600
+		many := r.TravelMany(from, targets, at)
+		for i, to := range targets {
+			if one := r.Travel(from, to, at); many[i] != one {
+				t.Fatalf("TravelMany[%d] (%d->%d) = %v, Travel = %v", i, from, to, many[i], one)
+			}
+		}
+	}
+}
+
+func TestCCHSelfAndUnreachable(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode(geo.Point{})
+	v := b.AddNode(geo.Point{Lat: 1})
+	w := b.AddNode(geo.Point{Lat: 2})
+	b.AddEdge(u, v, 10, 10, 0)
+	g := b.MustBuild()
+	r := NewCCHFactory().NewRouter(g)
+	if d := r.Travel(u, u, 0); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+	if d := r.Travel(u, w, 0); !math.IsInf(d, 1) {
+		t.Fatalf("unreachable = %v, want +Inf", d)
+	}
+	if d := r.Travel(u, v, 0); d != 10 {
+		t.Fatalf("edge distance = %v, want 10", d)
+	}
+}
+
+// TestCCHIncrementalMatchesFull drives a PatchReweighted epoch chain through
+// one factory and pins every built slot's customized arrays bitwise-equal to
+// a from-scratch customization over the same epoch graph. This is the
+// invariant that lets the dirty-cell path replace the full one on the
+// publish hot path.
+func TestCCHIncrementalMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := patchTestGraph(t, 24, rng)
+
+	cum := NewSlotWeights()
+	f := NewCCHFactory()
+	var prevGraph *Graph
+	var cur *CCHRouter
+	for round := 0; round < 8; round++ {
+		dirty := NewDirtyCells()
+		delta := NewSlotWeights()
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			u := NodeID(rng.Intn(g.NumNodes()))
+			outs := g.OutEdges(u)
+			if len(outs) == 0 {
+				continue
+			}
+			v := outs[rng.Intn(len(outs))].To
+			slot := rng.Intn(SlotsPerDay)
+			if err := cum.Set(u, v, slot, 20+rng.Float64()*400); err != nil {
+				t.Fatal(err)
+			}
+			dirty.Mark(u, v, slot)
+		}
+		dirty.Range(func(u, v NodeID, _ uint32) {
+			if row := cum.row(u, v); row != nil {
+				if err := delta.PutRow(u, v, *row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+
+		var eg *Graph
+		if prevGraph == nil {
+			eg = g.Reweighted(cum)
+		} else {
+			var err error
+			eg, err = g.PatchReweighted(prevGraph, delta, dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cur = f.NewRouter(eg).(*CCHRouter)
+		// Build every slot so the next round's patch has work to do on all
+		// of them.
+		for s := 0; s < SlotsPerDay; s++ {
+			cur.m.slot(s)
+		}
+		// From-scratch reference over the same epoch graph.
+		ref := newCCHMetric(cur.m.prep, eg, nil)
+		for s := 0; s < SlotsPerDay; s++ {
+			got, want := cur.m.slot(s), ref.slot(s)
+			for a := range want.up {
+				if got.up[a] != want.up[a] || got.down[a] != want.down[a] {
+					t.Fatalf("round %d slot %d arc %d: incremental (U=%v D=%v) != full (U=%v D=%v)",
+						round, s, a, got.up[a], got.down[a], want.up[a], want.down[a])
+				}
+			}
+		}
+		prevGraph = eg
+	}
+
+	stats := cur.MetricStats()
+	if stats.FullCustomizations == 0 || stats.IncrementalCustomizations == 0 {
+		t.Fatalf("expected both customization kinds, got %+v", stats)
+	}
+}
+
+// TestCCHFactoryReuse: same epoch graph → shared metric; patched epoch →
+// incremental customization, counted in the stats shared across epochs.
+func TestCCHFactoryReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := patchTestGraph(t, 20, rng)
+	f := NewCCHFactory()
+	r1 := f.NewRouter(g).(*CCHRouter)
+	r2 := f.NewRouter(g).(*CCHRouter)
+	if r1.m != r2.m {
+		t.Fatal("routers for the same graph must share one metric")
+	}
+	if kind := r1.RouterKind(); kind != "cch" {
+		t.Fatalf("RouterKind = %q, want cch", kind)
+	}
+	_ = r1.Travel(0, 5, 0) // force slot 0 customization
+	if st := r1.MetricStats(); st.FullCustomizations != 1 {
+		t.Fatalf("full customizations = %d, want 1", st.FullCustomizations)
+	}
+
+	// A patch epoch off g re-customizes only the built slot, incrementally.
+	w := NewSlotWeights()
+	dirty := NewDirtyCells()
+	v := g.OutEdges(0)[0].To
+	if err := w.Set(0, v, 0, 999); err != nil {
+		t.Fatal(err)
+	}
+	dirty.Mark(0, v, 0)
+	base := g.Reweighted(NewSlotWeights()) // epoch anchored on g
+	rb := f.NewRouter(base).(*CCHRouter)
+	_ = rb.Travel(0, 5, 0)
+	patched, err := g.PatchReweighted(base, w, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := f.NewRouter(patched).(*CCHRouter)
+	stBefore := rp.MetricStats()
+	if stBefore.IncrementalCustomizations == 0 {
+		t.Fatalf("expected an incremental customization at publish, got %+v", stBefore)
+	}
+	if d := rp.Travel(0, 5, 0); math.IsNaN(d) {
+		t.Fatal("patched router returned NaN")
+	}
+}

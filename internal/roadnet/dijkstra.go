@@ -263,6 +263,12 @@ type SSSP struct {
 	wslot   [2][]float64
 	wslotID [2]int // slot+1 of each way; 0 = empty
 	wnext   int    // way to evict next
+	// tmark stamps the outstanding-target set of a DistanceMany run; lazily
+	// allocated so point-query-only engines never pay for it.
+	tmark []uint32
+	// settled counts node settles across every run of this engine — the
+	// search-work measure the batched-routing benches report.
+	settled uint64
 }
 
 // NewSSSP returns an engine bound to g.
@@ -282,6 +288,81 @@ func NewSSSP(g *Graph) *SSSP {
 func (s *SSSP) Distance(from, to NodeID, t float64) float64 {
 	res := s.run(from, Slot(t), math.Inf(1), to)
 	return res.get(to)
+}
+
+// Settles reports the cumulative node settles across every run of this
+// engine since construction.
+func (s *SSSP) Settles() uint64 { return s.settled }
+
+// DistanceMany computes SP(from, target, t) for every target with one
+// Dijkstra expansion, terminating as soon as the last outstanding target
+// settles. out is reused when it has capacity for len(targets) values and
+// reallocated otherwise; the returned slice aligns with targets (+Inf for
+// targets the expansion never reached). Distances are identical to
+// per-target Distance calls: a Dijkstra distance table does not depend on
+// how far past a target the frontier drains.
+func (s *SSSP) DistanceMany(from NodeID, targets []NodeID, t float64, out []float64) []float64 {
+	if cap(out) < len(targets) {
+		out = make([]float64, len(targets))
+	}
+	out = out[:len(targets)]
+	if len(targets) == 0 {
+		return out
+	}
+	slot := Slot(t)
+	s.epoch++
+	ep := s.epoch
+	if s.tmark == nil {
+		s.tmark = make([]uint32, s.g.NumNodes())
+	}
+	remaining := 0
+	for _, u := range targets {
+		if s.tmark[u] != ep {
+			s.tmark[u] = ep
+			remaining++
+		}
+	}
+	s.heap.reset()
+	s.dist[from] = 0
+	s.stamp[from] = ep
+	s.heap.push(from, 0)
+	g := s.g
+	// A multi-target expansion settles enough of the graph to amortise the
+	// flat per-slot weight table (rebuilt at most once per slot per engine),
+	// unlike the one-shot point query which resolves per edge.
+	w := s.weights(slot)
+	for !s.heap.empty() && remaining > 0 {
+		u, du := s.heap.pop()
+		s.done[u] = ep
+		s.settled++
+		if s.tmark[u] == ep {
+			s.tmark[u] = 0 // epochs start at 1: 0 never matches
+			remaining--
+		}
+		for ei := g.off[u]; ei < g.off[u+1]; ei++ {
+			to := g.edg[ei].To
+			if s.done[to] == ep {
+				continue
+			}
+			nd := du + w[ei]
+			if s.stamp[to] != ep {
+				s.dist[to] = nd
+				s.stamp[to] = ep
+				s.heap.push(to, nd)
+			} else if nd < s.dist[to] {
+				s.dist[to] = nd
+				s.heap.decrease(to, nd)
+			}
+		}
+	}
+	for i, u := range targets {
+		if s.done[u] == ep {
+			out[i] = s.dist[u]
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
 }
 
 // FromSource runs a bounded single-source search from `from` in the slot of
@@ -352,6 +433,7 @@ func (s *SSSP) run(from NodeID, slot int, bound float64, target NodeID) DistView
 			break
 		}
 		s.done[u] = ep
+		s.settled++
 		if u == target {
 			break
 		}

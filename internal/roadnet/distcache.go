@@ -51,6 +51,22 @@ func (c *DistCache) Travel(from, to NodeID, t float64) float64 {
 // RouterKind implements Kinded.
 func (c *DistCache) RouterKind() string { return "bounded" }
 
+// TravelMany implements ManyRouter: one memoised row read serves every
+// target (the row itself is built by a single bounded expansion on first
+// touch, exactly as per-target Travel would).
+func (c *DistCache) TravelMany(from NodeID, targets []NodeID, t float64) []float64 {
+	row := c.row(from, Slot(t))
+	out := make([]float64, len(targets))
+	for i, to := range targets {
+		out[i] = row[to]
+	}
+	return out
+}
+
+// Settles reports the cumulative node settles of the cache's SSSP engine —
+// row builds only; memoised reads settle nothing.
+func (c *DistCache) Settles() int64 { return int64(c.engine.Settles()) }
+
 // Row returns the full distance slice from `from` in the slot of t. The
 // slice is owned by the cache; callers must not mutate it.
 func (c *DistCache) Row(from NodeID, t float64) []float64 {

@@ -15,6 +15,7 @@ package roadnet
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geo"
 )
@@ -82,6 +83,41 @@ type Graph struct {
 	// (nil for a built or scaled graph): the prior that unset weight cells
 	// fall back to, and the anchor PatchReweighted validates against.
 	rwBase *Graph
+
+	// gid lazily assigns a process-unique identity (see ID). patchPrevGID
+	// and patchDirty record PatchReweighted provenance by that identity —
+	// an ID rather than a *Graph so a provenance record never pins the whole
+	// chain of predecessor epochs in memory.
+	gid          atomic.Uint64
+	patchPrevGID uint64
+	patchDirty   *DirtyCells
+}
+
+// graphIDSeq mints process-unique graph identities; 0 is reserved for
+// "not yet assigned".
+var graphIDSeq atomic.Uint64
+
+// ID returns a process-unique identity for this graph value, assigned
+// lazily on first call. Safe for concurrent use.
+func (g *Graph) ID() uint64 {
+	if id := g.gid.Load(); id != 0 {
+		return id
+	}
+	g.gid.CompareAndSwap(0, graphIDSeq.Add(1))
+	return g.gid.Load()
+}
+
+// PatchProvenance reports how this graph was derived when it came from
+// PatchReweighted: the ID() of the epoch graph it patched and the dirty
+// set the patch consumed. ok is false for built, scaled or fully
+// reweighted graphs. Incremental router customization (the CCH backend)
+// keys on this to re-customize only the touched cells — the routing
+// analogue of the patch itself.
+func (g *Graph) PatchProvenance() (prevID uint64, dirty *DirtyCells, ok bool) {
+	if g.patchPrevGID == 0 {
+		return 0, nil, false
+	}
+	return g.patchPrevGID, g.patchDirty, true
 }
 
 // NumNodes returns |V|.

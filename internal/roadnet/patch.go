@@ -173,6 +173,8 @@ func (g *Graph) PatchReweighted(prev *Graph, w *SlotWeights, dirty *DirtyCells) 
 		eis[i] = pe.ei
 	}
 	patchMaxBeta(ng, prev, eis)
+	ng.patchPrevGID = prev.ID()
+	ng.patchDirty = dirty
 	return ng, nil
 }
 
@@ -217,6 +219,8 @@ func (g *Graph) patchReweightedDense(prev *Graph, w *SlotWeights, dirty *DirtyCe
 		}
 	})
 	patchMaxBeta(ng, prev, touched)
+	ng.patchPrevGID = prev.ID()
+	ng.patchDirty = dirty
 	return ng, nil
 }
 

@@ -3,6 +3,7 @@ package roadnet
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // Router is the unified shortest-path substrate of the assignment pipeline:
@@ -42,13 +43,58 @@ type Kinded interface {
 	RouterKind() string
 }
 
+// ManyRouter is implemented by Routers that can answer a one-source
+// many-target batch with shared work: one upward (CCH), one label load (hub
+// labels) or one early-terminating Dijkstra expansion (SSSP backends) serves
+// every target, instead of |targets| independent point queries. The returned
+// slice is freshly allocated, aligned with targets, and carries exactly the
+// values |targets| Travel calls would return (+Inf for unreachable or
+// out-of-bound targets).
+type ManyRouter interface {
+	Router
+	TravelMany(from NodeID, targets []NodeID, t float64) []float64
+}
+
+// TravelMany answers a one-source many-target batch through any Router:
+// backends implementing ManyRouter run one shared search; everything else
+// falls back to per-pair Travel. Values are identical either way, so callers
+// on decision paths may use this unconditionally.
+func TravelMany(rt Router, from NodeID, targets []NodeID, t float64) []float64 {
+	if mr, ok := rt.(ManyRouter); ok {
+		return mr.TravelMany(from, targets, t)
+	}
+	out := make([]float64, len(targets))
+	for i, to := range targets {
+		out[i] = rt.Travel(from, to, t)
+	}
+	return out
+}
+
+// MetricStats counts the customization work a re-customizable routing
+// backend has performed: Full is the number of per-slot metrics customized
+// from scratch (O(triangles)), Incremental the number re-customized from a
+// weight epoch's dirty-cell set (O(dirty) triangle work plus one array
+// clone). Served by GET /roadnet when the active backend reports them.
+type MetricStats struct {
+	FullCustomizations        int64 `json:"full_customizations"`
+	IncrementalCustomizations int64 `json:"incremental_customizations"`
+}
+
+// MetricStatser is implemented by Routers (CCH) that separate metric
+// customization from topology preprocessing and can report how much of each
+// customization flavour they have run.
+type MetricStatser interface {
+	MetricStats() MetricStats
+}
+
 // DijkstraRouter answers point-to-point queries with a target-pruned
 // Dijkstra per call — no memoisation, no expansion bound. It is the exact
 // reference backend; prefer a bounded or hub-label Router on hot paths.
 // Safe for concurrent use (engines are pooled per goroutine).
 type DijkstraRouter struct {
-	g    *Graph
-	pool sync.Pool
+	g       *Graph
+	pool    sync.Pool
+	settles atomic.Int64
 }
 
 // NewDijkstraRouter returns a per-query Dijkstra Router over g.
@@ -61,10 +107,30 @@ func NewDijkstraRouter(g *Graph) *DijkstraRouter {
 // Travel implements Router.
 func (r *DijkstraRouter) Travel(from, to NodeID, t float64) float64 {
 	e := r.pool.Get().(*SSSP)
+	s0 := e.Settles()
 	d := e.Distance(from, to, t)
+	r.settles.Add(int64(e.Settles() - s0))
 	r.pool.Put(e)
 	return d
 }
+
+// TravelMany implements ManyRouter: one multi-target Dijkstra expansion that
+// terminates as soon as the last outstanding target settles. Distances are
+// bitwise identical to per-target Travel calls (settle order does not affect
+// a Dijkstra distance table).
+func (r *DijkstraRouter) TravelMany(from NodeID, targets []NodeID, t float64) []float64 {
+	e := r.pool.Get().(*SSSP)
+	s0 := e.Settles()
+	out := e.DistanceMany(from, targets, t, make([]float64, len(targets)))
+	r.settles.Add(int64(e.Settles() - s0))
+	r.pool.Put(e)
+	return out
+}
+
+// Settles reports the cumulative node settles across every search this
+// router has run — the work measure the batched-vs-per-pair construction
+// bench compares.
+func (r *DijkstraRouter) Settles() int64 { return r.settles.Load() }
 
 // RouterKind implements Kinded.
 func (r *DijkstraRouter) RouterKind() string { return "dijkstra" }
@@ -183,4 +249,7 @@ var (
 	_ Router     = (*LRURouter)(nil)
 	_ Resettable = (*DistCache)(nil)
 	_ Resettable = (*LRURouter)(nil)
+	_ ManyRouter = (*DijkstraRouter)(nil)
+	_ ManyRouter = (*DistCache)(nil)
+	_ ManyRouter = (*SwapRouter)(nil)
 )

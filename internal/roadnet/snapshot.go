@@ -71,6 +71,13 @@ func (r *SwapRouter) Travel(from, to NodeID, t float64) float64 {
 	return r.cur.Load().inner.Travel(from, to, t)
 }
 
+// TravelMany implements ManyRouter against the current epoch's backend (one
+// atomic load pins the whole batch to one epoch; per-pair fallback when the
+// inner backend has no batched path).
+func (r *SwapRouter) TravelMany(from NodeID, targets []NodeID, t float64) []float64 {
+	return TravelMany(r.cur.Load().inner, from, targets, t)
+}
+
 // Acquire pins the current epoch: the returned snapshot and Router stay
 // consistent with each other for as long as the caller holds them, even
 // across a concurrent Publish. Assignment rounds acquire once and route the

@@ -68,6 +68,24 @@ func (r *AsyncRouter) Travel(from, to roadnet.NodeID, t float64) float64 {
 	return r.fallback.Travel(from, to, t)
 }
 
+// TravelMany implements roadnet.ManyRouter: the same readiness routing as
+// Travel, decided once for the whole batch (one slot, one epoch of labels
+// or one fallback pass — never a mix).
+func (r *AsyncRouter) TravelMany(from roadnet.NodeID, targets []roadnet.NodeID, t float64) []float64 {
+	slot := roadnet.Slot(t)
+	if r.state[slot].Load() == slotReady {
+		return r.ix.TravelMany(from, targets, t)
+	}
+	if r.sync {
+		r.ix.BuildSlot(slot)
+		r.state[slot].Store(slotReady)
+		return r.ix.TravelMany(from, targets, t)
+	}
+	r.ensureBuilding(slot)
+	r.ensureBuilding((slot + 1) % roadnet.SlotsPerDay)
+	return roadnet.TravelMany(r.fallback, from, targets, t)
+}
+
 // RouterKind implements roadnet.Kinded.
 func (r *AsyncRouter) RouterKind() string { return "hublabel" }
 

@@ -216,12 +216,34 @@ func (ix *Index) Travel(from, to roadnet.NodeID, t float64) float64 {
 	return ix.Dist(from, to, t)
 }
 
+// TravelMany implements roadnet.ManyRouter: one slot-index load and one
+// backward-label fetch serve the entire target set.
+func (ix *Index) TravelMany(from roadnet.NodeID, targets []roadnet.NodeID, t float64) []float64 {
+	out := make([]float64, len(targets))
+	if len(targets) == 0 {
+		return out
+	}
+	si := ix.slotIndex(roadnet.Slot(t))
+	bwd := si.bwd[from]
+	for i, to := range targets {
+		if to == from {
+			out[i] = 0
+			continue
+		}
+		out[i] = mergeQuery(bwd, si.fwd[to])
+	}
+	return out
+}
+
 // AsFunc adapts the index to the SPFunc oracle interface.
 func (ix *Index) AsFunc() roadnet.SPFunc {
 	return func(from, to roadnet.NodeID, t float64) float64 { return ix.Dist(from, to, t) }
 }
 
-var _ roadnet.Router = (*Index)(nil)
+var (
+	_ roadnet.Router     = (*Index)(nil)
+	_ roadnet.ManyRouter = (*Index)(nil)
+)
 
 // LabelStats reports the average and maximum label size for a built slot —
 // the usual quality measure of a hub labeling.
